@@ -1,0 +1,46 @@
+// Datasetexplore generates an OMP_Serial corpus, prints its Table 1
+// statistics, and shows one concrete loop per pragma category together
+// with its heterogeneous aug-AST summary.
+package main
+
+import (
+	"fmt"
+
+	"graph2par/internal/auggraph"
+	"graph2par/internal/dataset"
+)
+
+func main() {
+	corpus := dataset.Generate(dataset.Config{Scale: 0.02, Seed: 99})
+	stats := corpus.ComputeStats()
+
+	fmt.Printf("OMP_Serial corpus: %d loops (%d candidates dropped)\n\n", len(corpus.Samples), corpus.Dropped)
+	fmt.Printf("%-26s %6s %9s %7s %7s\n", "Source/Type", "Loops", "FuncCall", "Nested", "AvgLOC")
+	for _, key := range stats.Keys() {
+		cs := stats.ByKey[key]
+		fmt.Printf("%-26s %6d %9d %7d %7.2f\n", key, cs.Loops, cs.Calls, cs.Nested, cs.AvgLOC())
+	}
+
+	fmt.Println("\nOne example per category:")
+	seen := map[string]bool{}
+	for _, s := range corpus.Samples {
+		key := s.Category
+		if !s.Parallel {
+			key = "non-parallel"
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		fmt.Printf("\n--- %s (origin %s) ---\n", key, s.Origin)
+		if s.Pragma != "" {
+			fmt.Println(s.Pragma)
+		}
+		fmt.Println(s.LoopSrc)
+		g := auggraph.Build(s.Loop, auggraph.Default())
+		fmt.Println("aug-AST:", g.Stats())
+		if len(seen) == 5 {
+			break
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Quickstart: train a Graph2Par engine on a small generated OMP_Serial
+// corpus and ask it about the paper's Listing 1 — the reduction loop with a
+// fabs() call that all three algorithm-based tools miss.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graph2par"
+)
+
+const listing1Program = `
+#include <math.h>
+int main() {
+    double a[128];
+    double error = 0;
+    int i;
+    for (i = 0; i < 128; i++) a[i] = i * 0.5;
+    for (i = 0; i < 127; i++)
+        error = error + fabs(a[i] - a[i+1]);
+    return (int)error;
+}
+`
+
+func main() {
+	engine, err := graph2par.NewEngine(graph2par.EngineConfig{
+		TrainScale: 0.015,
+		Epochs:     4,
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reports, err := engine.AnalyzeSource(listing1Program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nListing 1 program: %d loops analyzed\n\n", len(reports))
+	for _, r := range reports {
+		fmt.Print(r.Format())
+		fmt.Println()
+	}
+	fmt.Println("The second loop is the paper's Listing 1: the three tools")
+	fmt.Println("fail on the fabs() call while the learned model sees the")
+	fmt.Println("reduction structure through the aug-AST.")
+}

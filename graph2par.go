@@ -1,0 +1,260 @@
+// Package graph2par is the public API of the Graph2Par reproduction
+// (Chen et al., "Learning to Parallelize with OpenMP by Augmented
+// Heterogeneous AST Representation", MLSys 2023).
+//
+// The Engine wraps the whole pipeline: it parses C source, extracts loops,
+// builds the heterogeneous augmented AST of each loop, classifies
+// parallelism with a trained Heterogeneous Graph Transformer, predicts the
+// applicable OpenMP pragma categories, and cross-checks against the three
+// reimplemented algorithm-based tools (autoPar, PLUTO, DiscoPoP).
+//
+// A quick start:
+//
+//	engine, err := graph2par.NewEngine(graph2par.EngineConfig{})
+//	reports, err := engine.AnalyzeSource(src)
+//	for _, r := range reports {
+//	    fmt.Println(r.Line, r.Parallel, r.Suggestion)
+//	}
+package graph2par
+
+import (
+	"fmt"
+	"sort"
+
+	"graph2par/internal/auggraph"
+	"graph2par/internal/cast"
+	"graph2par/internal/cparse"
+	"graph2par/internal/dataset"
+	"graph2par/internal/hgt"
+	"graph2par/internal/pragma"
+	"graph2par/internal/tools"
+	"graph2par/internal/tools/autopar"
+	"graph2par/internal/tools/discopop"
+	"graph2par/internal/tools/pluto"
+	"graph2par/internal/train"
+)
+
+// EngineConfig controls engine construction.
+type EngineConfig struct {
+	// ModelPath loads a trained checkpoint instead of training.
+	ModelPath string
+	// TrainScale is the OMP_Serial scale factor used when training from
+	// scratch (default 0.02, a few hundred loops).
+	TrainScale float64
+	// Seed makes from-scratch training reproducible.
+	Seed uint64
+	// Epochs for from-scratch training (default 6).
+	Epochs int
+	// Quiet suppresses the training progress line.
+	Quiet bool
+}
+
+// Engine is a ready-to-use Graph2Par analyzer.
+type Engine struct {
+	model *hgt.Model
+	vocab *auggraph.Vocab
+	gopts auggraph.Options
+	tools []tools.Tool
+}
+
+// ToolVerdict is one comparator tool's opinion on a loop.
+type ToolVerdict struct {
+	Tool        string
+	Processable bool
+	Parallel    bool
+	Reason      string
+}
+
+// LoopReport is the analysis result for one loop.
+type LoopReport struct {
+	// Line is the loop's 1-based source line.
+	Line int
+	// Source is the loop's normalized source text.
+	Source string
+	// Parallel is the model's parallelism prediction.
+	Parallel bool
+	// Confidence is the softmax probability of the predicted class.
+	Confidence float64
+	// Categories are the predicted pragma categories (only the heuristic
+	// structural classification; the per-category heads of Table 5 are
+	// trained separately by the experiment harness).
+	Categories []pragma.Category
+	// Suggestion is a ready-to-paste pragma line ("" when not parallel).
+	Suggestion string
+	// Tools holds the comparator verdicts.
+	Tools []ToolVerdict
+	// GraphStats summarizes the loop's aug-AST.
+	GraphStats string
+	// DOT is the Graphviz rendering of the loop's aug-AST.
+	DOT string
+}
+
+// NewEngine builds an engine: either loading ModelPath or training a fresh
+// model on a generated OMP_Serial corpus.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	e := &Engine{
+		tools: []tools.Tool{autopar.New(), pluto.New(), discopop.New()},
+	}
+	if cfg.ModelPath != "" {
+		model, vocab, gopts, err := train.LoadCheckpoint(cfg.ModelPath)
+		if err != nil {
+			return nil, fmt.Errorf("graph2par: loading model: %w", err)
+		}
+		e.model, e.vocab, e.gopts = model, vocab, gopts
+		return e, nil
+	}
+	if cfg.TrainScale <= 0 {
+		cfg.TrainScale = 0.02
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 6
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1234
+	}
+	if !cfg.Quiet {
+		fmt.Printf("graph2par: training on OMP_Serial (scale %.3f)...\n", cfg.TrainScale)
+	}
+	corpus := dataset.Generate(dataset.Config{Scale: cfg.TrainScale, Seed: cfg.Seed})
+	opts := train.DefaultOptions()
+	opts.Epochs = cfg.Epochs
+	opts.Seed = cfg.Seed
+	set := train.PrepareGraphs(corpus.Samples, opts.Graph, nil, train.ParallelLabel)
+	e.model = train.TrainHGT(set, opts)
+	e.vocab = set.Vocab
+	e.gopts = opts.Graph
+	return e, nil
+}
+
+// Save writes the engine's model to a checkpoint file.
+func (e *Engine) Save(path string) error {
+	return train.SaveCheckpoint(path, e.model, e.vocab, e.gopts)
+}
+
+// AnalyzeSource parses a C translation unit and reports on every loop.
+func (e *Engine) AnalyzeSource(src string) ([]LoopReport, error) {
+	file, err := cparse.ParseFile(src)
+	if err != nil {
+		return nil, err
+	}
+	funcs := map[string]*cast.FuncDecl{}
+	for _, fn := range file.Funcs {
+		if fn.Body != nil {
+			funcs[fn.Name] = fn
+		}
+	}
+	var loops []cast.Stmt
+	for _, fn := range file.Funcs {
+		cast.Walk(fn.Body, func(n cast.Node) bool {
+			switch n.(type) {
+			case *cast.For, *cast.While:
+				loops = append(loops, n.(cast.Stmt))
+			}
+			return true
+		})
+	}
+	reports := make([]LoopReport, 0, len(loops))
+	for _, loop := range loops {
+		reports = append(reports, e.analyzeLoop(loop, file, funcs))
+	}
+	sort.SliceStable(reports, func(i, j int) bool { return reports[i].Line < reports[j].Line })
+	return reports, nil
+}
+
+// AnalyzeLoop reports on a single loop snippet (no file context).
+func (e *Engine) AnalyzeLoop(loopSrc string) (*LoopReport, error) {
+	st, err := cparse.ParseStmt(loopSrc)
+	if err != nil {
+		return nil, err
+	}
+	switch st.(type) {
+	case *cast.For, *cast.While:
+	default:
+		return nil, fmt.Errorf("graph2par: not a loop statement")
+	}
+	r := e.analyzeLoop(st, nil, nil)
+	return &r, nil
+}
+
+func (e *Engine) analyzeLoop(loop cast.Stmt, file *cast.File, funcs map[string]*cast.FuncDecl) LoopReport {
+	gopts := e.gopts
+	gopts.Funcs = funcs
+	g := auggraph.Build(loop, gopts)
+	enc := e.vocab.Encode(g)
+	pred, probs := e.model.Predict(enc)
+
+	report := LoopReport{
+		Line:       loop.Pos().Line,
+		Source:     cast.Print(loop),
+		Parallel:   pred == 1,
+		Confidence: probs[pred],
+		GraphStats: g.Stats(),
+		DOT:        g.DOT(fmt.Sprintf("loop at line %d", loop.Pos().Line)),
+	}
+	if report.Parallel {
+		report.Categories = classifyCategories(loop)
+		report.Suggestion = buildSuggestion(loop, report.Categories)
+	}
+	for _, tool := range e.tools {
+		v := tool.Analyze(tools.Sample{
+			Loop: loop, File: file,
+			Compilable: file != nil, Runnable: file != nil,
+		})
+		report.Tools = append(report.Tools, ToolVerdict{
+			Tool:        tool.Name(),
+			Processable: v.Processable,
+			Parallel:    v.Processable && v.Parallel,
+			Reason:      v.Reason,
+		})
+	}
+	return report
+}
+
+// classifyCategories derives pragma categories structurally (reduction
+// updates present → reduction; privatizable temps → private; tiny single
+// statement body → simd candidate).
+func classifyCategories(loop cast.Stmt) []pragma.Category {
+	body := loopBody(loop)
+	if body == nil {
+		return nil
+	}
+	var cats []pragma.Category
+	iv := ""
+	if f, ok := loop.(*cast.For); ok {
+		iv = inductionVarName(f)
+	}
+	reds := findReds(body, iv)
+	if len(reds) > 0 {
+		cats = append(cats, pragma.Reduction)
+	}
+	if hasPrivatizableTemp(body, iv) {
+		cats = append(cats, pragma.Private)
+	}
+	if len(cats) == 0 && cast.CountNodes(body) <= 14 {
+		cats = append(cats, pragma.SIMD)
+	}
+	return cats
+}
+
+// Format renders a human-readable report block.
+func (r *LoopReport) Format() string {
+	verdict := "NOT parallel"
+	if r.Parallel {
+		verdict = "parallel"
+	}
+	out := fmt.Sprintf("loop at line %d: %s (confidence %.2f)\n", r.Line, verdict, r.Confidence)
+	if r.Suggestion != "" {
+		out += "  suggestion: " + r.Suggestion + "\n"
+	}
+	for _, tv := range r.Tools {
+		state := "not parallel"
+		if !tv.Processable {
+			state = "cannot process"
+		} else if tv.Parallel {
+			state = "parallel"
+		}
+		out += fmt.Sprintf("  %-9s %-14s %s\n", tv.Tool+":", state, tv.Reason)
+	}
+	out += "  aug-AST: " + r.GraphStats + "\n"
+	return out
+}

@@ -1,0 +1,59 @@
+package auggraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz format, color-coding the edge families
+// like Figure 3 of the paper (AST black, CFG red, lexical orange dashed,
+// call blue). Reverse edges are omitted for readability.
+func (g *Graph) DOT(title string) string {
+	var b strings.Builder
+	b.WriteString("digraph augast {\n")
+	if title != "" {
+		fmt.Fprintf(&b, "  label=%q;\n", title)
+	}
+	b.WriteString("  node [shape=box, fontsize=10];\n")
+	for _, n := range g.Nodes {
+		label := n.Kind
+		if n.Attr != "" {
+			label += "\\n" + escapeDOT(n.Attr)
+		}
+		if n.TypeAttr != "" {
+			label += " : " + escapeDOT(n.TypeAttr)
+		}
+		shape := ""
+		if n.IsLeaf {
+			shape = ", style=filled, fillcolor=lightyellow"
+		}
+		if n.ID == g.Root {
+			shape = ", style=filled, fillcolor=lightblue"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"%s];\n", n.ID, label, shape)
+	}
+	for _, e := range g.Edges {
+		attr := ""
+		switch e.Type {
+		case ASTEdge:
+			attr = "color=black"
+		case CFGEdge:
+			attr = "color=red"
+		case LexEdge:
+			attr = "color=orange, style=dashed, constraint=false"
+		case CallEdge:
+			attr = "color=blue, penwidth=2"
+		default:
+			continue // reverse edges are implied
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [%s];\n", e.Src, e.Dst, attr)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDOT(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}

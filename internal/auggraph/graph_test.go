@@ -1,0 +1,321 @@
+package auggraph
+
+import (
+	"testing"
+
+	"graph2par/internal/cast"
+	"graph2par/internal/cparse"
+)
+
+func parseLoop(t *testing.T, src string) cast.Stmt {
+	t.Helper()
+	s, err := cparse.ParseStmt(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return s
+}
+
+const listing1 = `for (i = 0; i < 30000000; i++)
+    error = error + fabs(a[i] - a[i+1]);`
+
+func TestBuildListing1Shape(t *testing.T) {
+	g := Build(parseLoop(t, listing1), Default())
+	if len(g.Nodes) == 0 || g.Nodes[g.Root].Kind != "ForStmt" {
+		t.Fatalf("root kind = %q", g.Nodes[g.Root].Kind)
+	}
+	// Must contain the heterogeneous kinds from Figure 3.
+	kinds := map[string]bool{}
+	for _, k := range g.KindSet() {
+		kinds[k] = true
+	}
+	for _, want := range []string{"ForStmt", "BinaryOperator", "UnaryOperator", "CallExpr", "DeclRefExpr", "IntegerLiteral"} {
+		if !kinds[want] {
+			t.Errorf("missing node kind %q (have %v)", want, g.KindSet())
+		}
+	}
+	// All three edge families present.
+	if len(g.EdgesOfType(ASTEdge)) == 0 {
+		t.Error("no AST edges")
+	}
+	if len(g.EdgesOfType(CFGEdge)) == 0 {
+		t.Error("no CFG edges")
+	}
+	if len(g.EdgesOfType(LexEdge)) == 0 {
+		t.Error("no lexical edges")
+	}
+}
+
+func TestNormalizationFigure3(t *testing.T) {
+	g := Build(parseLoop(t, listing1), Default())
+	// i → v1 (first identifier), error → v2, fabs → f1, a → v3.
+	norm := map[string]string{}
+	for _, n := range g.Nodes {
+		if n.Kind == "DeclRefExpr" {
+			norm[n.RawText] = n.Attr
+		}
+	}
+	if norm["i"] != "v1" {
+		t.Errorf("i normalized to %q, want v1", norm["i"])
+	}
+	if norm["error"] != "v2" {
+		t.Errorf("error normalized to %q, want v2", norm["error"])
+	}
+	if norm["fabs"] != "f1" {
+		t.Errorf("fabs normalized to %q, want f1", norm["fabs"])
+	}
+	if g.NumVars < 3 || g.NumFuncs != 1 {
+		t.Errorf("NumVars=%d NumFuncs=%d", g.NumVars, g.NumFuncs)
+	}
+}
+
+func TestNormalizationStable(t *testing.T) {
+	// Same structure, different names ⇒ identical normalized attrs.
+	g1 := Build(parseLoop(t, "for (i = 0; i < n; i++) s += a[i];"), Default())
+	g2 := Build(parseLoop(t, "for (k = 0; k < m; k++) t += b[k];"), Default())
+	if len(g1.Nodes) != len(g2.Nodes) {
+		t.Fatalf("node counts differ: %d vs %d", len(g1.Nodes), len(g2.Nodes))
+	}
+	for i := range g1.Nodes {
+		if g1.Nodes[i].Attr != g2.Nodes[i].Attr {
+			t.Errorf("node %d attr %q vs %q", i, g1.Nodes[i].Attr, g2.Nodes[i].Attr)
+		}
+	}
+}
+
+func TestVanillaASTHasOnlyASTEdges(t *testing.T) {
+	g := Build(parseLoop(t, listing1), VanillaAST())
+	if n := len(g.EdgesOfType(CFGEdge)); n != 0 {
+		t.Errorf("vanilla AST has %d CFG edges", n)
+	}
+	if n := len(g.EdgesOfType(LexEdge)); n != 0 {
+		t.Errorf("vanilla AST has %d lexical edges", n)
+	}
+	if len(g.EdgesOfType(ASTEdge)) == 0 {
+		t.Error("no AST edges")
+	}
+}
+
+func TestLexicalEdgesFollowTokenOrder(t *testing.T) {
+	g := Build(parseLoop(t, "for (i = 0; i < n; i++) s += a[i];"), Options{Lexical: true, Normalize: true})
+	lex := g.EdgesOfType(LexEdge)
+	// Leaves in source order: i 0 i n i s a i — 8 leaves ⇒ 7 lexical edges.
+	if len(lex) != 7 {
+		t.Fatalf("lexical edges = %d, want 7", len(lex))
+	}
+	// Chain property: dst of edge k is src of edge k+1.
+	for i := 0; i+1 < len(lex); i++ {
+		if lex[i].Dst != lex[i+1].Src {
+			t.Errorf("lexical chain broken at %d", i)
+		}
+	}
+	// Every endpoint is a leaf.
+	for _, e := range lex {
+		if !g.Nodes[e.Src].IsLeaf || !g.Nodes[e.Dst].IsLeaf {
+			t.Error("lexical edge touches non-leaf")
+		}
+	}
+}
+
+func TestReverseEdgesMirror(t *testing.T) {
+	g := Build(parseLoop(t, listing1), Default())
+	fwd := len(g.EdgesOfType(ASTEdge))
+	rev := len(g.EdgesOfType(RevASTEdge))
+	if fwd != rev {
+		t.Errorf("AST fwd=%d rev=%d", fwd, rev)
+	}
+	fwdSet := map[[2]int]bool{}
+	for _, e := range g.EdgesOfType(ASTEdge) {
+		fwdSet[[2]int{e.Src, e.Dst}] = true
+	}
+	for _, e := range g.EdgesOfType(RevASTEdge) {
+		if !fwdSet[[2]int{e.Dst, e.Src}] {
+			t.Error("reverse edge without forward counterpart")
+		}
+	}
+}
+
+func TestCallEdgeLinksCalleeBody(t *testing.T) {
+	file, err := cparse.ParseFile(`
+float square(int x) {
+    int k = 0;
+    while (k < 5000) k++;
+    return sqrt(x);
+}
+int main() {
+    float vector[64];
+    for (int i = 0; i < 64; i++) {
+        vector[i] = square(vector[i]);
+    }
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := map[string]*cast.FuncDecl{}
+	for _, f := range file.Funcs {
+		funcs[f.Name] = f
+	}
+	var loop cast.Stmt
+	cast.Walk(file.Funcs[1].Body, func(n cast.Node) bool {
+		if f, ok := n.(*cast.For); ok && loop == nil {
+			loop = f
+		}
+		return true
+	})
+	opts := Default()
+	opts.Funcs = funcs
+	g := Build(loop, opts)
+	calls := g.EdgesOfType(CallEdge)
+	if len(calls) == 0 {
+		t.Fatal("no call edges")
+	}
+	// The callee body (with its while-loop) must be materialized.
+	foundWhile := false
+	for _, n := range g.Nodes {
+		if n.Kind == "WhileStmt" {
+			foundWhile = true
+		}
+	}
+	if !foundWhile {
+		t.Error("callee body not inlined into graph")
+	}
+
+	// Without Funcs, the callee body is absent.
+	g2 := Build(loop, Default())
+	for _, n := range g2.Nodes {
+		if n.Kind == "WhileStmt" {
+			t.Error("unexpected callee body without Funcs option")
+		}
+	}
+}
+
+func TestRecursiveCallDoesNotLoopForever(t *testing.T) {
+	file, err := cparse.ParseFile(`
+int fact(int n) {
+    if (n <= 1) return 1;
+    return n * fact(n - 1);
+}
+int main() {
+    int s = 0;
+    for (int i = 0; i < 10; i++) s += fact(i);
+    return s;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := map[string]*cast.FuncDecl{}
+	for _, f := range file.Funcs {
+		funcs[f.Name] = f
+	}
+	var loop cast.Stmt
+	cast.Walk(file.Funcs[1].Body, func(n cast.Node) bool {
+		if f, ok := n.(*cast.For); ok && loop == nil {
+			loop = f
+		}
+		return true
+	})
+	opts := Default()
+	opts.Funcs = funcs
+	g := Build(loop, opts) // must terminate
+	if len(g.Nodes) == 0 {
+		t.Fatal("empty graph")
+	}
+}
+
+func TestTypeAttrAnnotated(t *testing.T) {
+	g := Build(parseLoop(t, "for (int i = 0; i < 10; i++) { float x = 0; x += i; }"), Default())
+	byRaw := map[string]string{}
+	for _, n := range g.Nodes {
+		if n.Kind == "DeclRefExpr" || n.Kind == "VarDecl" {
+			byRaw[n.RawText] = n.TypeAttr
+		}
+	}
+	if byRaw["i"] != "int" {
+		t.Errorf("i type = %q", byRaw["i"])
+	}
+	if byRaw["x"] != "float" {
+		t.Errorf("x type = %q", byRaw["x"])
+	}
+}
+
+func TestOrderAttribute(t *testing.T) {
+	g := Build(parseLoop(t, "for (i = 0; i < n; i++) s = 1;"), Default())
+	root := g.Nodes[g.Root]
+	if root.Order != 0 || root.Depth != 0 {
+		t.Errorf("root order/depth = %d/%d", root.Order, root.Depth)
+	}
+	// The For's children get orders 0..3 (init, cond, post, body).
+	var childOrders []int
+	for _, e := range g.EdgesOfType(ASTEdge) {
+		if e.Src == g.Root {
+			childOrders = append(childOrders, g.Nodes[e.Dst].Order)
+		}
+	}
+	if len(childOrders) != 4 {
+		t.Fatalf("for children = %d, want 4", len(childOrders))
+	}
+	for i, o := range childOrders {
+		if o != i {
+			t.Errorf("child %d has order %d", i, o)
+		}
+	}
+}
+
+func TestEdgeEndpointsValid(t *testing.T) {
+	srcs := []string{
+		listing1,
+		"for (j = 0; j < 1000; j++) sum += a[i][j] * v[j];",
+		"while (x > 0) { if (a[x]) break; x--; }",
+		"for (i = 0; i < 12; i++) for (j = 0; j < 12; j++) for (k = 0; k < 12; k++) { tmp1 = 6.0 / m; a[i][j][k] = tmp1 + 4; }",
+	}
+	for _, src := range srcs {
+		g := Build(parseLoop(t, src), Default())
+		for _, e := range g.Edges {
+			if e.Src < 0 || e.Src >= len(g.Nodes) || e.Dst < 0 || e.Dst >= len(g.Nodes) {
+				t.Fatalf("%q: edge %v out of range (%d nodes)", src, e, len(g.Nodes))
+			}
+		}
+	}
+}
+
+func TestVocabEncode(t *testing.T) {
+	v := NewVocab()
+	g1 := Build(parseLoop(t, listing1), Default())
+	v.Add(g1)
+	enc := v.Encode(g1)
+	if len(enc.KindIDs) != len(g1.Nodes) {
+		t.Fatalf("len mismatch")
+	}
+	for i, id := range enc.KindIDs {
+		if id == 0 {
+			t.Errorf("node %d (%s) mapped to <unk> after Add", i, g1.Nodes[i].Kind)
+		}
+	}
+	// A graph with never-seen attrs maps them to 0, not panic.
+	g2 := Build(parseLoop(t, "for (p = q; p; p = p->next) total += p->weight;"), Default())
+	enc2 := v.Encode(g2)
+	sawUnk := false
+	for _, id := range enc2.AttrIDs {
+		if id == 0 {
+			sawUnk = true
+		}
+	}
+	_ = sawUnk // absence is fine too: normalization may cover everything
+	if enc2.Root != g2.Root {
+		t.Error("root not preserved")
+	}
+}
+
+func TestOrderClamp(t *testing.T) {
+	// A call with 12 arguments produces sibling orders beyond MaxOrder.
+	g := Build(parseLoop(t, "for(;;) f(a,b,c,d,e,g,h,i,j,k,l,m);"), Default())
+	v := NewVocab()
+	v.Add(g)
+	enc := v.Encode(g)
+	for _, o := range enc.Orders {
+		if o > MaxOrder {
+			t.Errorf("order %d exceeds clamp", o)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package auggraph
+
+import (
+	"testing"
+
+	"graph2par/internal/cast"
+	"graph2par/internal/dataset"
+)
+
+// Property tests over generated corpus loops: structural invariants of the
+// aug-AST must hold for every loop the dataset generator can produce.
+func TestInvariantsOverGeneratedCorpus(t *testing.T) {
+	corpus := dataset.Generate(dataset.Config{Scale: 0.01, Seed: 77})
+	if len(corpus.Samples) < 100 {
+		t.Fatalf("corpus too small: %d", len(corpus.Samples))
+	}
+	for _, s := range corpus.Samples {
+		g := Build(s.Loop, Default())
+
+		// (1) node IDs are dense and self-consistent
+		for i, n := range g.Nodes {
+			if n.ID != i {
+				t.Fatalf("sample %d: node %d has ID %d", s.ID, i, n.ID)
+			}
+		}
+
+		// (2) every edge endpoint is in range
+		for _, e := range g.Edges {
+			if e.Src < 0 || e.Src >= len(g.Nodes) || e.Dst < 0 || e.Dst >= len(g.Nodes) {
+				t.Fatalf("sample %d: edge %v out of range", s.ID, e)
+			}
+		}
+
+		// (3) AST edges form a tree over the loop subtree: every non-root
+		// node has exactly one AST parent (call-inlined subtrees have
+		// their own roots reachable via CallEdge)
+		parents := map[int]int{}
+		for _, e := range g.EdgesOfType(ASTEdge) {
+			parents[e.Dst]++
+			if parents[e.Dst] > 1 {
+				t.Fatalf("sample %d: node %d has %d AST parents", s.ID, e.Dst, parents[e.Dst])
+			}
+		}
+
+		// (4) lexical edges connect leaves only and chain them
+		lex := g.EdgesOfType(LexEdge)
+		for _, e := range lex {
+			if !g.Nodes[e.Src].IsLeaf || !g.Nodes[e.Dst].IsLeaf {
+				t.Fatalf("sample %d: lexical edge on non-leaf", s.ID)
+			}
+		}
+
+		// (5) reverse edges mirror forward edges one-to-one
+		if len(g.EdgesOfType(RevASTEdge)) != len(g.EdgesOfType(ASTEdge)) {
+			t.Fatalf("sample %d: AST reverse count mismatch", s.ID)
+		}
+		if len(g.EdgesOfType(RevCFGEdge)) != len(g.EdgesOfType(CFGEdge)) {
+			t.Fatalf("sample %d: CFG reverse count mismatch", s.ID)
+		}
+
+		// (6) the root is the loop statement
+		rootKind := g.Nodes[g.Root].Kind
+		if rootKind != "ForStmt" && rootKind != "WhileStmt" {
+			t.Fatalf("sample %d: root kind %q", s.ID, rootKind)
+		}
+
+		// (7) every node reachable from root via AST edges (tree
+		// connectivity of the primary structure)
+		adj := map[int][]int{}
+		for _, e := range g.EdgesOfType(ASTEdge) {
+			adj[e.Src] = append(adj[e.Src], e.Dst)
+		}
+		seen := map[int]bool{}
+		stack := []int{g.Root}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			stack = append(stack, adj[n]...)
+		}
+		// nodes belonging to the loop subtree (not call-inlined bodies)
+		// must all be reachable; count via the loop's own AST size.
+		want := cast.CountNodes(s.Loop)
+		if len(seen) < want {
+			t.Fatalf("sample %d: only %d of %d loop nodes reachable from root", s.ID, len(seen), want)
+		}
+	}
+}
+
+func TestDOTOutputWellFormed(t *testing.T) {
+	corpus := dataset.Generate(dataset.Config{Scale: 0.005, Seed: 3})
+	for _, s := range corpus.Samples[:10] {
+		g := Build(s.Loop, Default())
+		dot := g.DOT("t")
+		if !contains(dot, "digraph augast {") || !contains(dot, "}") {
+			t.Fatalf("malformed DOT:\n%s", dot)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

@@ -1,0 +1,385 @@
+package cast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the node back to C source text. The output is normalized
+// (single spaces, standard indentation) rather than byte-identical to the
+// input; the paper's pipeline only requires that an AST can be converted
+// back to compilable source.
+func Print(n Node) string {
+	var b strings.Builder
+	printNode(&b, n, 0)
+	return b.String()
+}
+
+// PrintExpr renders an expression to C source text.
+func PrintExpr(e Expr) string {
+	var b strings.Builder
+	printExpr(&b, e)
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func printNode(b *strings.Builder, n Node, depth int) {
+	switch x := n.(type) {
+	case *File:
+		for _, g := range x.Globals {
+			indent(b, depth)
+			printVarDecl(b, g)
+			b.WriteString(";\n")
+		}
+		for _, f := range x.Funcs {
+			printNode(b, f, depth)
+			b.WriteString("\n")
+		}
+	case *FuncDecl:
+		indent(b, depth)
+		b.WriteString(x.RetType)
+		b.WriteString(" ")
+		b.WriteString(x.Name)
+		b.WriteString("(")
+		for i, p := range x.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(p.Type)
+			if p.Pointer > 0 {
+				b.WriteString(" " + strings.Repeat("*", p.Pointer))
+				b.WriteString(p.Name)
+			} else if p.Name != "" {
+				b.WriteString(" " + p.Name)
+			}
+			for i := 0; i < p.ArrayDims; i++ {
+				b.WriteString("[]")
+			}
+		}
+		b.WriteString(")")
+		if x.Body != nil {
+			b.WriteString(" ")
+			printStmt(b, x.Body, depth)
+			b.WriteString("\n")
+		} else {
+			b.WriteString(";\n")
+		}
+	case Stmt:
+		printStmt(b, x, depth)
+	case Expr:
+		printExpr(b, x)
+	case *VarDecl:
+		printVarDecl(b, x)
+	case *Param:
+		b.WriteString(x.Type + " " + x.Name)
+	default:
+		fmt.Fprintf(b, "/* ? %T */", n)
+	}
+}
+
+func printVarDecl(b *strings.Builder, d *VarDecl) {
+	b.WriteString(d.Type)
+	b.WriteString(" ")
+	b.WriteString(strings.Repeat("*", d.Pointer))
+	b.WriteString(d.Name)
+	for _, dim := range d.ArrayDims {
+		b.WriteString("[")
+		if dim != nil {
+			printExpr(b, dim)
+		}
+		b.WriteString("]")
+	}
+	if d.Init != nil {
+		b.WriteString(" = ")
+		printExpr(b, d.Init)
+	}
+}
+
+func printStmt(b *strings.Builder, s Stmt, depth int) {
+	switch x := s.(type) {
+	case *Compound:
+		b.WriteString("{\n")
+		for _, item := range x.Items {
+			if _, isCase := item.(*Case); !isCase {
+				indent(b, depth+1)
+			} else {
+				indent(b, depth)
+			}
+			printStmt(b, item, depth+1)
+			b.WriteString("\n")
+		}
+		indent(b, depth)
+		b.WriteString("}")
+	case *ExprStmt:
+		printExpr(b, x.X)
+		b.WriteString(";")
+	case *DeclStmt:
+		// All declarators of one DeclStmt share the base type: print
+		// `int i, *p, a[4];` rather than one statement per declarator.
+		for i, d := range x.Decls {
+			if i == 0 {
+				b.WriteString(d.Type + " ")
+			} else {
+				b.WriteString(", ")
+			}
+			b.WriteString(strings.Repeat("*", d.Pointer))
+			b.WriteString(d.Name)
+			for _, dim := range d.ArrayDims {
+				b.WriteString("[")
+				if dim != nil {
+					printExpr(b, dim)
+				}
+				b.WriteString("]")
+			}
+			if d.Init != nil {
+				b.WriteString(" = ")
+				printExpr(b, d.Init)
+			}
+		}
+		b.WriteString(";")
+	case *If:
+		b.WriteString("if (")
+		printExpr(b, x.Cond)
+		b.WriteString(") ")
+		printStmt(b, x.Then, depth)
+		if x.Else != nil {
+			b.WriteString(" else ")
+			printStmt(b, x.Else, depth)
+		}
+	case *For:
+		if x.Pragma != "" {
+			b.WriteString(x.Pragma + "\n")
+			indent(b, depth)
+		}
+		b.WriteString("for (")
+		switch init := x.Init.(type) {
+		case nil:
+			b.WriteString(";")
+		case *ExprStmt:
+			printExpr(b, init.X)
+			b.WriteString(";")
+		case *DeclStmt:
+			for i, d := range init.Decls {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				printVarDecl(b, d)
+			}
+			b.WriteString(";")
+		case *Empty:
+			b.WriteString(";")
+		default:
+			printStmt(b, init, 0)
+		}
+		b.WriteString(" ")
+		if x.Cond != nil {
+			printExpr(b, x.Cond)
+		}
+		b.WriteString("; ")
+		if x.Post != nil {
+			printExpr(b, x.Post)
+		}
+		b.WriteString(") ")
+		printStmt(b, x.Body, depth)
+	case *While:
+		if x.Pragma != "" {
+			b.WriteString(x.Pragma + "\n")
+			indent(b, depth)
+		}
+		b.WriteString("while (")
+		printExpr(b, x.Cond)
+		b.WriteString(") ")
+		printStmt(b, x.Body, depth)
+	case *DoWhile:
+		b.WriteString("do ")
+		printStmt(b, x.Body, depth)
+		b.WriteString(" while (")
+		printExpr(b, x.Cond)
+		b.WriteString(");")
+	case *Return:
+		b.WriteString("return")
+		if x.X != nil {
+			b.WriteString(" ")
+			printExpr(b, x.X)
+		}
+		b.WriteString(";")
+	case *Break:
+		b.WriteString("break;")
+	case *Continue:
+		b.WriteString("continue;")
+	case *Switch:
+		b.WriteString("switch (")
+		printExpr(b, x.Cond)
+		b.WriteString(") ")
+		printStmt(b, x.Body, depth)
+	case *Case:
+		if x.Val == nil {
+			b.WriteString("default:")
+		} else {
+			b.WriteString("case ")
+			printExpr(b, x.Val)
+			b.WriteString(":")
+		}
+	case *Label:
+		b.WriteString(x.Name + ":")
+	case *Goto:
+		b.WriteString("goto " + x.Name + ";")
+	case *Empty:
+		b.WriteString(";")
+	case *PragmaStmt:
+		b.WriteString(x.Text)
+	default:
+		fmt.Fprintf(b, "/* ? stmt %T */", s)
+	}
+}
+
+// precedence table for deciding parenthesization when printing.
+func binPrec(op string) int {
+	switch op {
+	case "*", "/", "%":
+		return 10
+	case "+", "-":
+		return 9
+	case "<<", ">>":
+		return 8
+	case "<", ">", "<=", ">=":
+		return 7
+	case "==", "!=":
+		return 6
+	case "&":
+		return 5
+	case "^":
+		return 4
+	case "|":
+		return 3
+	case "&&":
+		return 2
+	case "||":
+		return 1
+	}
+	return 0
+}
+
+func printExpr(b *strings.Builder, e Expr) {
+	printExprPrec(b, e, -1000)
+}
+
+func exprPrec(e Expr) int {
+	switch x := e.(type) {
+	case *Binary:
+		return binPrec(x.Op)
+	case *Assign:
+		return -1
+	case *Conditional:
+		return 0
+	case *Comma:
+		return -2
+	default:
+		return 100
+	}
+}
+
+func printExprPrec(b *strings.Builder, e Expr, outer int) {
+	if exprPrec(e) < outer {
+		b.WriteString("(")
+		printExprPrec(b, e, -1000)
+		b.WriteString(")")
+		return
+	}
+	switch x := e.(type) {
+	case *Ident:
+		b.WriteString(x.Name)
+	case *IntLit:
+		b.WriteString(x.Text)
+	case *FloatLit:
+		b.WriteString(x.Text)
+	case *CharLit:
+		b.WriteString(x.Text)
+	case *StringLit:
+		b.WriteString(x.Text)
+	case *Unary:
+		if x.Postfix {
+			printExprPrec(b, x.X, 100)
+			b.WriteString(x.Op)
+		} else {
+			b.WriteString(x.Op)
+			// Avoid `--x` being read as predecrement of a negation.
+			if u, ok := x.X.(*Unary); ok && !u.Postfix && (u.Op == x.Op) && (x.Op == "-" || x.Op == "+" || x.Op == "&") {
+				b.WriteString("(")
+				printExprPrec(b, x.X, 0)
+				b.WriteString(")")
+			} else {
+				printExprPrec(b, x.X, 100)
+			}
+		}
+	case *Binary:
+		p := binPrec(x.Op)
+		printExprPrec(b, x.X, p)
+		b.WriteString(" " + x.Op + " ")
+		printExprPrec(b, x.Y, p+1)
+	case *Assign:
+		printExprPrec(b, x.LHS, 100)
+		b.WriteString(" " + x.Op + " ")
+		printExprPrec(b, x.RHS, -1)
+	case *Conditional:
+		printExprPrec(b, x.Cond, 1)
+		b.WriteString(" ? ")
+		printExprPrec(b, x.Then, 0)
+		b.WriteString(" : ")
+		printExprPrec(b, x.Else, 0)
+	case *Call:
+		printExprPrec(b, x.Fun, 100)
+		b.WriteString("(")
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExprPrec(b, a, -1)
+		}
+		b.WriteString(")")
+	case *Index:
+		printExprPrec(b, x.Arr, 100)
+		b.WriteString("[")
+		printExprPrec(b, x.Idx, 0)
+		b.WriteString("]")
+	case *Member:
+		printExprPrec(b, x.X, 100)
+		if x.Arrow {
+			b.WriteString("->")
+		} else {
+			b.WriteString(".")
+		}
+		b.WriteString(x.Name)
+	case *CastExpr:
+		b.WriteString("(" + x.Type + ")")
+		printExprPrec(b, x.X, 100)
+	case *SizeofExpr:
+		b.WriteString("sizeof(")
+		if x.X != nil {
+			printExprPrec(b, x.X, 0)
+		} else {
+			b.WriteString(x.Type)
+		}
+		b.WriteString(")")
+	case *Comma:
+		printExprPrec(b, x.X, -1)
+		b.WriteString(", ")
+		printExprPrec(b, x.Y, -1)
+	case *InitList:
+		b.WriteString("{")
+		for i, el := range x.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExprPrec(b, el, -1)
+		}
+		b.WriteString("}")
+	default:
+		fmt.Fprintf(b, "/* ? expr %T */", e)
+	}
+}

@@ -1,0 +1,105 @@
+package cast_test
+
+import (
+	"strings"
+	"testing"
+
+	"graph2par/internal/cast"
+	"graph2par/internal/cparse"
+)
+
+// Round-trip property: parse → print → parse → print is a fixpoint for
+// whole files.
+func TestFilePrintParseFixpoint(t *testing.T) {
+	files := []string{
+		`int g = 4;
+int add(int a, int b) { return a + b; }
+int main() {
+    int x[10];
+    for (int i = 0; i < 10; i++) x[i] = add(i, g);
+    return x[9];
+}`,
+		`void work() {
+    int i, j;
+    for (i = 0; i < 8; i++) {
+        if (i % 2 == 0) continue;
+        for (j = i; j > 0; j--) {
+            while (j > 4) j--;
+        }
+    }
+}`,
+		`int main() {
+    int x = 3;
+    switch (x) {
+    case 1: x = 10; break;
+    default: x = 20;
+    }
+    do { x--; } while (x > 0);
+    return x;
+}`,
+	}
+	for _, src := range files {
+		f1, err := cparse.ParseFile(src)
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, src)
+		}
+		p1 := cast.Print(f1)
+		f2, err := cparse.ParseFile(p1)
+		if err != nil {
+			t.Fatalf("reparse: %v\n%s", err, p1)
+		}
+		p2 := cast.Print(f2)
+		if p1 != p2 {
+			t.Errorf("print not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", p1, p2)
+		}
+	}
+}
+
+func TestPrintPragmaPreserved(t *testing.T) {
+	s, err := cparse.ParseStmt("#pragma omp parallel for reduction(+:s)\nfor (i = 0; i < n; i++) s += a[i];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := cast.Print(s)
+	if !strings.Contains(out, "#pragma omp parallel for reduction(+:s)") {
+		t.Errorf("pragma lost:\n%s", out)
+	}
+}
+
+func TestPrintUnaryDisambiguation(t *testing.T) {
+	// -(-x) must not print as --x (predecrement).
+	e, err := cparse.ParseExpr("-(-x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := cast.PrintExpr(e)
+	if strings.Contains(out, "--") {
+		t.Errorf("ambiguous print %q", out)
+	}
+	back, err := cparse.ParseExpr(out)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", out, err)
+	}
+	if cast.PrintExpr(back) != out {
+		t.Errorf("unstable: %q -> %q", out, cast.PrintExpr(back))
+	}
+}
+
+func TestPrintPrecedenceParens(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"(a + b) * c", "(a + b) * c"},
+		{"a - (b - c)", "a - (b - c)"},
+		{"a / (b * c)", "a / (b * c)"},
+		{"(a = b) + 1", "(a = b) + 1"},
+		{"*(p + 1)", "*(p + 1)"},
+	}
+	for _, c := range cases {
+		e, err := cparse.ParseExpr(c.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cast.PrintExpr(e); got != c.want {
+			t.Errorf("%q printed %q, want %q", c.in, got, c.want)
+		}
+	}
+}

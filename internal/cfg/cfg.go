@@ -1,0 +1,383 @@
+// Package cfg builds intra-procedural control-flow graphs over the C AST.
+// CFG nodes are the statement and predicate (condition-expression) AST nodes
+// themselves, so the graph can later be merged edge-wise into the augmented
+// AST: an edge (A, B) means control can transfer from A directly to B.
+package cfg
+
+import (
+	"graph2par/internal/cast"
+)
+
+// EdgeKind distinguishes ordinary flow from branch outcomes.
+type EdgeKind int
+
+// Edge kinds. True/False mark the outcomes of a predicate node; Back marks
+// loop back-edges (body/post to condition).
+const (
+	Flow EdgeKind = iota
+	True
+	False
+	Back
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case Flow:
+		return "flow"
+	case True:
+		return "true"
+	case False:
+		return "false"
+	case Back:
+		return "back"
+	}
+	return "?"
+}
+
+// Edge is a control-flow edge between two AST nodes.
+type Edge struct {
+	From cast.Node
+	To   cast.Node
+	Kind EdgeKind
+}
+
+// Graph is the CFG of one statement region (typically a loop or function
+// body). Entry is the first executed node; Exits are nodes whose execution
+// may leave the region.
+type Graph struct {
+	Entry cast.Node
+	Edges []Edge
+	// Nodes lists every node participating in the CFG in a deterministic
+	// (source) order.
+	Nodes []cast.Node
+}
+
+// builder accumulates edges while threading "dangling" exits through the
+// statement walk.
+type builder struct {
+	edges   []Edge
+	nodes   []cast.Node
+	nodeSet map[cast.Node]bool
+
+	// loop stack for break/continue resolution
+	loops []*loopCtx
+}
+
+type loopCtx struct {
+	continueTarget cast.Node  // loop post (for) or condition
+	breakJoins     []dangling // edges waiting for the node after the loop
+	continueJoins  []dangling // only used when continueTarget is nil
+	isSwitch       bool
+}
+
+// dangling is a pending edge whose destination is not yet known.
+type dangling struct {
+	from cast.Node
+	kind EdgeKind
+}
+
+func (b *builder) addNode(n cast.Node) {
+	if n == nil || b.nodeSet[n] {
+		return
+	}
+	b.nodeSet[n] = true
+	b.nodes = append(b.nodes, n)
+}
+
+func (b *builder) connect(outs []dangling, to cast.Node) {
+	if to == nil {
+		return
+	}
+	b.addNode(to)
+	for _, d := range outs {
+		if d.from == nil {
+			continue
+		}
+		b.edges = append(b.edges, Edge{From: d.from, To: to, Kind: d.kind})
+	}
+}
+
+// Build constructs the CFG for a statement region. The returned graph's
+// Edges connect the statement/predicate AST nodes of the region.
+func Build(s cast.Stmt) *Graph {
+	b := &builder{nodeSet: map[cast.Node]bool{}}
+	entry, outs := b.stmt(s, nil)
+	_ = outs
+	g := &Graph{Entry: entry, Edges: b.edges, Nodes: b.nodes}
+	return g
+}
+
+// stmt wires the CFG for s. ins are dangling edges that should point at the
+// first node of s; it returns the first node of s (nil if s generates no
+// nodes) and the dangling exits of s.
+func (b *builder) stmt(s cast.Stmt, ins []dangling) (first cast.Node, outs []dangling) {
+	switch x := s.(type) {
+	case nil:
+		return nil, ins
+	case *cast.Compound:
+		cur := ins
+		for _, item := range x.Items {
+			f, o := b.stmt(item, cur)
+			if first == nil {
+				first = f
+			}
+			cur = o
+		}
+		return first, cur
+	case *cast.Empty, *cast.PragmaStmt, *cast.Label, *cast.Case:
+		// No runtime effect on flow for our purposes; Case labels are
+		// handled by Switch directly.
+		return nil, ins
+	case *cast.ExprStmt:
+		b.addNode(x)
+		b.connect(ins, x)
+		return x, []dangling{{from: x, kind: Flow}}
+	case *cast.DeclStmt:
+		b.addNode(x)
+		b.connect(ins, x)
+		return x, []dangling{{from: x, kind: Flow}}
+	case *cast.Return:
+		b.addNode(x)
+		b.connect(ins, x)
+		return x, nil // flow leaves the region
+	case *cast.Goto:
+		b.addNode(x)
+		b.connect(ins, x)
+		// Without whole-function label resolution inside a loop snippet we
+		// treat goto as leaving the region (conservative).
+		return x, nil
+	case *cast.Break:
+		b.addNode(x)
+		b.connect(ins, x)
+		if lc := b.innermostBreakable(); lc != nil {
+			lc.breakJoins = append(lc.breakJoins, dangling{from: x, kind: Flow})
+		}
+		return x, nil
+	case *cast.Continue:
+		b.addNode(x)
+		b.connect(ins, x)
+		if lc := b.innermostLoop(); lc != nil {
+			if lc.continueTarget != nil {
+				b.edges = append(b.edges, Edge{From: x, To: lc.continueTarget, Kind: Back})
+			} else {
+				lc.continueJoins = append(lc.continueJoins, dangling{from: x, kind: Back})
+			}
+		}
+		return x, nil
+	case *cast.If:
+		cond := cast.Node(x.Cond)
+		b.addNode(cond)
+		b.connect(ins, cond)
+		thenFirst, thenOuts := b.stmt(x.Then, []dangling{{from: cond, kind: True}})
+		if thenFirst == nil {
+			// empty then-branch: the True edge falls through
+			thenOuts = append(thenOuts, dangling{from: cond, kind: True})
+		}
+		var elseOuts []dangling
+		if x.Else != nil {
+			elseFirst, eo := b.stmt(x.Else, []dangling{{from: cond, kind: False}})
+			elseOuts = eo
+			if elseFirst == nil {
+				elseOuts = append(elseOuts, dangling{from: cond, kind: False})
+			}
+		} else {
+			elseOuts = []dangling{{from: cond, kind: False}}
+		}
+		return cond, append(thenOuts, elseOuts...)
+	case *cast.For:
+		return b.forLoop(x, ins)
+	case *cast.While:
+		cond := cast.Node(x.Cond)
+		b.addNode(cond)
+		b.connect(ins, cond)
+		lc := &loopCtx{continueTarget: cond}
+		b.loops = append(b.loops, lc)
+		bodyFirst, bodyOuts := b.stmt(x.Body, []dangling{{from: cond, kind: True}})
+		b.loops = b.loops[:len(b.loops)-1]
+		if bodyFirst == nil {
+			b.edges = append(b.edges, Edge{From: cond, To: cond, Kind: Back})
+		}
+		for _, d := range bodyOuts {
+			b.edges = append(b.edges, Edge{From: d.from, To: cond, Kind: Back})
+		}
+		outs = append([]dangling{{from: cond, kind: False}}, lc.breakJoins...)
+		return cond, outs
+	case *cast.DoWhile:
+		cond := cast.Node(x.Cond)
+		lc := &loopCtx{continueTarget: cond}
+		b.loops = append(b.loops, lc)
+		bodyFirst, bodyOuts := b.stmt(x.Body, ins)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.addNode(cond)
+		if bodyFirst == nil {
+			bodyFirst = cond
+			b.connect(ins, cond)
+		}
+		b.connect(bodyOuts, cond)
+		if bf := bodyFirst; bf != nil {
+			b.edges = append(b.edges, Edge{From: cond, To: bf, Kind: Back})
+		}
+		outs = append([]dangling{{from: cond, kind: False}}, lc.breakJoins...)
+		return bodyFirst, outs
+	case *cast.Switch:
+		cond := cast.Node(x.Cond)
+		b.addNode(cond)
+		b.connect(ins, cond)
+		lc := &loopCtx{isSwitch: true}
+		b.loops = append(b.loops, lc)
+		// Every case group is entered from the switch head; fallthrough is
+		// modeled by sequential flow inside the compound.
+		var caseOuts []dangling
+		if body, ok := x.Body.(*cast.Compound); ok {
+			cur := []dangling{}
+			sawCase := false
+			for _, item := range body.Items {
+				if _, isCase := item.(*cast.Case); isCase {
+					cur = append(cur, dangling{from: cond, kind: Flow})
+					sawCase = true
+					continue
+				}
+				_, cur = b.stmt(item, cur)
+			}
+			if !sawCase {
+				cur = append(cur, dangling{from: cond, kind: Flow})
+			}
+			caseOuts = cur
+		} else {
+			_, caseOuts = b.stmt(x.Body, []dangling{{from: cond, kind: Flow}})
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		// default may be absent: switch head can fall through
+		outs = append(caseOuts, dangling{from: cond, kind: False})
+		outs = append(outs, lc.breakJoins...)
+		return cond, outs
+	default:
+		return nil, ins
+	}
+}
+
+func (b *builder) forLoop(x *cast.For, ins []dangling) (first cast.Node, outs []dangling) {
+	cur := ins
+	if x.Init != nil {
+		f, o := b.stmt(x.Init, cur)
+		if f != nil {
+			first = f
+		}
+		cur = o
+	}
+	var cond cast.Node
+	if x.Cond != nil {
+		cond = x.Cond
+		b.addNode(cond)
+		b.connect(cur, cond)
+		if first == nil {
+			first = cond
+		}
+		cur = []dangling{{from: cond, kind: True}}
+	}
+	var post cast.Node
+	if x.Post != nil {
+		post = x.Post
+		b.addNode(post)
+	}
+	continueTarget := post
+	if continueTarget == nil {
+		continueTarget = cond
+	}
+	lc := &loopCtx{continueTarget: continueTarget}
+	b.loops = append(b.loops, lc)
+	bodyFirst, bodyOuts := b.stmt(x.Body, cur)
+	b.loops = b.loops[:len(b.loops)-1]
+	if first == nil {
+		first = bodyFirst
+	}
+	if bodyFirst == nil && cond == nil && post == nil {
+		// for(;;); — degenerate; nothing to wire
+		return first, nil
+	}
+
+	// body exits → post (or cond)
+	loopBackTarget := cond
+	if post != nil {
+		b.connect(bodyOuts, post)
+		for _, d := range lc.continueJoins {
+			b.edges = append(b.edges, Edge{From: d.from, To: post, Kind: Back})
+		}
+		if cond != nil {
+			b.edges = append(b.edges, Edge{From: post, To: cond, Kind: Back})
+		} else if bodyFirst != nil {
+			b.edges = append(b.edges, Edge{From: post, To: bodyFirst, Kind: Back})
+		}
+	} else if loopBackTarget != nil {
+		for _, d := range bodyOuts {
+			b.edges = append(b.edges, Edge{From: d.from, To: loopBackTarget, Kind: Back})
+		}
+		for _, d := range lc.continueJoins {
+			b.edges = append(b.edges, Edge{From: d.from, To: loopBackTarget, Kind: Back})
+		}
+	} else if bodyFirst != nil {
+		for _, d := range bodyOuts {
+			b.edges = append(b.edges, Edge{From: d.from, To: bodyFirst, Kind: Back})
+		}
+	}
+
+	if cond != nil {
+		if bodyFirst == nil && post != nil {
+			// empty body: cond true → post
+			b.edges = append(b.edges, Edge{From: cond, To: post, Kind: True})
+		} else if bodyFirst == nil && post == nil {
+			b.edges = append(b.edges, Edge{From: cond, To: cond, Kind: Back})
+		}
+		outs = append(outs, dangling{from: cond, kind: False})
+	}
+	outs = append(outs, lc.breakJoins...)
+	return first, outs
+}
+
+func (b *builder) innermostLoop() *loopCtx {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		if !b.loops[i].isSwitch {
+			return b.loops[i]
+		}
+	}
+	return nil
+}
+
+func (b *builder) innermostBreakable() *loopCtx {
+	if len(b.loops) == 0 {
+		return nil
+	}
+	return b.loops[len(b.loops)-1]
+}
+
+// Successors returns the successor nodes of n in g, in edge order.
+func (g *Graph) Successors(n cast.Node) []cast.Node {
+	var out []cast.Node
+	for _, e := range g.Edges {
+		if e.From == n {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// HasEdge reports whether g contains an edge from → to (any kind).
+func (g *Graph) HasEdge(from, to cast.Node) bool {
+	for _, e := range g.Edges {
+		if e.From == from && e.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// BackEdges returns the loop back-edges of g.
+func (g *Graph) BackEdges() []Edge {
+	var out []Edge
+	for _, e := range g.Edges {
+		if e.Kind == Back {
+			out = append(out, e)
+		}
+	}
+	return out
+}

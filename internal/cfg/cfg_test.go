@@ -1,0 +1,275 @@
+package cfg
+
+import (
+	"testing"
+
+	"graph2par/internal/cast"
+	"graph2par/internal/cparse"
+)
+
+func parse(t *testing.T, src string) cast.Stmt {
+	t.Helper()
+	s, err := cparse.ParseStmt(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return s
+}
+
+func TestSequentialFlow(t *testing.T) {
+	s := parse(t, "{ a = 1; b = 2; c = 3; }")
+	g := Build(s)
+	if len(g.Nodes) != 3 {
+		t.Fatalf("nodes = %d, want 3", len(g.Nodes))
+	}
+	if len(g.Edges) != 2 {
+		t.Fatalf("edges = %d, want 2", len(g.Edges))
+	}
+	if !g.HasEdge(g.Nodes[0], g.Nodes[1]) || !g.HasEdge(g.Nodes[1], g.Nodes[2]) {
+		t.Error("missing sequential edges")
+	}
+}
+
+func TestForLoopShape(t *testing.T) {
+	s := parse(t, "for (i = 0; i < n; i++) sum += a[i];")
+	loop := s.(*cast.For)
+	g := Build(s)
+
+	init := loop.Init.(*cast.ExprStmt)
+	cond := cast.Node(loop.Cond)
+	post := cast.Node(loop.Post)
+	body := loop.Body.(*cast.ExprStmt)
+
+	if g.Entry != cast.Node(init) {
+		t.Errorf("entry = %T", g.Entry)
+	}
+	for _, want := range []struct{ from, to cast.Node }{
+		{init, cond},
+		{cond, body},
+		{body, post},
+		{post, cond},
+	} {
+		if !g.HasEdge(want.from, want.to) {
+			t.Errorf("missing edge %s -> %s", want.from.Kind(), want.to.Kind())
+		}
+	}
+	// post→cond must be a back edge
+	found := false
+	for _, e := range g.BackEdges() {
+		if e.From == post && e.To == cond {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("post->cond not marked as back edge")
+	}
+}
+
+func TestIfElseBranches(t *testing.T) {
+	s := parse(t, "{ if (x > 0) { y = 1; } else { y = 2; } z = 3; }")
+	g := Build(s)
+	var cond, thenS, elseS, after cast.Node
+	for _, n := range g.Nodes {
+		switch cast.Print(n) {
+		case "x > 0":
+			cond = n
+		case "y = 1;":
+			thenS = n
+		case "y = 2;":
+			elseS = n
+		case "z = 3;":
+			after = n
+		}
+	}
+	if cond == nil || thenS == nil || elseS == nil || after == nil {
+		t.Fatalf("nodes missing: %v %v %v %v", cond, thenS, elseS, after)
+	}
+	kindOf := func(from, to cast.Node) (EdgeKind, bool) {
+		for _, e := range g.Edges {
+			if e.From == from && e.To == to {
+				return e.Kind, true
+			}
+		}
+		return 0, false
+	}
+	if k, ok := kindOf(cond, thenS); !ok || k != True {
+		t.Errorf("cond->then kind = %v ok=%v", k, ok)
+	}
+	if k, ok := kindOf(cond, elseS); !ok || k != False {
+		t.Errorf("cond->else kind = %v ok=%v", k, ok)
+	}
+	if !g.HasEdge(thenS, after) || !g.HasEdge(elseS, after) {
+		t.Error("join edges missing")
+	}
+}
+
+func TestIfWithoutElseFallthrough(t *testing.T) {
+	s := parse(t, "{ if (x) y = 1; z = 2; }")
+	g := Build(s)
+	var cond, after cast.Node
+	for _, n := range g.Nodes {
+		switch cast.Print(n) {
+		case "x":
+			cond = n
+		case "z = 2;":
+			after = n
+		}
+	}
+	if !g.HasEdge(cond, after) {
+		t.Error("false-branch fallthrough edge missing")
+	}
+}
+
+func TestWhileBackEdge(t *testing.T) {
+	s := parse(t, "while (k < 5000) k++;")
+	loop := s.(*cast.While)
+	g := Build(s)
+	cond := cast.Node(loop.Cond)
+	body := loop.Body.(*cast.ExprStmt)
+	if !g.HasEdge(cond, body) || !g.HasEdge(body, cond) {
+		t.Error("while edges missing")
+	}
+	if len(g.BackEdges()) == 0 {
+		t.Error("no back edge recorded")
+	}
+}
+
+func TestDoWhileExecutesBodyFirst(t *testing.T) {
+	s := parse(t, "do { x--; } while (x > 0);")
+	g := Build(s)
+	if cast.Print(g.Entry) != "x--;" {
+		t.Errorf("entry = %q", cast.Print(g.Entry))
+	}
+}
+
+func TestBreakLeavesLoop(t *testing.T) {
+	s := parse(t, "{ for (i = 0; i < n; i++) { if (a[i]) break; s += a[i]; } done = 1; }")
+	g := Build(s)
+	var brk, done cast.Node
+	for _, n := range g.Nodes {
+		if _, ok := n.(*cast.Break); ok {
+			brk = n
+		}
+		if cast.Print(n) == "done = 1;" {
+			done = n
+		}
+	}
+	if brk == nil || done == nil {
+		t.Fatal("nodes missing")
+	}
+	if !g.HasEdge(brk, done) {
+		t.Error("break should flow to statement after loop")
+	}
+}
+
+func TestContinueGoesToPost(t *testing.T) {
+	s := parse(t, "for (i = 0; i < n; i++) { if (a[i]) continue; s += a[i]; }")
+	loop := s.(*cast.For)
+	g := Build(s)
+	var cont cast.Node
+	for _, n := range g.Nodes {
+		if _, ok := n.(*cast.Continue); ok {
+			cont = n
+		}
+	}
+	if cont == nil {
+		t.Fatal("continue node missing")
+	}
+	if !g.HasEdge(cont, cast.Node(loop.Post)) {
+		t.Error("continue should jump to loop post")
+	}
+}
+
+func TestNestedLoopsConnected(t *testing.T) {
+	s := parse(t, `for (j = 0; j < 4; j++)
+        for (i = 0; i < 5; i++)
+            l++;`)
+	outer := s.(*cast.For)
+	inner := outer.Body.(*cast.For)
+	g := Build(s)
+	// outer cond True → inner init
+	if !g.HasEdge(cast.Node(outer.Cond), cast.Node(inner.Init)) {
+		t.Error("outer cond should enter inner init")
+	}
+	// inner cond False → outer post
+	if !g.HasEdge(cast.Node(inner.Cond), cast.Node(outer.Post)) {
+		t.Error("inner exit should reach outer post")
+	}
+}
+
+func TestReturnTerminatesFlow(t *testing.T) {
+	s := parse(t, "{ if (x) return; y = 1; }")
+	g := Build(s)
+	var ret cast.Node
+	for _, n := range g.Nodes {
+		if _, ok := n.(*cast.Return); ok {
+			ret = n
+		}
+	}
+	if ret == nil {
+		t.Fatal("return missing")
+	}
+	if len(g.Successors(ret)) != 0 {
+		t.Error("return should have no successors")
+	}
+}
+
+func TestSwitchCases(t *testing.T) {
+	s := parse(t, `{ switch (x) { case 1: a = 1; break; case 2: a = 2; break; default: a = 3; } b = 1; }`)
+	g := Build(s)
+	var cond, after cast.Node
+	var assigns []cast.Node
+	for _, n := range g.Nodes {
+		p := cast.Print(n)
+		if p == "x" {
+			cond = n
+		}
+		if p == "b = 1;" {
+			after = n
+		}
+		if p == "a = 1;" || p == "a = 2;" || p == "a = 3;" {
+			assigns = append(assigns, n)
+		}
+	}
+	if cond == nil || after == nil || len(assigns) != 3 {
+		t.Fatal("nodes missing")
+	}
+	for _, a := range assigns {
+		if !g.HasEdge(cond, a) {
+			t.Errorf("switch head should branch to %q", cast.Print(a))
+		}
+	}
+}
+
+func TestInfiniteForNoPanic(t *testing.T) {
+	g := Build(parse(t, "for (;;) { x++; }"))
+	if len(g.Nodes) == 0 {
+		t.Error("expected body node")
+	}
+	g2 := Build(parse(t, "for (;;) ;"))
+	_ = g2
+}
+
+func TestEveryEdgeEndpointRegistered(t *testing.T) {
+	srcs := []string{
+		"for (i = 0; i < n; i++) { if (a[i] > 0) s += a[i]; else d++; }",
+		"{ while (x) { if (y) break; x--; } r = 1; }",
+		"do { a++; } while (a < 10);",
+		"for (int i = 0; i < 10; ++i) for (int j = 0; j < 10; ++j) m[i][j] = 0;",
+	}
+	for _, src := range srcs {
+		g := Build(parse(t, src))
+		inNodes := map[cast.Node]bool{}
+		for _, n := range g.Nodes {
+			inNodes[n] = true
+		}
+		for _, e := range g.Edges {
+			if !inNodes[e.From] {
+				t.Errorf("%q: edge source %q not in Nodes", src, cast.Print(e.From))
+			}
+			if !inNodes[e.To] {
+				t.Errorf("%q: edge target %q not in Nodes", src, cast.Print(e.To))
+			}
+		}
+	}
+}

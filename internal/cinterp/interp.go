@@ -1,0 +1,590 @@
+package cinterp
+
+import (
+	"errors"
+	"fmt"
+
+	"graph2par/internal/cast"
+)
+
+// ErrStepBudget is returned when execution exceeds the configured step
+// budget (the analogue of a profiling run being too expensive).
+var ErrStepBudget = errors.New("cinterp: step budget exhausted")
+
+// ErrUnsupported wraps constructs the interpreter cannot execute (pointers,
+// unknown functions, ...), making the program unprocessable for the dynamic
+// tool.
+type ErrUnsupported struct{ What string }
+
+func (e *ErrUnsupported) Error() string { return "cinterp: unsupported: " + e.What }
+
+// Addr identifies a memory cell for tracing: an object ID plus a flattened
+// element index. Scalars use Elem == ScalarElem; array elements use their
+// flattened non-negative index; a whole-array reference (from Watched) uses
+// Elem == WholeArrayElem.
+type Addr struct {
+	Obj  int
+	Elem int64
+}
+
+// Sentinel Elem values for Addr.
+const (
+	ScalarElem     int64 = -1
+	WholeArrayElem int64 = -2
+)
+
+// IsArrayElem reports whether the address names an array element.
+func (a Addr) IsArrayElem() bool { return a.Elem >= 0 }
+
+// TraceFunc receives every access made while the instrumented loop is
+// executing. iter is the 0-based iteration index of that loop; write
+// distinguishes stores from loads.
+type TraceFunc func(addr Addr, write bool, iter int)
+
+// cell is a scalar storage location.
+type cell struct {
+	id  int
+	val Value
+}
+
+// array is a (possibly multi-dimensional) dense array object.
+type array struct {
+	id   int
+	dims []int64
+	data []Value
+}
+
+func (a *array) flatten(idx []int64) (int64, error) {
+	if len(idx) != len(a.dims) {
+		return 0, fmt.Errorf("array rank mismatch: %d subscripts, %d dims", len(idx), len(a.dims))
+	}
+	var flat int64
+	for d, i := range idx {
+		if i < 0 || i >= a.dims[d] {
+			return 0, fmt.Errorf("index %d out of bounds [0,%d)", i, a.dims[d])
+		}
+		flat = flat*a.dims[d] + i
+	}
+	return flat, nil
+}
+
+// binding is what a name resolves to.
+type binding struct {
+	cell *cell
+	arr  *array
+	sobj *structObj
+	sarr *structArray
+}
+
+// scope is a lexical environment frame.
+type scope struct {
+	vars   map[string]binding
+	parent *scope
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{vars: map[string]binding{}, parent: parent}
+}
+
+func (s *scope) lookup(name string) (binding, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if b, ok := cur.vars[name]; ok {
+			return b, true
+		}
+	}
+	return binding{}, false
+}
+
+// Interp executes a parsed C file.
+type Interp struct {
+	file    *cast.File
+	funcs   map[string]*cast.FuncDecl
+	globals *scope
+
+	// MaxSteps bounds execution; defaults to 2,000,000 evaluation steps.
+	MaxSteps int
+	steps    int
+
+	// Instrumentation: accesses inside TraceLoop (at any call depth) are
+	// reported to Trace with the loop's current iteration.
+	TraceLoop *cast.For
+	Trace     TraceFunc
+	inLoop    bool
+	iter      int
+	// IterCap, when >0, stops the instrumented loop after that many
+	// iterations (sampling, like a profiling run truncated early).
+	IterCap int
+
+	// WatchNames asks the interpreter to resolve these variable names to
+	// trace addresses when the instrumented loop is first entered; results
+	// land in Watched. Names that do not resolve to a scalar or array are
+	// simply absent.
+	WatchNames []string
+	Watched    map[string]Addr
+
+	nextID int
+}
+
+// New prepares an interpreter for the file.
+func New(file *cast.File) *Interp {
+	in := &Interp{
+		file:     file,
+		funcs:    map[string]*cast.FuncDecl{},
+		MaxSteps: 2_000_000,
+	}
+	for _, f := range file.Funcs {
+		if f.Body != nil {
+			in.funcs[f.Name] = f
+		}
+	}
+	return in
+}
+
+// control-flow signals
+type signal int
+
+const (
+	sigNone signal = iota
+	sigBreak
+	sigContinue
+	sigReturn
+)
+
+type execState struct {
+	sig    signal
+	retVal Value
+}
+
+// Run executes main() and returns its exit value.
+func (in *Interp) Run() (Value, error) {
+	in.globals = newScope(nil)
+	for _, g := range in.file.Globals {
+		if err := in.declare(in.globals, g); err != nil {
+			return Value{}, err
+		}
+	}
+	mainFn := in.funcs["main"]
+	if mainFn == nil {
+		return Value{}, &ErrUnsupported{What: "no main function"}
+	}
+	return in.callFunc(mainFn, nil)
+}
+
+func (in *Interp) step() error {
+	in.steps++
+	if in.steps > in.MaxSteps {
+		return ErrStepBudget
+	}
+	return nil
+}
+
+func (in *Interp) newCell(v Value) *cell {
+	in.nextID++
+	return &cell{id: in.nextID, val: v}
+}
+
+func (in *Interp) newArray(dims []int64) (*array, error) {
+	total := int64(1)
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("non-positive array dimension %d", d)
+		}
+		total *= d
+		if total > 4_000_000 {
+			return nil, &ErrUnsupported{What: "array too large for interpretation"}
+		}
+	}
+	in.nextID++
+	return &array{id: in.nextID, dims: dims, data: make([]Value, total)}, nil
+}
+
+func (in *Interp) declare(sc *scope, d *cast.VarDecl) error {
+	if def, ok := in.structDef(d.Type); ok {
+		return in.declareStruct(sc, d, def)
+	}
+	if len(d.ArrayDims) > 0 {
+		dims := make([]int64, len(d.ArrayDims))
+		for i, de := range d.ArrayDims {
+			if de == nil {
+				return &ErrUnsupported{What: "unsized array dimension"}
+			}
+			v, err := in.eval(sc, de)
+			if err != nil {
+				return err
+			}
+			dims[i] = v.AsInt()
+		}
+		arr, err := in.newArray(dims)
+		if err != nil {
+			return err
+		}
+		isFloat := typeIsFloat(d.Type)
+		for i := range arr.data {
+			if isFloat {
+				arr.data[i] = FloatVal(0)
+			}
+		}
+		if d.Init != nil {
+			lst, ok := d.Init.(*cast.InitList)
+			if !ok {
+				return &ErrUnsupported{What: "non-list array initializer"}
+			}
+			if err := in.fillInit(sc, arr, lst); err != nil {
+				return err
+			}
+		}
+		sc.vars[d.Name] = binding{arr: arr}
+		return nil
+	}
+	if d.Pointer > 0 {
+		return &ErrUnsupported{What: "pointer declaration"}
+	}
+	var v Value
+	if typeIsFloat(d.Type) {
+		v = FloatVal(0)
+	} else {
+		v = IntVal(0)
+	}
+	if d.Init != nil {
+		iv, err := in.eval(sc, d.Init)
+		if err != nil {
+			return err
+		}
+		v = coerce(iv, typeIsFloat(d.Type))
+	}
+	c := in.newCell(v)
+	sc.vars[d.Name] = binding{cell: c}
+	in.traceAccess(Addr{Obj: c.id, Elem: ScalarElem}, true)
+	return nil
+}
+
+func (in *Interp) fillInit(sc *scope, arr *array, lst *cast.InitList) error {
+	flat := flattenInit(lst)
+	if int64(len(flat)) > int64(len(arr.data)) {
+		return fmt.Errorf("too many initializers")
+	}
+	for i, e := range flat {
+		v, err := in.eval(sc, e)
+		if err != nil {
+			return err
+		}
+		arr.data[i] = v
+	}
+	return nil
+}
+
+func flattenInit(lst *cast.InitList) []cast.Expr {
+	var out []cast.Expr
+	for _, e := range lst.Elems {
+		if inner, ok := e.(*cast.InitList); ok {
+			out = append(out, flattenInit(inner)...)
+		} else {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func typeIsFloat(t string) bool {
+	switch t {
+	case "float", "double", "long double":
+		return true
+	}
+	return false
+}
+
+func coerce(v Value, wantFloat bool) Value {
+	if wantFloat && !v.IsFloat {
+		return FloatVal(float64(v.I))
+	}
+	if !wantFloat && v.IsFloat {
+		return IntVal(int64(v.F))
+	}
+	return v
+}
+
+func (in *Interp) traceAccess(addr Addr, write bool) {
+	if in.inLoop && in.Trace != nil {
+		in.Trace(addr, write, in.iter)
+	}
+}
+
+// callFunc invokes fn with evaluated arguments. Arrays are passed by
+// reference (C decay), scalars by value.
+func (in *Interp) callFunc(fn *cast.FuncDecl, args []binding) (Value, error) {
+	if err := in.step(); err != nil {
+		return Value{}, err
+	}
+	sc := newScope(in.globals)
+	for i, p := range fn.Params {
+		if i >= len(args) {
+			return Value{}, fmt.Errorf("call to %s: missing argument %d", fn.Name, i)
+		}
+		sc.vars[p.Name] = args[i]
+	}
+	st := &execState{}
+	if err := in.execStmt(sc, fn.Body, st); err != nil {
+		return Value{}, err
+	}
+	return st.retVal, nil
+}
+
+func (in *Interp) execStmt(sc *scope, s cast.Stmt, st *execState) error {
+	if err := in.step(); err != nil {
+		return err
+	}
+	switch x := s.(type) {
+	case nil:
+		return nil
+	case *cast.Compound:
+		inner := newScope(sc)
+		for _, it := range x.Items {
+			if err := in.execStmt(inner, it, st); err != nil {
+				return err
+			}
+			if st.sig != sigNone {
+				return nil
+			}
+		}
+		return nil
+	case *cast.ExprStmt:
+		_, err := in.eval(sc, x.X)
+		return err
+	case *cast.DeclStmt:
+		for _, d := range x.Decls {
+			if err := in.declare(sc, d); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *cast.If:
+		c, err := in.eval(sc, x.Cond)
+		if err != nil {
+			return err
+		}
+		if c.Truthy() {
+			return in.execStmt(sc, x.Then, st)
+		}
+		if x.Else != nil {
+			return in.execStmt(sc, x.Else, st)
+		}
+		return nil
+	case *cast.For:
+		return in.execFor(sc, x, st)
+	case *cast.While:
+		for {
+			if err := in.step(); err != nil {
+				return err
+			}
+			c, err := in.eval(sc, x.Cond)
+			if err != nil {
+				return err
+			}
+			if !c.Truthy() {
+				return nil
+			}
+			if err := in.execStmt(sc, x.Body, st); err != nil {
+				return err
+			}
+			if st.sig == sigBreak {
+				st.sig = sigNone
+				return nil
+			}
+			if st.sig == sigContinue {
+				st.sig = sigNone
+			}
+			if st.sig == sigReturn {
+				return nil
+			}
+		}
+	case *cast.DoWhile:
+		for {
+			if err := in.step(); err != nil {
+				return err
+			}
+			if err := in.execStmt(sc, x.Body, st); err != nil {
+				return err
+			}
+			if st.sig == sigBreak {
+				st.sig = sigNone
+				return nil
+			}
+			if st.sig == sigContinue {
+				st.sig = sigNone
+			}
+			if st.sig == sigReturn {
+				return nil
+			}
+			c, err := in.eval(sc, x.Cond)
+			if err != nil {
+				return err
+			}
+			if !c.Truthy() {
+				return nil
+			}
+		}
+	case *cast.Return:
+		if x.X != nil {
+			v, err := in.eval(sc, x.X)
+			if err != nil {
+				return err
+			}
+			st.retVal = v
+		}
+		st.sig = sigReturn
+		return nil
+	case *cast.Break:
+		st.sig = sigBreak
+		return nil
+	case *cast.Continue:
+		st.sig = sigContinue
+		return nil
+	case *cast.Empty, *cast.PragmaStmt, *cast.Label:
+		return nil
+	case *cast.Switch:
+		return in.execSwitch(sc, x, st)
+	case *cast.Goto:
+		return &ErrUnsupported{What: "goto"}
+	default:
+		return &ErrUnsupported{What: fmt.Sprintf("statement %T", s)}
+	}
+}
+
+func (in *Interp) execFor(sc *scope, f *cast.For, st *execState) error {
+	inner := newScope(sc)
+	if f.Init != nil {
+		if err := in.execStmt(inner, f.Init, st); err != nil {
+			return err
+		}
+	}
+	isTraced := f == in.TraceLoop
+	if isTraced && in.WatchNames != nil && in.Watched == nil {
+		in.Watched = map[string]Addr{}
+		for _, name := range in.WatchNames {
+			if b, ok := inner.lookup(name); ok {
+				if b.cell != nil {
+					in.Watched[name] = Addr{Obj: b.cell.id, Elem: ScalarElem}
+				} else if b.arr != nil {
+					in.Watched[name] = Addr{Obj: b.arr.id, Elem: WholeArrayElem}
+				}
+			}
+		}
+	}
+	iterCount := 0
+	for {
+		if err := in.step(); err != nil {
+			return err
+		}
+		if f.Cond != nil {
+			c, err := in.eval(inner, f.Cond)
+			if err != nil {
+				return err
+			}
+			if !c.Truthy() {
+				break
+			}
+		}
+		if isTraced {
+			if in.IterCap > 0 && iterCount >= in.IterCap {
+				break
+			}
+			in.inLoop = true
+			in.iter = iterCount
+		}
+		err := in.execStmt(inner, f.Body, st)
+		if isTraced {
+			in.inLoop = false
+		}
+		if err != nil {
+			return err
+		}
+		if st.sig == sigBreak {
+			st.sig = sigNone
+			return nil
+		}
+		if st.sig == sigContinue {
+			st.sig = sigNone
+		}
+		if st.sig == sigReturn {
+			return nil
+		}
+		if f.Post != nil {
+			if isTraced {
+				// the post expression belongs to the closing iteration
+				in.inLoop = true
+			}
+			_, err := in.eval(inner, f.Post)
+			if isTraced {
+				in.inLoop = false
+			}
+			if err != nil {
+				return err
+			}
+		}
+		iterCount++
+	}
+	return nil
+}
+
+func (in *Interp) execSwitch(sc *scope, sw *cast.Switch, st *execState) error {
+	cond, err := in.eval(sc, sw.Cond)
+	if err != nil {
+		return err
+	}
+	body, ok := sw.Body.(*cast.Compound)
+	if !ok {
+		return &ErrUnsupported{What: "non-compound switch body"}
+	}
+	inner := newScope(sc)
+	matched := false
+	defaultIdx := -1
+	for idx, it := range body.Items {
+		if c, isCase := it.(*cast.Case); isCase {
+			if matched {
+				continue
+			}
+			if c.Val == nil {
+				defaultIdx = idx
+				continue
+			}
+			v, err := in.eval(inner, c.Val)
+			if err != nil {
+				return err
+			}
+			if v.AsInt() == cond.AsInt() {
+				matched = true
+			}
+			continue
+		}
+		if matched {
+			if err := in.execStmt(inner, it, st); err != nil {
+				return err
+			}
+			if st.sig == sigBreak {
+				st.sig = sigNone
+				return nil
+			}
+			if st.sig != sigNone {
+				return nil
+			}
+		}
+	}
+	if !matched && defaultIdx >= 0 {
+		for _, it := range body.Items[defaultIdx+1:] {
+			if _, isCase := it.(*cast.Case); isCase {
+				continue
+			}
+			if err := in.execStmt(inner, it, st); err != nil {
+				return err
+			}
+			if st.sig == sigBreak {
+				st.sig = sigNone
+				return nil
+			}
+			if st.sig != sigNone {
+				return nil
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,357 @@
+package clex
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer tokenizes C source text.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+
+	// CommentCount is the number of comments that were stripped.
+	CommentCount int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Error describes a lexical error with its position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("lex error at %s: %s", e.Pos, e.Msg) }
+
+// Tokenize lexes the whole of src and returns the token stream (without the
+// trailing EOF token). Comments are stripped; `#pragma` lines become
+// PragmaLine tokens and other preprocessor lines become DirectiveLn tokens.
+func Tokenize(src string) ([]Token, error) {
+	lx := New(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return toks, err
+		}
+		if t.Kind == EOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}
+
+// StripComments returns src with comments replaced by single spaces
+// (newlines inside block comments are preserved so line numbers hold).
+// It mirrors the dataset pre-processing step of the paper.
+func StripComments(src string) string {
+	var b strings.Builder
+	b.Grow(len(src))
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					b.WriteByte('\n')
+				}
+				i++
+			}
+			i += 2
+			b.WriteByte(' ')
+		case c == '"' || c == '\'':
+			quote := c
+			b.WriteByte(c)
+			i++
+			for i < len(src) {
+				b.WriteByte(src[i])
+				if src[i] == '\\' && i+1 < len(src) {
+					i++
+					b.WriteByte(src[i])
+					i++
+					continue
+				}
+				if src[i] == quote {
+					i++
+					break
+				}
+				i++
+			}
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return b.String()
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Offset: lx.off, Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peekAt(n int) byte {
+	if lx.off+n >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+n]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isAlnum(c byte) bool { return isAlpha(c) || isDigit(c) }
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v'
+}
+
+// skipWS skips whitespace and comments.
+func (lx *Lexer) skipWS() {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case isSpace(c):
+			lx.advance()
+		case c == '/' && lx.peekAt(1) == '/':
+			lx.CommentCount++
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peekAt(1) == '*':
+			lx.CommentCount++
+			lx.advance()
+			lx.advance()
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peekAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		case c == '\\' && lx.peekAt(1) == '\n':
+			lx.advance()
+			lx.advance()
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token, or an EOF token at end of input.
+func (lx *Lexer) Next() (Token, error) {
+	lx.skipWS()
+	start := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: EOF, Pos: start}, nil
+	}
+	c := lx.peek()
+	switch {
+	case c == '#':
+		return lx.lexDirective(start)
+	case isAlpha(c):
+		return lx.lexIdent(start), nil
+	case isDigit(c) || (c == '.' && isDigit(lx.peekAt(1))):
+		return lx.lexNumber(start), nil
+	case c == '"':
+		return lx.lexString(start)
+	case c == '\'':
+		return lx.lexChar(start)
+	default:
+		return lx.lexPunct(start)
+	}
+}
+
+func (lx *Lexer) lexDirective(start Pos) (Token, error) {
+	// Consume to end of line, honoring backslash continuations.
+	var b strings.Builder
+	for lx.off < len(lx.src) {
+		if lx.peek() == '\\' && lx.peekAt(1) == '\n' {
+			lx.advance()
+			lx.advance()
+			b.WriteByte(' ')
+			continue
+		}
+		if lx.peek() == '\n' {
+			break
+		}
+		b.WriteByte(lx.advance())
+	}
+	text := strings.TrimSpace(b.String())
+	kind := DirectiveLn
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "#"))
+	if strings.HasPrefix(rest, "pragma") {
+		kind = PragmaLine
+	}
+	return Token{Kind: kind, Text: text, Pos: start}, nil
+}
+
+func (lx *Lexer) lexIdent(start Pos) Token {
+	begin := lx.off
+	for lx.off < len(lx.src) && isAlnum(lx.peek()) {
+		lx.advance()
+	}
+	text := lx.src[begin:lx.off]
+	kind := Ident
+	if keywords[text] {
+		kind = Keyword
+	}
+	return Token{Kind: kind, Text: text, Pos: start}
+}
+
+func (lx *Lexer) lexNumber(start Pos) Token {
+	begin := lx.off
+	isFloat := false
+	if lx.peek() == '0' && (lx.peekAt(1) == 'x' || lx.peekAt(1) == 'X') {
+		lx.advance()
+		lx.advance()
+		for lx.off < len(lx.src) && isHex(lx.peek()) {
+			lx.advance()
+		}
+	} else {
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+		if lx.peek() == '.' {
+			isFloat = true
+			lx.advance()
+			for lx.off < len(lx.src) && isDigit(lx.peek()) {
+				lx.advance()
+			}
+		}
+		if lx.peek() == 'e' || lx.peek() == 'E' {
+			if isDigit(lx.peekAt(1)) || ((lx.peekAt(1) == '+' || lx.peekAt(1) == '-') && isDigit(lx.peekAt(2))) {
+				isFloat = true
+				lx.advance()
+				if lx.peek() == '+' || lx.peek() == '-' {
+					lx.advance()
+				}
+				for lx.off < len(lx.src) && isDigit(lx.peek()) {
+					lx.advance()
+				}
+			}
+		}
+	}
+	// Integer/float suffixes.
+	for lx.off < len(lx.src) {
+		switch lx.peek() {
+		case 'u', 'U', 'l', 'L':
+			lx.advance()
+		case 'f', 'F':
+			isFloat = true
+			lx.advance()
+		default:
+			goto done
+		}
+	}
+done:
+	kind := IntLit
+	if isFloat {
+		kind = FloatLit
+	}
+	return Token{Kind: kind, Text: lx.src[begin:lx.off], Pos: start}
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (lx *Lexer) lexString(start Pos) (Token, error) {
+	begin := lx.off
+	lx.advance() // opening quote
+	for lx.off < len(lx.src) {
+		c := lx.advance()
+		if c == '\\' && lx.off < len(lx.src) {
+			lx.advance()
+			continue
+		}
+		if c == '"' {
+			return Token{Kind: StringLit, Text: lx.src[begin:lx.off], Pos: start}, nil
+		}
+		if c == '\n' {
+			return Token{}, &Error{Pos: start, Msg: "unterminated string literal"}
+		}
+	}
+	return Token{}, &Error{Pos: start, Msg: "unterminated string literal"}
+}
+
+func (lx *Lexer) lexChar(start Pos) (Token, error) {
+	begin := lx.off
+	lx.advance() // opening quote
+	for lx.off < len(lx.src) {
+		c := lx.advance()
+		if c == '\\' && lx.off < len(lx.src) {
+			lx.advance()
+			continue
+		}
+		if c == '\'' {
+			return Token{Kind: CharLit, Text: lx.src[begin:lx.off], Pos: start}, nil
+		}
+		if c == '\n' {
+			return Token{}, &Error{Pos: start, Msg: "unterminated char literal"}
+		}
+	}
+	return Token{}, &Error{Pos: start, Msg: "unterminated char literal"}
+}
+
+// multi-character operators, longest first per leading byte.
+var punct3 = []string{"<<=", ">>=", "..."}
+var punct2 = []string{
+	"++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=", "->",
+}
+
+func (lx *Lexer) lexPunct(start Pos) (Token, error) {
+	rest := lx.src[lx.off:]
+	for _, p := range punct3 {
+		if strings.HasPrefix(rest, p) {
+			lx.advance()
+			lx.advance()
+			lx.advance()
+			return Token{Kind: Punct, Text: p, Pos: start}, nil
+		}
+	}
+	for _, p := range punct2 {
+		if strings.HasPrefix(rest, p) {
+			lx.advance()
+			lx.advance()
+			return Token{Kind: Punct, Text: p, Pos: start}, nil
+		}
+	}
+	c := lx.advance()
+	switch c {
+	case '+', '-', '*', '/', '%', '=', '<', '>', '!', '&', '|', '^', '~',
+		'?', ':', ';', ',', '.', '(', ')', '[', ']', '{', '}':
+		return Token{Kind: Punct, Text: string(c), Pos: start}, nil
+	}
+	return Token{}, &Error{Pos: start, Msg: fmt.Sprintf("unexpected character %q", c)}
+}

@@ -1,0 +1,266 @@
+package clex
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func texts(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestTokenizeSimpleLoop(t *testing.T) {
+	toks, err := Tokenize("for (i = 0; i < n; i++) sum += a[i];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"for", "(", "i", "=", "0", ";", "i", "<", "n", ";", "i", "++", ")", "sum", "+=", "a", "[", "i", "]", ";"}
+	got := texts(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordVsIdent(t *testing.T) {
+	toks, err := Tokenize("int forx while2 do")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []Kind{Keyword, Ident, Ident, Keyword}
+	got := kinds(toks)
+	for i, k := range wantKinds {
+		if got[i] != k {
+			t.Errorf("token %d (%q): got kind %v, want %v", i, toks[i].Text, got[i], k)
+		}
+	}
+}
+
+func TestNumberLiterals(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind Kind
+	}{
+		{"42", IntLit},
+		{"0x1F", IntLit},
+		{"42u", IntLit},
+		{"42UL", IntLit},
+		{"3.14", FloatLit},
+		{".5", FloatLit},
+		{"1e10", FloatLit},
+		{"1.5e-3", FloatLit},
+		{"2.0f", FloatLit},
+		{"6f", FloatLit}, // suffix promotes
+	}
+	for _, c := range cases {
+		toks, err := Tokenize(c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if len(toks) != 1 {
+			t.Fatalf("%q: got %d tokens %v", c.src, len(toks), texts(toks))
+		}
+		if toks[0].Kind != c.kind {
+			t.Errorf("%q: got %v, want %v", c.src, toks[0].Kind, c.kind)
+		}
+		if toks[0].Text != c.src {
+			t.Errorf("%q: got text %q", c.src, toks[0].Text)
+		}
+	}
+}
+
+func TestCommentsStripped(t *testing.T) {
+	src := `int x; // line comment
+/* block
+comment */ int y;`
+	lx := New(src)
+	var toks []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok.Kind == EOF {
+			break
+		}
+		toks = append(toks, tok)
+	}
+	if lx.CommentCount != 2 {
+		t.Errorf("CommentCount = %d, want 2", lx.CommentCount)
+	}
+	want := []string{"int", "x", ";", "int", "y", ";"}
+	got := texts(toks)
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestPragmaLine(t *testing.T) {
+	src := "#pragma omp parallel for reduction(+:sum)\nfor(;;){}"
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != PragmaLine {
+		t.Fatalf("first token kind = %v, want PragmaLine", toks[0].Kind)
+	}
+	if !strings.Contains(toks[0].Text, "reduction(+:sum)") {
+		t.Errorf("pragma text = %q", toks[0].Text)
+	}
+	if toks[1].Text != "for" {
+		t.Errorf("token after pragma = %q, want for", toks[1].Text)
+	}
+}
+
+func TestDirectiveLine(t *testing.T) {
+	toks, err := Tokenize("#include <stdio.h>\nint main(){}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != DirectiveLn {
+		t.Fatalf("first token kind = %v, want DirectiveLn", toks[0].Kind)
+	}
+}
+
+func TestPragmaLineContinuation(t *testing.T) {
+	src := "#pragma omp parallel for \\\n    private(i,j)\nint x;"
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != PragmaLine {
+		t.Fatalf("kind = %v", toks[0].Kind)
+	}
+	if !strings.Contains(toks[0].Text, "private(i,j)") {
+		t.Errorf("continuation not folded: %q", toks[0].Text)
+	}
+}
+
+func TestStringAndCharLiterals(t *testing.T) {
+	toks, err := Tokenize(`printf("hi %d\n", 'a');`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var haveStr, haveChar bool
+	for _, tok := range toks {
+		if tok.Kind == StringLit {
+			haveStr = true
+		}
+		if tok.Kind == CharLit {
+			haveChar = true
+		}
+	}
+	if !haveStr || !haveChar {
+		t.Errorf("missing literal kinds in %v", texts(toks))
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	if _, err := Tokenize(`char *s = "oops`); err == nil {
+		t.Error("want error for unterminated string")
+	}
+}
+
+func TestMultiCharOperators(t *testing.T) {
+	src := "a <<= b >>= c ... x->y a<<b"
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(texts(toks), " ")
+	for _, op := range []string{"<<=", ">>=", "...", "->", "<<"} {
+		if !strings.Contains(joined, op) {
+			t.Errorf("missing %q in %q", op, joined)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("int\nx = 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("int at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 1 {
+		t.Errorf("x at %v, want 2:1", toks[1].Pos)
+	}
+}
+
+func TestStripComments(t *testing.T) {
+	src := "a /* b */ c // d\ne \"/*not*/\" '//x'"
+	got := StripComments(src)
+	if strings.Contains(got, "b") || strings.Contains(got, "d") {
+		t.Errorf("comments not stripped: %q", got)
+	}
+	if !strings.Contains(got, `"/*not*/"`) {
+		t.Errorf("string contents damaged: %q", got)
+	}
+	if !strings.Contains(got, "'//x'") {
+		t.Errorf("char contents damaged: %q", got)
+	}
+}
+
+// Property: tokenizing never loses identifier characters for well-formed
+// identifier/space-only inputs, and re-joining tokens reproduces the words.
+func TestQuickIdentifierRoundTrip(t *testing.T) {
+	f := func(words []string) bool {
+		var clean []string
+		for _, w := range words {
+			var b strings.Builder
+			for _, r := range w {
+				if r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') {
+					b.WriteRune(r)
+				}
+			}
+			if b.Len() > 0 {
+				clean = append(clean, b.String())
+			}
+		}
+		src := strings.Join(clean, " ")
+		toks, err := Tokenize(src)
+		if err != nil {
+			return false
+		}
+		return strings.Join(texts(toks), " ") == src
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the lexer terminates and never panics on arbitrary printable-
+// ASCII input (errors are fine).
+func TestQuickNoPanic(t *testing.T) {
+	f := func(raw []byte) bool {
+		var b strings.Builder
+		for _, c := range raw {
+			if c >= 32 && c < 127 || c == '\n' || c == '\t' {
+				b.WriteByte(c)
+			}
+		}
+		_, _ = Tokenize(b.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

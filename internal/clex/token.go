@@ -1,0 +1,96 @@
+// Package clex implements a lexer for the C subset used by the OMP_Serial
+// dataset pipeline. It produces a token stream with source positions,
+// strips comments (recording that they were present, mirroring the paper's
+// pre-processing step), and surfaces `#pragma` lines as first-class tokens
+// so the labeling stage can read OpenMP directives.
+package clex
+
+import "fmt"
+
+// Kind classifies a lexical token.
+type Kind int
+
+// Token kinds. Punct covers all operators and separators; the Op field of
+// Token distinguishes them.
+const (
+	EOF Kind = iota
+	Ident
+	Keyword
+	IntLit
+	FloatLit
+	CharLit
+	StringLit
+	Punct
+	PragmaLine  // a full `#pragma ...` line, text in Token.Text
+	DirectiveLn // any other preprocessor line (#include, #define, ...)
+)
+
+var kindNames = [...]string{
+	EOF:         "EOF",
+	Ident:       "Ident",
+	Keyword:     "Keyword",
+	IntLit:      "IntLit",
+	FloatLit:    "FloatLit",
+	CharLit:     "CharLit",
+	StringLit:   "StringLit",
+	Punct:       "Punct",
+	PragmaLine:  "PragmaLine",
+	DirectiveLn: "DirectiveLn",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Pos is a source position (1-based line and column, 0-based byte offset).
+type Pos struct {
+	Offset int
+	Line   int
+	Col    int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token.
+type Token struct {
+	Kind Kind
+	Text string // raw text: identifier name, literal spelling, operator, or pragma line
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%s(%q)@%s", t.Kind, t.Text, t.Pos)
+}
+
+// Is reports whether the token is a Punct with the given spelling.
+func (t Token) Is(op string) bool { return t.Kind == Punct && t.Text == op }
+
+// IsKeyword reports whether the token is the given keyword.
+func (t Token) IsKeyword(kw string) bool { return t.Kind == Keyword && t.Text == kw }
+
+// keywords of the supported C subset.
+var keywords = map[string]bool{
+	"auto": true, "break": true, "case": true, "char": true, "const": true,
+	"continue": true, "default": true, "do": true, "double": true,
+	"else": true, "enum": true, "extern": true, "float": true, "for": true,
+	"goto": true, "if": true, "inline": true, "int": true, "long": true,
+	"register": true, "restrict": true, "return": true, "short": true,
+	"signed": true, "sizeof": true, "static": true, "struct": true,
+	"switch": true, "typedef": true, "union": true, "unsigned": true,
+	"void": true, "volatile": true, "while": true,
+}
+
+// IsTypeKeyword reports whether s is a keyword that can start a type
+// specifier in the supported subset.
+func IsTypeKeyword(s string) bool {
+	switch s {
+	case "void", "char", "short", "int", "long", "float", "double",
+		"signed", "unsigned", "const", "volatile", "static", "extern",
+		"register", "inline", "restrict", "struct", "union", "enum", "auto":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,161 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"graph2par/internal/tensor"
+)
+
+// decl describes a variable the generated loop needs.
+type decl struct {
+	name  string
+	ctype string // "int", "double", "float", or "struct <name>"
+	dims  []int  // nil for scalar
+	init  string // scalar initializer expression ("" = zero); arrays are
+	// initialized with a generated fill loop in runnable programs
+
+	// structFields lists the scalar field names when ctype is a struct
+	// type (used to emit per-field fill loops).
+	structFields []string
+}
+
+// unit is one generated loop before program assembly.
+type unit struct {
+	loopSrc    string // loop source, no pragma
+	pragma     string // full pragma line for parallel loops, "" otherwise
+	decls      []decl
+	funcs      []string // source of helper function definitions
+	structDefs []string // struct type definitions to prepend
+	category   string   // "reduction", "private", "simd", "target", or ""
+	hasCall    bool
+	nested     bool
+	bound      int  // the dominant trip count (for array sizing)
+	bigBound   bool // true when the loop is deliberately huge (not runnable)
+	useStruct  bool // uses constructs the interpreter rejects
+	// noiseEligible marks parallel loops in the blind spot of ALL three
+	// algorithm-based tools (pure math calls, mixed patterns): only these
+	// may receive developer-label noise, so the tools' zero-FP property
+	// survives.
+	noiseEligible bool
+}
+
+// kindOf returns "github" or "synthetic" origin tags via assembly options.
+type assembled struct {
+	snippetSrc string // loop + pragma only
+	fileSrc    string // full translation unit ("" when snippet-only)
+	runnable   bool
+	compilable bool
+}
+
+// assemble renders the unit at one of three fidelity levels:
+// level 0 = bare snippet, 1 = compilable file without main, 2 = runnable
+// program with initialized inputs.
+func assemble(u *unit, level int, rng *tensor.RNG) assembled {
+	var snippet strings.Builder
+	if u.pragma != "" {
+		snippet.WriteString(u.pragma + "\n")
+	}
+	snippet.WriteString(u.loopSrc)
+
+	out := assembled{snippetSrc: snippet.String()}
+	if level == 0 {
+		return out
+	}
+
+	var b strings.Builder
+	b.WriteString("#include <stdio.h>\n#include <math.h>\n\n")
+	for _, sd := range u.structDefs {
+		b.WriteString(sd)
+		b.WriteString("\n")
+	}
+	for _, fn := range u.funcs {
+		b.WriteString(fn)
+		b.WriteString("\n")
+	}
+
+	if level == 1 {
+		// Globals plus a work() function holding the loop.
+		for _, d := range u.decls {
+			writeDecl(&b, d, false)
+		}
+		b.WriteString("\nvoid work() {\n")
+		b.WriteString(indentBlock(snippet.String(), 1))
+		b.WriteString("\n}\n")
+		out.fileSrc = b.String()
+		out.compilable = true
+		return out
+	}
+
+	// Runnable program: locals in main, fill loops for arrays, a sink.
+	b.WriteString("int main() {\n")
+	for _, d := range u.decls {
+		b.WriteString("    ")
+		writeDecl(&b, d, true)
+	}
+	// fill loops for arrays
+	for _, d := range u.decls {
+		if len(d.dims) == 0 {
+			continue
+		}
+		writeFill(&b, d, rng)
+	}
+	b.WriteString("\n")
+	b.WriteString(indentBlock(snippet.String(), 1))
+	b.WriteString("\n")
+	// sink: return something derived from the first scalar or array
+	sink := "0"
+	for _, d := range u.decls {
+		if len(d.dims) == 0 && d.ctype == "int" {
+			sink = d.name
+			break
+		}
+	}
+	b.WriteString(fmt.Sprintf("    return (int)(%s);\n}\n", sink))
+	out.fileSrc = b.String()
+	out.compilable = true
+	out.runnable = true
+	return out
+}
+
+func writeDecl(b *strings.Builder, d decl, local bool) {
+	b.WriteString(d.ctype + " " + d.name)
+	for _, dim := range d.dims {
+		fmt.Fprintf(b, "[%d]", dim)
+	}
+	if len(d.dims) == 0 && len(d.structFields) == 0 {
+		init := d.init
+		if init == "" {
+			init = "0"
+		}
+		b.WriteString(" = " + init)
+	}
+	b.WriteString(";\n")
+}
+
+// writeFill emits deterministic initialization loops for an array.
+func writeFill(b *strings.Builder, d decl, rng *tensor.RNG) {
+	mod := 7 + rng.Intn(23)
+	if len(d.structFields) > 0 && len(d.dims) == 1 {
+		fmt.Fprintf(b, "    for (int __f = 0; __f < %d; __f++) {\n", d.dims[0])
+		for fi, field := range d.structFields {
+			fmt.Fprintf(b, "        %s[__f].%s = (__f + %d) %% %d;\n", d.name, field, fi, mod)
+		}
+		b.WriteString("    }\n")
+		return
+	}
+	switch len(d.dims) {
+	case 1:
+		fmt.Fprintf(b, "    for (int __f = 0; __f < %d; __f++) %s[__f] = (__f %% %d) + 1;\n",
+			d.dims[0], d.name, mod)
+	case 2:
+		fmt.Fprintf(b, "    for (int __f = 0; __f < %d; __f++)\n", d.dims[0])
+		fmt.Fprintf(b, "        for (int __g = 0; __g < %d; __g++) %s[__f][__g] = ((__f + __g) %% %d) + 1;\n",
+			d.dims[1], d.name, mod)
+	case 3:
+		fmt.Fprintf(b, "    for (int __f = 0; __f < %d; __f++)\n", d.dims[0])
+		fmt.Fprintf(b, "        for (int __g = 0; __g < %d; __g++)\n", d.dims[1])
+		fmt.Fprintf(b, "            for (int __h = 0; __h < %d; __h++) %s[__f][__g][__h] = ((__f ^ __g) + __h) %% %d;\n",
+			d.dims[2], d.name, mod)
+	}
+}

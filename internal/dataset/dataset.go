@@ -1,0 +1,420 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"graph2par/internal/cast"
+	"graph2par/internal/cparse"
+	"graph2par/internal/pragma"
+	"graph2par/internal/tensor"
+)
+
+// Sample is one labeled loop of the OMP_Serial corpus.
+type Sample struct {
+	ID       int    `json:"id"`
+	Origin   string `json:"origin"`   // "github" | "synthetic"
+	Category string `json:"category"` // "", "private", "reduction", "simd", "target"
+	Parallel bool   `json:"parallel"`
+	// LoopSrc is the loop source WITHOUT its pragma: the model input.
+	LoopSrc string `json:"loop_src"`
+	// Pragma is the original OpenMP directive ("" for non-parallel loops).
+	Pragma string `json:"pragma,omitempty"`
+	// FileSrc is the enclosing translation unit ("" for bare snippets).
+	FileSrc    string `json:"file_src,omitempty"`
+	Compilable bool   `json:"compilable"`
+	Runnable   bool   `json:"runnable"`
+	HasCall    bool   `json:"has_call"`
+	Nested     bool   `json:"nested"`
+	LOC        int    `json:"loc"`
+	// Mislabeled marks developer-label noise: the loop is genuinely
+	// parallel but its pragma was "forgotten" during generation. Analysis
+	// code must NOT read this flag (the paper's authors could not); it
+	// exists for diagnostics and the ground-truth oracle tests.
+	Mislabeled bool `json:"mislabeled,omitempty"`
+
+	// Parsed artifacts, rebuilt on load.
+	Loop cast.Stmt  `json:"-"`
+	File *cast.File `json:"-"`
+}
+
+// Corpus is the generated dataset.
+type Corpus struct {
+	Samples []*Sample
+	// Dropped counts generation candidates discarded because they failed
+	// to parse (the analogue of the paper's failed compile checks).
+	Dropped int
+}
+
+// Config controls generation.
+type Config struct {
+	// Scale multiplies the Table 1 counts (1.0 reproduces the paper's
+	// 33,670 loops; the experiment default is smaller for CPU training).
+	Scale float64
+	Seed  uint64
+	// Noise is the developer-label noise rate: the fraction of genuinely
+	// parallel GitHub loops whose pragma the "developer" forgot, so they
+	// are labeled non-parallel (the paper observed exactly this in the
+	// crawl). Noise is only applied to loops with pure math calls — the
+	// category no algorithm-based tool can detect — so the tools' zero-
+	// false-positive property of Table 4 is preserved. Negative disables;
+	// 0 uses DefaultNoise.
+	Noise float64
+}
+
+// DefaultNoise is the default developer-label noise rate.
+const DefaultNoise = 0.5 // of noise-eligible (math-call) parallel loops
+
+// categorySpec carries one Table 1 row.
+type categorySpec struct {
+	name   string
+	total  int
+	calls  int
+	nested int
+}
+
+// Table 1 (GitHub rows).
+var githubSpecs = []categorySpec{
+	{name: "reduction", total: 3705, calls: 279, nested: 887},
+	{name: "private", total: 6278, calls: 680, nested: 2589},
+	{name: "simd", total: 3574, calls: 42, nested: 201},
+	{name: "target", total: 2155, calls: 99, nested: 191},
+	{name: "", total: 13972, calls: 3043, nested: 5931}, // non-parallel
+}
+
+// Synthetic row counts (Table 1, synthetic block).
+const (
+	synthReduction   = 200
+	synthDoAll       = 200
+	synthNonParallel = 700
+)
+
+// Fidelity-level probabilities for GitHub-surrogate samples, calibrated so
+// the per-tool subsets of Table 4 keep the paper's ordering
+// (PLUTO > autoPar > DiscoPoP).
+const (
+	pRunnable   = 0.19
+	pCompilable = 0.64 // of the non-runnable remainder
+)
+
+// Generate builds the corpus.
+func Generate(cfg Config) *Corpus {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	noise := cfg.Noise
+	if noise == 0 {
+		noise = DefaultNoise
+	} else if noise < 0 {
+		noise = 0
+	}
+	rng := tensor.NewRNG(cfg.Seed ^ 0x0A7A5E71A1)
+	c := &Corpus{}
+
+	scaled := func(n int) int {
+		v := int(float64(n)*cfg.Scale + 0.5)
+		if v < 4 {
+			v = 4
+		}
+		return v
+	}
+
+	// GitHub-surrogate block. Noise samples (mislabeled parallel loops) do
+	// not consume the category quota: the Table 1 counts are label-level
+	// counts, and a forgotten pragma lands a loop in the crawl's
+	// non-parallel population instead.
+	for _, spec := range githubSpecs {
+		n := scaled(spec.total)
+		pCall := float64(spec.calls) / float64(spec.total)
+		pNest := float64(spec.nested) / float64(spec.total)
+		kept := 0
+		for i := 0; kept < n && i < 3*n; i++ {
+			sRng := rng.Split()
+			withCall := chance(sRng, pCall)
+			nested := chance(sRng, pNest)
+
+			level := 0
+			if chance(sRng, pRunnable) {
+				level = 2
+			} else if chance(sRng, pCompilable) {
+				level = 1
+			}
+			ctx := newCtx(sRng, level == 2)
+
+			var u *unit
+			switch spec.name {
+			case "reduction":
+				switch {
+				case chance(sRng, 0.08):
+					u = genMixed(ctx)
+				case !nested && chance(sRng, 0.07):
+					u = genStructReduction(ctx, withCall || chance(sRng, 0.5))
+				default:
+					u = genReduction(ctx, withCall, nested)
+				}
+			case "private":
+				u = genPrivate(ctx, withCall, nested)
+			case "simd":
+				u = genSIMD(ctx, withCall, nested)
+			case "target":
+				u = genTarget(ctx, withCall, nested)
+			default:
+				if chance(sRng, 0.10) {
+					u = genWhileNonParallel(ctx)
+					level = 0 // while accumulators stay snippets
+				} else {
+					u = genNonParallel(ctx, withCall, nested)
+				}
+			}
+			if u.pragma != "" && u.noiseEligible && chance(sRng, noise) {
+				// developer forgot the pragma: genuinely parallel, labeled
+				// non-parallel (section 4.1's observation).
+				u.pragma = ""
+				u.category = ""
+				c.addSampleMislabeled(u, level, "github", sRng)
+				continue
+			}
+			c.addSample(u, level, "github", sRng)
+			kept++
+		}
+	}
+
+	// Synthetic block: templates, always assembled as runnable programs.
+	addTemplates := func(templates []string, count int) {
+		perTemplate := count / len(templates)
+		if perTemplate < 1 {
+			perTemplate = 1
+		}
+		emitted := 0
+		for _, tmpl := range templates {
+			for v := 0; v < perTemplate && emitted < count; v++ {
+				sRng := rng.Split()
+				u := renderTemplate(tmpl, sRng)
+				c.addSample(u, 2, "synthetic", sRng)
+				emitted++
+			}
+		}
+	}
+	addTemplates(doAllTemplates, scaled(synthDoAll))
+	addTemplates(reductionTemplates, scaled(synthReduction))
+	addTemplates(nonParallelTemplates, scaled(synthNonParallel))
+
+	return c
+}
+
+// addSampleMislabeled adds a noise sample (parallel loop without pragma).
+func (c *Corpus) addSampleMislabeled(u *unit, level int, origin string, rng *tensor.RNG) {
+	before := len(c.Samples)
+	c.addSample(u, level, origin, rng)
+	if len(c.Samples) > before {
+		c.Samples[len(c.Samples)-1].Mislabeled = true
+	}
+}
+
+// addSample assembles, parses, labels and appends one sample; parse
+// failures are dropped like failed compiles.
+func (c *Corpus) addSample(u *unit, level int, origin string, rng *tensor.RNG) {
+	asm := assemble(u, level, rng)
+	s := &Sample{
+		ID:         len(c.Samples),
+		Origin:     origin,
+		Category:   u.category,
+		Parallel:   u.pragma != "",
+		LoopSrc:    u.loopSrc,
+		Pragma:     u.pragma,
+		FileSrc:    asm.fileSrc,
+		Compilable: asm.compilable,
+		Runnable:   asm.runnable,
+		HasCall:    u.hasCall,
+		Nested:     u.nested,
+		LOC:        strings.Count(strings.TrimSpace(u.loopSrc), "\n") + 1,
+	}
+	if err := s.parse(); err != nil {
+		c.Dropped++
+		return
+	}
+	// Category sanity: derive from the pragma text as the paper does.
+	if s.Pragma != "" {
+		info := pragma.Parse(s.Pragma)
+		if !info.IsOMP || !info.ParallelFor {
+			c.Dropped++
+			return
+		}
+	}
+	c.Samples = append(c.Samples, s)
+}
+
+// parse builds Loop (and File when present); the target loop of a file is
+// the last top-level loop of its main/work function.
+func (s *Sample) parse() error {
+	if s.FileSrc != "" {
+		f, err := cparse.ParseFile(s.FileSrc)
+		if err != nil {
+			return err
+		}
+		s.File = f
+		loop := lastTopLevelLoop(f)
+		if loop == nil {
+			return fmt.Errorf("dataset: no loop found in assembled file")
+		}
+		s.Loop = loop
+		return nil
+	}
+	src := s.LoopSrc
+	if s.Pragma != "" {
+		src = s.Pragma + "\n" + src
+	}
+	st, err := cparse.ParseStmt(src)
+	if err != nil {
+		return err
+	}
+	s.Loop = st
+	return nil
+}
+
+// lastTopLevelLoop returns the last loop statement in the body of the last
+// function of the file (main for runnable programs, work otherwise).
+func lastTopLevelLoop(f *cast.File) cast.Stmt {
+	if len(f.Funcs) == 0 {
+		return nil
+	}
+	fn := f.Funcs[len(f.Funcs)-1]
+	if fn.Body == nil {
+		return nil
+	}
+	var last cast.Stmt
+	for _, it := range fn.Body.Items {
+		switch it.(type) {
+		case *cast.For, *cast.While:
+			last = it
+		}
+	}
+	return last
+}
+
+// Categories returns the pragma categories of the sample in the paper's
+// taxonomy.
+func (s *Sample) Categories() []pragma.Category {
+	if s.Pragma == "" {
+		return nil
+	}
+	return pragma.Parse(s.Pragma).Categories
+}
+
+// ---------------------------------------------------------------------------
+// splits
+
+// Split partitions samples into train/test deterministically.
+func (c *Corpus) Split(testFrac float64, seed uint64) (train, test []*Sample) {
+	rng := tensor.NewRNG(seed ^ 0x5EED5EED)
+	perm := rng.Perm(len(c.Samples))
+	nTest := int(float64(len(c.Samples)) * testFrac)
+	for i, idx := range perm {
+		if i < nTest {
+			test = append(test, c.Samples[idx])
+		} else {
+			train = append(train, c.Samples[idx])
+		}
+	}
+	return train, test
+}
+
+// ---------------------------------------------------------------------------
+// stats (Table 1)
+
+// CategoryStats aggregates one Table 1 row.
+type CategoryStats struct {
+	Loops    int
+	Calls    int
+	Nested   int
+	TotalLOC int
+}
+
+// AvgLOC returns the mean loop length.
+func (cs CategoryStats) AvgLOC() float64 {
+	if cs.Loops == 0 {
+		return 0
+	}
+	return float64(cs.TotalLOC) / float64(cs.Loops)
+}
+
+// Stats groups samples by (origin, category) for the Table 1 harness.
+type Stats struct {
+	ByKey map[string]*CategoryStats // key "origin/category"
+}
+
+// Key builds the grouping key.
+func Key(origin, category string, parallel bool) string {
+	if !parallel {
+		category = "non-parallel"
+	}
+	return origin + "/" + category
+}
+
+// ComputeStats tabulates the corpus.
+func (c *Corpus) ComputeStats() *Stats {
+	st := &Stats{ByKey: map[string]*CategoryStats{}}
+	for _, s := range c.Samples {
+		k := Key(s.Origin, s.Category, s.Parallel)
+		cs := st.ByKey[k]
+		if cs == nil {
+			cs = &CategoryStats{}
+			st.ByKey[k] = cs
+		}
+		cs.Loops++
+		if s.HasCall {
+			cs.Calls++
+		}
+		if s.Nested {
+			cs.Nested++
+		}
+		cs.TotalLOC += s.LOC
+	}
+	return st
+}
+
+// Keys returns the grouping keys in deterministic order.
+func (st *Stats) Keys() []string {
+	keys := make([]string, 0, len(st.ByKey))
+	for k := range st.ByKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ---------------------------------------------------------------------------
+// serialization
+
+// Save writes the corpus as JSON.
+func (c *Corpus) Save(path string) error {
+	data, err := json.MarshalIndent(c.Samples, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a corpus from JSON and re-parses every sample.
+func Load(path string) (*Corpus, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var samples []*Sample
+	if err := json.Unmarshal(data, &samples); err != nil {
+		return nil, err
+	}
+	c := &Corpus{}
+	for _, s := range samples {
+		if err := s.parse(); err != nil {
+			c.Dropped++
+			continue
+		}
+		c.Samples = append(c.Samples, s)
+	}
+	return c, nil
+}

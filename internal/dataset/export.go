@@ -1,0 +1,122 @@
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"graph2par/internal/cast"
+)
+
+// ExportFiles writes the corpus to a directory tree the way a dataset
+// release would ship it:
+//
+//	dir/
+//	  github/parallel/<category>/loop_000123.c
+//	  github/non-parallel/loop_000456.c
+//	  synthetic/...
+//	  MANIFEST.tsv
+//
+// Loop-only samples are written as snippet files with their pragma; samples
+// with full translation units get the whole program. The manifest lists one
+// line per sample: path, label, category, flags.
+func (c *Corpus) ExportFiles(dir string) error {
+	var manifest strings.Builder
+	manifest.WriteString("path\tparallel\tcategory\thas_call\tnested\tcompilable\trunnable\n")
+	for _, s := range c.Samples {
+		sub := filepath.Join(s.Origin, "non-parallel")
+		if s.Parallel {
+			cat := s.Category
+			if cat == "" {
+				cat = "parallel"
+			}
+			sub = filepath.Join(s.Origin, "parallel", cat)
+		}
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return err
+		}
+		name := fmt.Sprintf("loop_%06d.c", s.ID)
+		rel := filepath.Join(sub, name)
+
+		content := s.FileSrc
+		if content == "" {
+			var b strings.Builder
+			if s.Pragma != "" {
+				b.WriteString(s.Pragma + "\n")
+			}
+			b.WriteString(s.LoopSrc + "\n")
+			content = b.String()
+		}
+		if err := os.WriteFile(filepath.Join(dir, rel), []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(&manifest, "%s\t%v\t%s\t%v\t%v\t%v\t%v\n",
+			rel, s.Parallel, s.Category, s.HasCall, s.Nested, s.Compilable, s.Runnable)
+	}
+	return os.WriteFile(filepath.Join(dir, "MANIFEST.tsv"), []byte(manifest.String()), 0o644)
+}
+
+// ImportFiles loads a directory tree written by ExportFiles back into a
+// corpus, re-deriving labels from the pragmas in the files (a round trip
+// through the release format must not depend on the manifest).
+func ImportFiles(dir string) (*Corpus, error) {
+	c := &Corpus{}
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".c") {
+			return err
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		rel, _ := filepath.Rel(dir, path)
+		parts := strings.Split(rel, string(filepath.Separator))
+		s := &Sample{
+			ID:     len(c.Samples),
+			Origin: parts[0],
+		}
+		src := string(data)
+		if strings.Contains(src, "int main()") || strings.Contains(src, "void work()") {
+			s.FileSrc = src
+			s.Compilable = true
+			s.Runnable = strings.Contains(src, "int main()")
+		}
+		// loop source and pragma
+		lines := strings.Split(strings.TrimSpace(src), "\n")
+		if s.FileSrc == "" {
+			var loopLines []string
+			for _, l := range lines {
+				if strings.HasPrefix(strings.TrimSpace(l), "#pragma") {
+					s.Pragma = strings.TrimSpace(l)
+					continue
+				}
+				loopLines = append(loopLines, l)
+			}
+			s.LoopSrc = strings.Join(loopLines, "\n")
+		} else {
+			// recover the pragma of the target (last) loop
+			for _, l := range lines {
+				t := strings.TrimSpace(l)
+				if strings.HasPrefix(t, "#pragma omp") {
+					s.Pragma = t
+				}
+			}
+		}
+		s.Parallel = s.Pragma != ""
+		if perr := s.parse(); perr != nil {
+			c.Dropped++
+			return nil
+		}
+		if s.LoopSrc == "" {
+			// file-backed sample: derive the loop text from the parsed AST
+			s.LoopSrc = cast.Print(s.Loop)
+		}
+		c.Samples = append(c.Samples, s)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}

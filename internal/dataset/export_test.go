@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	c := Generate(Config{Scale: 0.01, Seed: 55})
+	dir := t.TempDir()
+	if err := c.ExportFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Manifest exists with one line per sample (+header).
+	data, err := os.ReadFile(filepath.Join(dir, "MANIFEST.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != len(c.Samples)+1 {
+		t.Fatalf("manifest lines = %d, want %d", len(lines), len(c.Samples)+1)
+	}
+
+	// Directory layout groups by origin/label/category.
+	for _, sub := range []string{"github", "synthetic"} {
+		if _, err := os.Stat(filepath.Join(dir, sub)); err != nil {
+			t.Errorf("missing %s/: %v", sub, err)
+		}
+	}
+
+	loaded, err := ImportFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parsing losses allowed only for exotic snippets; labels must agree
+	// in aggregate.
+	if len(loaded.Samples) < len(c.Samples)*9/10 {
+		t.Fatalf("import recovered %d of %d samples", len(loaded.Samples), len(c.Samples))
+	}
+	var origPar, loadPar int
+	for _, s := range c.Samples {
+		if s.Parallel {
+			origPar++
+		}
+	}
+	for _, s := range loaded.Samples {
+		if s.Parallel {
+			loadPar++
+		}
+	}
+	ratio := float64(loadPar) / float64(len(loaded.Samples))
+	origRatio := float64(origPar) / float64(len(c.Samples))
+	if ratio < origRatio-0.1 || ratio > origRatio+0.1 {
+		t.Errorf("parallel fraction drifted: %.2f vs %.2f", ratio, origRatio)
+	}
+}
+
+func TestExportSnippetKeepsPragma(t *testing.T) {
+	c := Generate(Config{Scale: 0.01, Seed: 56})
+	dir := t.TempDir()
+	if err := c.ExportFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range c.Samples {
+		if s.FileSrc != "" || !s.Parallel {
+			continue
+		}
+		// locate the exported snippet
+		cat := s.Category
+		if cat == "" {
+			cat = "parallel"
+		}
+		path := filepath.Join(dir, s.Origin, "parallel", cat,
+			strings.ReplaceAll("loop_______.c", "_______",
+				// match the %06d naming
+				pad6(s.ID)))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		if !strings.Contains(string(data), "#pragma omp") {
+			t.Errorf("snippet %s lost its pragma", path)
+		}
+		found = true
+		break
+	}
+	if !found {
+		t.Skip("no parallel snippet sample in this tiny corpus")
+	}
+}
+
+func pad6(n int) string {
+	s := ""
+	for i := 100000; i >= 1; i /= 10 {
+		s += string(rune('0' + (n/i)%10))
+	}
+	return s
+}

@@ -1,0 +1,432 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"graph2par/internal/tensor"
+)
+
+// genCtx carries shared state for one unit's generation.
+type genCtx struct {
+	rng   *tensor.RNG
+	nm    *namer
+	bound int
+	big   bool
+}
+
+func newCtx(rng *tensor.RNG, runnable bool) *genCtx {
+	c := &genCtx{rng: rng, nm: newNamer(rng)}
+	if runnable {
+		c.bound = 32 + rng.Intn(96)
+	} else if chance(rng, 0.15) {
+		c.big = true
+		c.bound = pick(rng, 100000, 1000000, 30000000)
+	} else {
+		c.bound = 64 + rng.Intn(4000)
+	}
+	return c
+}
+
+func (c *genCtx) dim() int { return c.bound + 4 }
+
+// ---------------------------------------------------------------------------
+// parallel generators
+
+// genPrivate builds a do-all loop with privatizable temporaries; its pragma
+// carries a private(...) clause (the paper's "private" category).
+func genPrivate(c *genCtx, withCall, nested bool) *unit {
+	iv := c.nm.scalar()
+	a := c.nm.array()
+	b := c.nm.array()
+	t := c.nm.scalar()
+	u := &unit{category: "private", hasCall: withCall, nested: nested, bound: c.bound, bigBound: c.big}
+	u.decls = append(u.decls,
+		decl{name: a, ctype: pick(c.rng, "int", "double", "float"), dims: []int{c.dim()}},
+		decl{name: b, ctype: "int", dims: []int{c.dim()}},
+		decl{name: iv, ctype: "int"},
+		decl{name: t, ctype: "int"},
+	)
+
+	callExpr := fmt.Sprintf("%s[%s]", b, iv)
+	if withCall {
+		if chance(c.rng, 0.5) {
+			fn := c.nm.mathFn()
+			callExpr = fmt.Sprintf("(int)%s(%s[%s])", fn, b, iv)
+			u.noiseEligible = true
+		} else {
+			fn := c.nm.fn()
+			u.funcs = append(u.funcs, fmt.Sprintf(
+				"int %s(int x) {\n    return x * %d + %d;\n}\n", fn, 1+c.rng.Intn(5), c.rng.Intn(9)))
+			callExpr = fmt.Sprintf("%s(%s[%s])", fn, b, iv)
+		}
+	}
+
+	var body string
+	var extraPrivates []string
+	switch {
+	case !withCall && !nested && chance(c.rng, 0.25):
+		// cross-array stencil: reads b at offsets, writes a — the parallel
+		// twin of the same-array recurrence in the non-parallel class.
+		// (The loop below starts at 1 and b is sized bound+4, so offsets
+		// stay in range.)
+		body = fmt.Sprintf("%s = %s[%s - 1] + %s[%s + 1];\n%s[%s] = %s %s %d;",
+			t, b, iv, b, iv, a, iv, t, pick(c.rng, "+", "*"), 1+c.rng.Intn(5))
+	case !withCall && !nested && chance(c.rng, 0.18):
+		// long body: many independent temp chains; the token baseline's
+		// context window truncates these, the graph does not.
+		body, extraPrivates = longBody(c, u, iv, a, b, t, false)
+	default:
+		body = fmt.Sprintf("%s = %s;\n%s[%s] = %s %s %d;",
+			t, callExpr, a, iv, t, pick(c.rng, "+", "*", "-"), 1+c.rng.Intn(7))
+		if chance(c.rng, 0.4) {
+			cNm := c.nm.array()
+			u.decls = append(u.decls, decl{name: cNm, ctype: "int", dims: []int{c.dim()}})
+			body += fmt.Sprintf("\n%s[%s] = %s + %s[%s];", cNm, iv, t, b, iv)
+		}
+	}
+
+	privates := []string{t}
+	privates = append(privates, extraPrivates...)
+	if nested {
+		jv := c.nm.scalar()
+		m := c.nm.array()
+		inner := 8 + c.rng.Intn(24)
+		u.decls = append(u.decls,
+			decl{name: jv, ctype: "int"},
+			decl{name: m, ctype: "int", dims: []int{c.dim(), inner}},
+		)
+		body += fmt.Sprintf("\nfor (%s = 0; %s < %d; %s++) {\n    %s[%s][%s] = %s + %s;\n}",
+			jv, jv, inner, jv, m, iv, jv, t, jv)
+		privates = append(privates, jv)
+	}
+	u.loopSrc = fmt.Sprintf("for (%s = 1; %s < %d; %s++) {\n%s\n}",
+		iv, iv, c.bound, iv, indentBlock(body, 1))
+	u.pragma = fmt.Sprintf("#pragma omp parallel for private(%s)", strings.Join(privates, ", "))
+	return u
+}
+
+// genReduction builds reduction loops across the paper's difficulty
+// spectrum, including the Listing 1/4/6/7 shapes.
+func genReduction(c *genCtx, withCall, nested bool) *unit {
+	iv := c.nm.scalar()
+	acc := c.nm.scalar()
+	a := c.nm.array()
+	u := &unit{category: "reduction", hasCall: withCall, nested: nested, bound: c.bound, bigBound: c.big}
+	op := pick(c.rng, "+", "+", "+", "*")
+	accType := pick(c.rng, "double", "int", "double")
+	u.decls = append(u.decls,
+		decl{name: iv, ctype: "int"},
+		decl{name: acc, ctype: accType, init: map[string]string{"+": "0", "*": "1"}[op]},
+		decl{name: a, ctype: "int", dims: []int{c.dim()}},
+	)
+
+	variant := c.rng.Intn(6)
+	if nested {
+		variant = 5
+	}
+	var body string
+	switch variant {
+	case 0: // plain sum / product
+		body = fmt.Sprintf("%s %s= %s[%s];", acc, op, a, iv)
+	case 1: // listing-1 shape: call on neighbor difference
+		if withCall {
+			fn := pick(c.rng, "fabs", "sqrt", "exp")
+			body = fmt.Sprintf("%s = %s %s %s(%s[%s] - %s[%s + 1]);", acc, acc, op, fn, a, iv, a, iv)
+			u.noiseEligible = true
+		} else {
+			body = fmt.Sprintf("%s = %s %s (%s[%s] - %s[%s + 1]);", acc, acc, op, a, iv, a, iv)
+		}
+	case 2: // dot product
+		bNm := c.nm.array()
+		u.decls = append(u.decls, decl{name: bNm, ctype: "int", dims: []int{c.dim()}})
+		body = fmt.Sprintf("%s %s= %s[%s] * %s[%s];", acc, op, a, iv, bNm, iv)
+	case 3: // conditional count
+		op = "+"
+		body = fmt.Sprintf("if (%s[%s] > %d) %s++;", a, iv, c.rng.Intn(8), acc)
+	case 4: // listing-4 shape: two-statement update
+		op = "+"
+		body = fmt.Sprintf("%s += %d;\n%s = %s + %d;", acc, 1+c.rng.Intn(4), acc, acc, 1+c.rng.Intn(4))
+	case 5: // nested 2D reduction (listing-7 family)
+		jv := c.nm.scalar()
+		inner := 8 + c.rng.Intn(24)
+		m := c.nm.array()
+		u.decls = append(u.decls,
+			decl{name: m, ctype: "int", dims: []int{c.dim(), inner}},
+		)
+		op = "+"
+		body = fmt.Sprintf("for (int %s = 0; %s < %d; %s++) {\n    %s += %s[%s][%s];\n}",
+			jv, jv, inner, jv, acc, m, iv, jv)
+	}
+	if withCall && variant != 1 {
+		// fold a call into the accumulation; some variants (the
+		// two-statement update) have no array read to wrap, in which case
+		// no call exists and the loop is neither call-bearing nor
+		// noise-eligible.
+		fn := c.nm.mathFn()
+		old := body
+		body = strings.Replace(body, fmt.Sprintf("%s[%s]", a, iv),
+			fmt.Sprintf("(int)%s(%s[%s])", fn, a, iv), 1)
+		if body != old {
+			u.noiseEligible = true
+		} else {
+			u.hasCall = false
+		}
+	}
+
+	u.loopSrc = fmt.Sprintf("for (%s = 0; %s < %d; %s++) {\n%s\n}",
+		iv, iv, c.bound, iv, indentBlock(body, 1))
+	u.pragma = fmt.Sprintf("#pragma omp parallel for reduction(%s:%s)", op, acc)
+	return u
+}
+
+// genSIMD builds the short vectorizable bodies of the "simd" category
+// (Table 1: avg 2.65 LOC, almost never calls or nests).
+func genSIMD(c *genCtx, withCall, nested bool) *unit {
+	iv := c.nm.scalar()
+	a := c.nm.array()
+	b := c.nm.array()
+	u := &unit{category: "simd", hasCall: withCall, nested: nested, bound: c.bound, bigBound: c.big}
+	u.decls = append(u.decls,
+		decl{name: iv, ctype: "int"},
+		decl{name: a, ctype: "float", dims: []int{c.dim()}},
+		decl{name: b, ctype: "float", dims: []int{c.dim()}},
+	)
+	expr := fmt.Sprintf("%s[%s] %s %d", b, iv, pick(c.rng, "*", "+", "-"), 1+c.rng.Intn(9))
+	if withCall {
+		expr = fmt.Sprintf("%s(%s[%s])", c.nm.mathFn(), b, iv)
+	}
+	body := fmt.Sprintf("%s[%s] = %s;", a, iv, expr)
+	if nested {
+		jv := c.nm.scalar()
+		inner := 4 + c.rng.Intn(12)
+		m := c.nm.array()
+		u.decls = append(u.decls,
+			decl{name: m, ctype: "float", dims: []int{c.dim(), inner}},
+		)
+		body = fmt.Sprintf("for (int %s = 0; %s < %d; %s++) %s[%s][%s] = %s;",
+			jv, jv, inner, jv, m, iv, jv, expr)
+	}
+	u.loopSrc = fmt.Sprintf("for (%s = 0; %s < %d; %s++) %s", iv, iv, c.bound, iv, body)
+	u.pragma = "#pragma omp simd"
+	if chance(c.rng, 0.3) {
+		u.pragma = "#pragma omp parallel for simd"
+	}
+	return u
+}
+
+// genTarget builds offload-style loops (the "target" category).
+func genTarget(c *genCtx, withCall, nested bool) *unit {
+	iv := c.nm.scalar()
+	a := c.nm.array()
+	b := c.nm.array()
+	s := c.nm.scalar()
+	u := &unit{category: "target", hasCall: withCall, nested: nested, bound: c.bound, bigBound: c.big}
+	u.decls = append(u.decls,
+		decl{name: iv, ctype: "int"},
+		decl{name: s, ctype: "int", init: fmt.Sprint(1 + c.rng.Intn(5))},
+		decl{name: a, ctype: "double", dims: []int{c.dim()}},
+		decl{name: b, ctype: "double", dims: []int{c.dim()}},
+	)
+	expr := fmt.Sprintf("%s[%s] * %s + %d", b, iv, s, c.rng.Intn(7))
+	if withCall {
+		expr = fmt.Sprintf("%s(%s[%s]) * %s", c.nm.mathFn(), b, iv, s)
+	}
+	body := fmt.Sprintf("%s[%s] = %s;", a, iv, expr)
+	if nested {
+		jv := c.nm.scalar()
+		inner := 8 + c.rng.Intn(16)
+		m := c.nm.array()
+		u.decls = append(u.decls,
+			decl{name: m, ctype: "double", dims: []int{c.dim(), inner}},
+		)
+		body = fmt.Sprintf("for (int %s = 0; %s < %d; %s++) {\n    %s[%s][%s] = %s;\n}",
+			jv, jv, inner, jv, m, iv, jv, expr)
+	}
+	u.loopSrc = fmt.Sprintf("for (%s = 0; %s < %d; %s++) {\n%s\n}",
+		iv, iv, c.bound, iv, indentBlock(body, 1))
+	u.pragma = fmt.Sprintf("#pragma omp target teams distribute parallel for map(to: %s) map(from: %s)", b, a)
+	return u
+}
+
+// genMixed builds the Listing 6 shape: an array write plus a reduction in
+// one body — genuinely parallel, labeled reduction.
+func genMixed(c *genCtx) *unit {
+	iv := c.nm.scalar()
+	a := c.nm.array()
+	acc := c.nm.scalar()
+	u := &unit{category: "reduction", bound: c.bound, bigBound: c.big, noiseEligible: true}
+	u.decls = append(u.decls,
+		decl{name: iv, ctype: "int"},
+		decl{name: acc, ctype: "int"},
+		decl{name: a, ctype: "int", dims: []int{c.dim()}},
+	)
+	u.loopSrc = fmt.Sprintf("for (%s = 0; %s < %d; %s++) {\n    %s[%s] = %s * %d;\n    %s += %s;\n}",
+		iv, iv, c.bound, iv, a, iv, iv, 2+c.rng.Intn(4), acc, iv)
+	u.pragma = fmt.Sprintf("#pragma omp parallel for reduction(+:%s)", acc)
+	return u
+}
+
+// genStructReduction builds the Listing 2 family: a reduction over struct
+// array fields, usually with an abs() call — parallel, but in the blind
+// spot of all three tools (call + member access), hence noise-eligible
+// when the call is present.
+func genStructReduction(c *genCtx, withCall bool) *unit {
+	iv := c.nm.scalar()
+	acc := c.nm.scalar()
+	arr := c.nm.array()
+	ref := c.nm.array()
+	sname := pick(c.rng, "pixel", "sample_t", "cell_t", "particle")
+	f1 := pick(c.rng, "r", "x", "re")
+	f2 := pick(c.rng, "g", "y", "im")
+
+	u := &unit{category: "reduction", hasCall: withCall, bound: c.bound, bigBound: c.big}
+	u.structDefs = append(u.structDefs,
+		fmt.Sprintf("struct %s { int %s; int %s; };", sname, f1, f2))
+	u.decls = append(u.decls,
+		decl{name: iv, ctype: "int"},
+		decl{name: acc, ctype: "int"},
+		decl{name: arr, ctype: "struct " + sname, dims: []int{c.dim()}, structFields: []string{f1, f2}},
+		decl{name: ref, ctype: "struct " + sname, dims: []int{c.dim()}, structFields: []string{f1, f2}},
+	)
+	term1 := fmt.Sprintf("%s[%s].%s - %s[%s].%s", ref, iv, f1, arr, iv, f1)
+	term2 := fmt.Sprintf("%s[%s].%s - %s[%s].%s", ref, iv, f2, arr, iv, f2)
+	if withCall {
+		term1 = "abs(" + term1 + ")"
+		term2 = "abs(" + term2 + ")"
+		u.noiseEligible = true
+	} else {
+		term1 = "(" + term1 + ")"
+		term2 = "(" + term2 + ")"
+	}
+	u.loopSrc = fmt.Sprintf("for (%s = 0; %s < %d; %s++) {\n    %s += %s + %s;\n}",
+		iv, iv, c.bound, iv, acc, term1, term2)
+	u.pragma = fmt.Sprintf("#pragma omp parallel for reduction(+:%s)", acc)
+	return u
+}
+
+// ---------------------------------------------------------------------------
+// non-parallel generators
+
+// genNonParallel builds loops with genuine cross-iteration dependences.
+func genNonParallel(c *genCtx, withCall, nested bool) *unit {
+	iv := c.nm.scalar()
+	a := c.nm.array()
+	u := &unit{hasCall: withCall, nested: nested, bound: c.bound, bigBound: c.big}
+	u.decls = append(u.decls,
+		decl{name: iv, ctype: "int"},
+		decl{name: a, ctype: "int", dims: []int{c.dim()}},
+	)
+
+	variant := c.rng.Intn(9)
+	if nested {
+		variant = 5
+	}
+	if withCall && variant != 3 && variant != 6 {
+		variant = 3
+	}
+	switch variant {
+	case 0: // prefix recurrence
+		u.loopSrc = fmt.Sprintf("for (%s = 1; %s < %d; %s++) {\n    %s[%s] = %s[%s - 1] %s %d;\n}",
+			iv, iv, c.bound, iv, a, iv, a, iv, pick(c.rng, "+", "*"), 1+c.rng.Intn(5))
+	case 1: // carried scalar state written back
+		s := c.nm.scalar()
+		u.decls = append(u.decls, decl{name: s, ctype: "int", init: "1"})
+		u.loopSrc = fmt.Sprintf("for (%s = 0; %s < %d; %s++) {\n    %s = %s * %d + %s[%s];\n    %s[%s] = %s;\n}",
+			iv, iv, c.bound, iv, s, s, 2+c.rng.Intn(3), a, iv, a, iv, s)
+	case 2: // write to the next element
+		u.loopSrc = fmt.Sprintf("for (%s = 0; %s < %d; %s++) {\n    %s[%s + 1] = %s[%s] + %d;\n}",
+			iv, iv, c.bound, iv, a, iv, a, iv, 1+c.rng.Intn(7))
+	case 3: // carried state through a call
+		s := c.nm.scalar()
+		fn := c.nm.fn()
+		u.hasCall = true
+		u.decls = append(u.decls, decl{name: s, ctype: "int", init: "1"})
+		u.funcs = append(u.funcs, fmt.Sprintf(
+			"int %s(int x, int y) {\n    return x * 3 + y;\n}\n", fn))
+		u.loopSrc = fmt.Sprintf("for (%s = 0; %s < %d; %s++) {\n    %s = %s(%s, %s[%s]);\n}",
+			iv, iv, c.bound, iv, s, fn, s, a, iv)
+	case 4: // running best with use (not a pure max-reduction)
+		bst := c.nm.scalar()
+		bNm := c.nm.array()
+		u.decls = append(u.decls,
+			decl{name: bst, ctype: "int"},
+			decl{name: bNm, ctype: "int", dims: []int{c.dim()}},
+		)
+		u.loopSrc = fmt.Sprintf("for (%s = 0; %s < %d; %s++) {\n    if (%s[%s] > %s) %s = %s[%s];\n    %s[%s] = %s;\n}",
+			iv, iv, c.bound, iv, a, iv, bst, bst, a, iv, bNm, iv, bst)
+	case 5: // nested with dependence across outer iterations
+		jv := c.nm.scalar()
+		inner := 8 + c.rng.Intn(16)
+		m := c.nm.array()
+		u.decls = append(u.decls,
+			decl{name: jv, ctype: "int"},
+			decl{name: m, ctype: "int", dims: []int{c.dim(), inner}},
+		)
+		u.loopSrc = fmt.Sprintf("for (%s = 1; %s < %d; %s++) {\n    for (%s = 0; %s < %d; %s++) {\n        %s[%s][%s] = %s[%s - 1][%s] + %d;\n    }\n}",
+			iv, iv, c.bound, iv, jv, jv, inner, jv, m, iv, jv, m, iv, jv, 1+c.rng.Intn(4))
+	case 6: // early-exit search
+		pos := c.nm.scalar()
+		key := c.nm.scalar()
+		u.decls = append(u.decls,
+			decl{name: pos, ctype: "int", init: "-1"},
+			decl{name: key, ctype: "int", init: fmt.Sprint(1 + c.rng.Intn(9))},
+		)
+		u.loopSrc = fmt.Sprintf("for (%s = 0; %s < %d; %s++) {\n    if (%s[%s] == %s) {\n        %s = %s;\n        break;\n    }\n}",
+			iv, iv, c.bound, iv, a, iv, key, pos, iv)
+	case 7: // Horner accumulation: the non-associative twin of a reduction
+		s2 := c.nm.scalar()
+		u.decls = append(u.decls, decl{name: s2, ctype: "int", init: "1"})
+		u.loopSrc = fmt.Sprintf("for (%s = 0; %s < %d; %s++) {\n    %s = %s * %d + %s[%s];\n}",
+			iv, iv, c.bound, iv, s2, s2, 2+c.rng.Intn(3), a, iv)
+	case 8: // long body ending in a recurrence (buried dependence)
+		t := c.nm.scalar()
+		bNm := c.nm.array()
+		u.decls = append(u.decls,
+			decl{name: t, ctype: "int"},
+			decl{name: bNm, ctype: "int", dims: []int{c.dim()}},
+		)
+		body, _ := longBody(c, u, iv, a, bNm, t, true)
+		u.loopSrc = fmt.Sprintf("for (%s = 1; %s < %d; %s++) {\n%s\n}",
+			iv, iv, c.bound, iv, indentBlock(body, 1))
+	}
+	return u
+}
+
+// longBody emits a chain of independent temp computations; when carried is
+// true the final statement hides a genuine recurrence at the very end,
+// beyond a token-window's reach but inside the graph.
+func longBody(c *genCtx, u *unit, iv, a, b, t string, carried bool) (string, []string) {
+	var sb strings.Builder
+	k := 14 + c.rng.Intn(16)
+	prev := fmt.Sprintf("%s[%s]", b, iv)
+	var temps []string
+	for i := 0; i < k; i++ {
+		tn := fmt.Sprintf("%s_%d", t, i)
+		u.decls = append(u.decls, decl{name: tn, ctype: "int"})
+		temps = append(temps, tn)
+		fmt.Fprintf(&sb, "%s = %s %s %d;\n", tn, prev, pick(c.rng, "+", "*", "-"), 1+c.rng.Intn(7))
+		prev = tn
+	}
+	if carried {
+		fmt.Fprintf(&sb, "%s[%s] = %s[%s - 1] + %s;", a, iv, a, iv, prev)
+	} else {
+		fmt.Fprintf(&sb, "%s[%s] = %s;", a, iv, prev)
+	}
+	return sb.String(), temps
+}
+
+// genWhileNonParallel builds while-loop accumulators (never canonical, so
+// outside every tool's coverage).
+func genWhileNonParallel(c *genCtx) *unit {
+	x := c.nm.scalar()
+	s := c.nm.scalar()
+	u := &unit{bound: c.bound}
+	u.decls = append(u.decls,
+		decl{name: x, ctype: "int", init: fmt.Sprint(c.bound % 97)},
+		decl{name: s, ctype: "int"},
+	)
+	u.loopSrc = fmt.Sprintf("while (%s > 0) {\n    %s = %s + %s;\n    %s = %s / 2;\n}",
+		x, s, s, x, x, x)
+	return u
+}

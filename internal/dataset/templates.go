@@ -1,0 +1,264 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"graph2par/internal/tensor"
+)
+
+// The paper's synthetic generator (section 4.3) renders C programs from
+// templates sourced from NPB / PolyBench / BOTS / Starbench-style kernels:
+// ten do-all and ten reduction templates, 20 variations each. Variations
+// substitute fresh variable names, constants and operators (+ - * / for
+// do-all; + * for reduction, which must stay associative/commutative).
+// Every synthetic program is complete and runnable, exactly because the
+// paper verified them with DiscoPoP.
+
+// tmplVars is the substitution set for one variation.
+type tmplVars struct {
+	A, B, C, M string // arrays
+	I, J, S, T string // scalars
+	N, K       int    // bounds
+	Op         string // do-all operator
+	RedOp      string // reduction operator
+	C1, C2     int    // constants
+}
+
+func freshTmplVars(rng *tensor.RNG, nm *namer) tmplVars {
+	return tmplVars{
+		A: nm.array(), B: nm.array(), C: nm.array(), M: nm.array(),
+		I: nm.scalar(), J: nm.scalar(), S: nm.scalar(), T: nm.scalar(),
+		N:  24 + rng.Intn(72),
+		K:  4 + rng.Intn(12),
+		Op: pick(rng, "+", "-", "*", "/"),
+		// reduction ops must be associative and commutative: + or * only
+		RedOp: pick(rng, "+", "*"),
+		C1:    1 + rng.Intn(9),
+		C2:    1 + rng.Intn(9),
+	}
+}
+
+// sub replaces {A}-style placeholders.
+func (v tmplVars) sub(s string) string {
+	r := strings.NewReplacer(
+		"{A}", v.A, "{B}", v.B, "{C}", v.C, "{M}", v.M,
+		"{I}", v.I, "{J}", v.J, "{S}", v.S, "{T}", v.T,
+		"{N}", fmt.Sprint(v.N), "{N1}", fmt.Sprint(v.N+1), "{K}", fmt.Sprint(v.K),
+		"{OP}", v.Op, "{ROP}", v.RedOp,
+		"{C1}", fmt.Sprint(v.C1), "{C2}", fmt.Sprint(v.C2),
+		"{RINIT}", map[string]string{"+": "0", "*": "1"}[v.RedOp],
+	)
+	return r.Replace(s)
+}
+
+// doAllTemplates are the ten do-all loop templates. Placeholders follow
+// tmplVars; the pragma is part of the template as in the paper's Jinja2
+// files.
+var doAllTemplates = []string{
+	// 1: vector map (PolyBench-style)
+	`#pragma omp parallel for
+for ({I} = 0; {I} < {N}; {I}++) {
+    {A}[{I}] = {B}[{I}] {OP} {C1};
+}`,
+	// 2: triad (Starbench stream-style)
+	`#pragma omp parallel for
+for ({I} = 0; {I} < {N}; {I}++) {
+    {A}[{I}] = {B}[{I}] {OP} {C}[{I}] + {C1};
+}`,
+	// 3: saxpy with temp (private)
+	`#pragma omp parallel for private({T})
+for ({I} = 0; {I} < {N}; {I}++) {
+    {T} = {B}[{I}] * {C1};
+    {A}[{I}] = {T} {OP} {C}[{I}];
+}`,
+	// 4: 2D init (NPB-style)
+	`#pragma omp parallel for private({J})
+for ({I} = 0; {I} < {N}; {I}++) {
+    for ({J} = 0; {J} < {K}; {J}++) {
+        {M}[{I}][{J}] = {I} {OP} {J} + {C1};
+    }
+}`,
+	// 5: conditional map
+	`#pragma omp parallel for
+for ({I} = 0; {I} < {N}; {I}++) {
+    if ({B}[{I}] > {C1}) {
+        {A}[{I}] = {B}[{I}] {OP} {C2};
+    }
+}`,
+	// 6: strided even/odd split
+	`#pragma omp parallel for
+for ({I} = 0; {I} < {N}; {I}++) {
+    {A}[2 * {I}] = {B}[{I}] {OP} {C1};
+    {A}[2 * {I} + 1] = {B}[{I}] {OP} {C2};
+}`,
+	// 7: math-call map
+	`#pragma omp parallel for
+for ({I} = 0; {I} < {N}; {I}++) {
+    {A}[{I}] = (int)fabs({B}[{I}] - {C1});
+}`,
+	// 8: row normalize with temp
+	`#pragma omp parallel for private({J}, {T})
+for ({I} = 0; {I} < {N}; {I}++) {
+    {T} = {B}[{I}] + {C1};
+    for ({J} = 0; {J} < {K}; {J}++) {
+        {M}[{I}][{J}] = {T} {OP} ({J} + 1);
+    }
+}`,
+	// 9: gather from shifted read (distinct arrays)
+	`#pragma omp parallel for
+for ({I} = 0; {I} < {N}; {I}++) {
+    {A}[{I}] = {B}[{I} + 1] {OP} {B}[{I}];
+}`,
+	// 10: double update within iteration
+	`#pragma omp parallel for
+for ({I} = 0; {I} < {N}; {I}++) {
+    {A}[{I}] = {B}[{I}] {OP} {C1};
+    {A}[{I}] = {A}[{I}] + {C2};
+}`,
+}
+
+// reductionTemplates are the ten reduction templates.
+var reductionTemplates = []string{
+	// 1: plain sum/product
+	`#pragma omp parallel for reduction({ROP}:{S})
+for ({I} = 0; {I} < {N}; {I}++) {
+    {S} {ROP}= {B}[{I}];
+}`,
+	// 2: dot product
+	`#pragma omp parallel for reduction({ROP}:{S})
+for ({I} = 0; {I} < {N}; {I}++) {
+    {S} {ROP}= {B}[{I}] * {C}[{I}];
+}`,
+	// 3: neighbor-difference accumulation (Listing 1 family)
+	`#pragma omp parallel for reduction(+:{S})
+for ({I} = 0; {I} < {N}; {I}++) {
+    {S} = {S} + ({B}[{I}] - {B}[{I} + 1]);
+}`,
+	// 4: conditional count
+	`#pragma omp parallel for reduction(+:{S})
+for ({I} = 0; {I} < {N}; {I}++) {
+    if ({B}[{I}] > {C1}) {S}++;
+}`,
+	// 5: scaled accumulation
+	`#pragma omp parallel for reduction({ROP}:{S})
+for ({I} = 0; {I} < {N}; {I}++) {
+    {S} {ROP}= {B}[{I}] * {C1} + {C2};
+}`,
+	// 6: nested 2D sum
+	`#pragma omp parallel for reduction(+:{S}) private({J})
+for ({I} = 0; {I} < {N}; {I}++) {
+    for ({J} = 0; {J} < {K}; {J}++) {
+        {S} += {M}[{I}][{J}];
+    }
+}`,
+	// 7: math-call reduction
+	`#pragma omp parallel for reduction(+:{S})
+for ({I} = 0; {I} < {N}; {I}++) {
+    {S} += (int)sqrt({B}[{I}] + {C1});
+}`,
+	// 8: sum with temp (private + reduction)
+	`#pragma omp parallel for private({T}) reduction(+:{S})
+for ({I} = 0; {I} < {N}; {I}++) {
+    {T} = {B}[{I}] {OP} {C1};
+    {S} += {T};
+}`,
+	// 9: two accumulators
+	`#pragma omp parallel for reduction(+:{S}) reduction(+:{T})
+for ({I} = 0; {I} < {N}; {I}++) {
+    {S} += {B}[{I}];
+    {T} += {C}[{I}];
+}`,
+	// 10: squared-error accumulation
+	`#pragma omp parallel for reduction(+:{S})
+for ({I} = 0; {I} < {N}; {I}++) {
+    {S} += ({B}[{I}] - {C}[{I}]) * ({B}[{I}] - {C}[{I}]);
+}`,
+}
+
+// nonParallelTemplates produce synthetic loops with inter-iteration
+// dependences or data races (verified non-parallel).
+var nonParallelTemplates = []string{
+	`for ({I} = 1; {I} < {N}; {I}++) {
+    {A}[{I}] = {A}[{I} - 1] {OP} {C1};
+}`,
+	`for ({I} = 0; {I} < {N}; {I}++) {
+    {S} = {S} * {C1} + {B}[{I}];
+    {A}[{I}] = {S};
+}`,
+	`for ({I} = 0; {I} < {N}; {I}++) {
+    {A}[{I} + 1] = {A}[{I}] + {B}[{I}];
+}`,
+	`for ({I} = 2; {I} < {N}; {I}++) {
+    {A}[{I}] = {A}[{I} - 1] + {A}[{I} - 2];
+}`,
+	`for ({I} = 1; {I} < {N}; {I}++) {
+    for ({J} = 0; {J} < {K}; {J}++) {
+        {M}[{I}][{J}] = {M}[{I} - 1][{J}] {OP} {C1};
+    }
+}`,
+	`for ({I} = 0; {I} < {N}; {I}++) {
+    {T} = {A}[{I}];
+    {A}[{I} % {K}] = {T} + {C2};
+}`,
+	`for ({I} = 0; {I} < {N}; {I}++) {
+    if ({B}[{I}] == {C1}) {
+        {S} = {I};
+        break;
+    }
+}`,
+}
+
+// renderTemplate fills a template and returns the unit; templates embed
+// their own pragma lines.
+func renderTemplate(tmpl string, rng *tensor.RNG) *unit {
+	nm := newNamer(rng)
+	v := freshTmplVars(rng, nm)
+	src := v.sub(tmpl)
+
+	u := &unit{bound: v.N}
+	// split pragma from loop
+	if strings.HasPrefix(src, "#pragma") {
+		nl := strings.Index(src, "\n")
+		u.pragma = src[:nl]
+		u.loopSrc = src[nl+1:]
+	} else {
+		u.loopSrc = src
+	}
+	u.hasCall = strings.Contains(u.loopSrc, "fabs(") || strings.Contains(u.loopSrc, "sqrt(")
+	u.nested = strings.Count(u.loopSrc, "for (") > 1
+
+	// category from pragma
+	switch {
+	case strings.Contains(u.pragma, "reduction"):
+		u.category = "reduction"
+	case u.pragma != "":
+		u.category = "private"
+	}
+
+	// declarations: scan which placeholders the template used
+	dim := 2*v.N + 4
+	if strings.Contains(src, v.A+"[") {
+		u.decls = append(u.decls, decl{name: v.A, ctype: "int", dims: []int{dim}})
+	}
+	if strings.Contains(src, v.B+"[") {
+		u.decls = append(u.decls, decl{name: v.B, ctype: "int", dims: []int{dim}})
+	}
+	if strings.Contains(src, v.C+"[") {
+		u.decls = append(u.decls, decl{name: v.C, ctype: "int", dims: []int{dim}})
+	}
+	if strings.Contains(src, v.M+"[") {
+		u.decls = append(u.decls, decl{name: v.M, ctype: "int", dims: []int{v.N + 2, v.K + 2}})
+	}
+	u.decls = append(u.decls, decl{name: v.I, ctype: "int"})
+	if strings.Contains(src, v.J) {
+		u.decls = append(u.decls, decl{name: v.J, ctype: "int"})
+	}
+	if strings.Contains(src, v.S) {
+		u.decls = append(u.decls, decl{name: v.S, ctype: "int", init: map[string]string{"+": "0", "*": "1"}[v.RedOp]})
+	}
+	if strings.Contains(src, v.T) {
+		u.decls = append(u.decls, decl{name: v.T, ctype: "int"})
+	}
+	return u
+}

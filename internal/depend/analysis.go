@@ -1,0 +1,223 @@
+package depend
+
+import (
+	"fmt"
+
+	"graph2par/internal/cast"
+)
+
+// ArrayDep describes a (possible) cross-iteration dependence on an array.
+type ArrayDep struct {
+	Base   string
+	Why    string
+	Result DependenceResult
+}
+
+// AnalyzeArrays tests every write/read and write/write pair on each array
+// base for loop-carried dependence with respect to the induction variable.
+// Non-affine subscripts, pointer-based accesses and accesses escaping into
+// calls are conservatively Dependent.
+func AnalyzeArrays(body cast.Stmt, iv string) []ArrayDep {
+	accesses := CollectAccesses(body)
+	byBase := map[string][]Access{}
+	var order []string
+	for _, a := range accesses {
+		if len(a.Subscripts) == 0 {
+			continue
+		}
+		if _, ok := byBase[a.Base]; !ok {
+			order = append(order, a.Base)
+		}
+		byBase[a.Base] = append(byBase[a.Base], a)
+	}
+
+	var deps []ArrayDep
+	for _, base := range order {
+		accs := byBase[base]
+		hasWrite := false
+		for _, a := range accs {
+			if a.Write {
+				hasWrite = true
+			}
+		}
+		if !hasWrite {
+			continue // read-only array: no dependence
+		}
+		dep := analyzeBase(base, accs, iv)
+		if dep != nil {
+			deps = append(deps, *dep)
+		}
+	}
+	return deps
+}
+
+func analyzeBase(base string, accs []Access, iv string) *ArrayDep {
+	// Pre-compute affine forms; any failure is conservative.
+	type aff struct {
+		acc   Access
+		forms []Affine
+		ok    bool
+	}
+	forms := make([]aff, len(accs))
+	for i, a := range accs {
+		f := aff{acc: a, ok: true}
+		if a.ViaPointer {
+			f.ok = false
+		}
+		for _, s := range a.Subscripts {
+			af, ok := AffineOf(s)
+			if !ok {
+				f.ok = false
+				break
+			}
+			f.forms = append(f.forms, af)
+		}
+		forms[i] = f
+	}
+	worst := Independent
+	why := ""
+	for i := range forms {
+		for j := range forms {
+			if i > j {
+				continue
+			}
+			if i == j && !forms[i].acc.Write {
+				// self-pair only matters for writes (WAW across iterations)
+				continue
+			}
+			a, b := forms[i], forms[j]
+			if !a.acc.Write && !b.acc.Write {
+				continue
+			}
+			var r DependenceResult
+			switch {
+			case !a.ok || !b.ok:
+				r = Dependent
+				why = fmt.Sprintf("%s: non-affine subscript", base)
+			case len(a.forms) != len(b.forms):
+				r = Dependent
+				why = fmt.Sprintf("%s: mixed dimensionality", base)
+			default:
+				r = testVectors(a.forms, b.forms, iv)
+				if r == Dependent {
+					why = fmt.Sprintf("%s: possible cross-iteration overlap", base)
+				}
+			}
+			if r > worst {
+				worst = r
+			}
+		}
+	}
+	if worst == Dependent {
+		return &ArrayDep{Base: base, Why: why, Result: worst}
+	}
+	return nil
+}
+
+// testVectors applies the per-dimension test. A dependence requires the
+// subscripts to coincide in EVERY dimension for some iteration pair
+// (i1, i2): one Independent dimension rules it out entirely, and one
+// SameIteration dimension (coincidence only when i1 == i2) confines any
+// overlap to within an iteration — so a[i][j] written under an outer i-loop
+// carries no cross-i dependence regardless of the j dimension.
+func testVectors(f, g []Affine, iv string) DependenceResult {
+	anySame := false
+	for d := range f {
+		switch TestSubscriptPair(f[d], g[d], iv) {
+		case Independent:
+			return Independent
+		case SameIteration:
+			anySame = true
+		}
+	}
+	if anySame {
+		return SameIteration
+	}
+	return Dependent
+}
+
+// LoopNest returns the loops of a perfect or imperfect nest rooted at f,
+// outermost first.
+func LoopNest(f *cast.For) []*cast.For {
+	nest := []*cast.For{f}
+	cur := f.Body
+	for {
+		switch b := cur.(type) {
+		case *cast.For:
+			nest = append(nest, b)
+			cur = b.Body
+		case *cast.Compound:
+			// a compound whose only loop-bearing statement is a single for
+			var inner *cast.For
+			count := 0
+			for _, it := range b.Items {
+				if lf, ok := it.(*cast.For); ok {
+					inner = lf
+					count++
+				}
+			}
+			if count == 1 && inner != nil {
+				nest = append(nest, inner)
+				cur = inner.Body
+				continue
+			}
+			return nest
+		default:
+			return nest
+		}
+	}
+}
+
+// HasLoopExit reports whether the body can leave the loop early: a break
+// that targets this loop (depth 0), or any goto/return. OpenMP's canonical
+// loop form forbids these, so every tool rejects such loops.
+func HasLoopExit(body cast.Stmt) bool {
+	found := false
+	var walk func(n cast.Node, depth int)
+	walk = func(n cast.Node, depth int) {
+		if found || n == nil {
+			return
+		}
+		switch n.(type) {
+		case *cast.For, *cast.While, *cast.DoWhile, *cast.Switch:
+			depth++
+		case *cast.Break:
+			if depth == 0 {
+				found = true
+			}
+			return
+		case *cast.Goto, *cast.Return:
+			found = true
+			return
+		}
+		for _, ch := range n.Children() {
+			walk(ch, depth)
+		}
+	}
+	walk(body, 0)
+	return found
+}
+
+// ContainsLoop reports whether the statement contains a nested loop.
+func ContainsLoop(body cast.Stmt) bool {
+	found := false
+	cast.Walk(body, func(n cast.Node) bool {
+		switch n.(type) {
+		case *cast.For, *cast.While, *cast.DoWhile:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// WritesAnything reports whether the body performs any write at all (used
+// to rule out trivially side-effect-free loops).
+func WritesAnything(body cast.Stmt) bool {
+	for _, a := range CollectAccesses(body) {
+		if a.Write {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"graph2par/internal/auggraph"
+	"graph2par/internal/metrics"
+	"graph2par/internal/train"
+)
+
+// AblationRow is one configuration's test accuracy.
+type AblationRow struct {
+	Name      string
+	Confusion *metrics.Confusion
+}
+
+// AblationResult holds a family of ablations.
+type AblationResult struct {
+	Family string
+	Rows   []AblationRow
+}
+
+// AblationEdges toggles the aug-AST edge families: full, no lexical edges,
+// no CFG edges, AST only. This isolates the contribution of each
+// augmentation of section 5.1.
+func (st *Suite) AblationEdges() *AblationResult {
+	res := &AblationResult{Family: "edge families"}
+	configs := []struct {
+		name string
+		opts auggraph.Options
+	}{
+		{"aug-AST (full)", auggraph.Default()},
+		{"no lexical edges", auggraph.Options{CFG: true, Reverse: true, Normalize: true}},
+		{"no CFG edges", auggraph.Options{Lexical: true, Reverse: true, Normalize: true}},
+		{"AST only", auggraph.VanillaAST()},
+	}
+	for _, cfg := range configs {
+		opts := st.Opts
+		opts.Graph = cfg.opts
+		set := train.PrepareGraphs(st.Train, cfg.opts, nil, train.ParallelLabel)
+		model := train.TrainHGT(set, opts)
+		test := train.PrepareGraphs(st.Test, cfg.opts, set.Vocab, train.ParallelLabel)
+		res.Rows = append(res.Rows, AblationRow{Name: cfg.name, Confusion: train.EvalHGT(model, test)})
+	}
+	return res
+}
+
+// AblationHeterogeneity compares the heterogeneous representation with a
+// homogenized one (identifier normalization off ⇒ unbounded attrs collapse
+// to <unk> at test time, and single-kind graphs).
+func (st *Suite) AblationHeterogeneity() *AblationResult {
+	res := &AblationResult{Family: "heterogeneity"}
+
+	full := auggraph.Default()
+	set := train.PrepareGraphs(st.Train, full, nil, train.ParallelLabel)
+	model := train.TrainHGT(set, st.Opts)
+	test := train.PrepareGraphs(st.Test, full, set.Vocab, train.ParallelLabel)
+	res.Rows = append(res.Rows, AblationRow{Name: "heterogeneous (normalized ids)", Confusion: train.EvalHGT(model, test)})
+
+	raw := auggraph.Default()
+	raw.Normalize = false
+	rawSet := train.PrepareGraphs(st.Train, raw, nil, train.ParallelLabel)
+	rawModel := train.TrainHGT(rawSet, st.Opts)
+	rawTest := train.PrepareGraphs(st.Test, raw, rawSet.Vocab, train.ParallelLabel)
+	res.Rows = append(res.Rows, AblationRow{Name: "raw identifiers", Confusion: train.EvalHGT(rawModel, rawTest)})
+	return res
+}
+
+// AblationCapacity sweeps heads and layers.
+func (st *Suite) AblationCapacity() *AblationResult {
+	res := &AblationResult{Family: "capacity"}
+	for _, cfg := range []struct {
+		heads, layers int
+	}{{1, 1}, {2, 2}, {4, 2}} {
+		opts := st.Opts
+		opts.Heads = cfg.heads
+		opts.Layers = cfg.layers
+		set := train.PrepareGraphs(st.Train, opts.Graph, nil, train.ParallelLabel)
+		model := train.TrainHGT(set, opts)
+		test := train.PrepareGraphs(st.Test, opts.Graph, set.Vocab, train.ParallelLabel)
+		res.Rows = append(res.Rows, AblationRow{
+			Name:      fmt.Sprintf("heads=%d layers=%d", cfg.heads, cfg.layers),
+			Confusion: train.EvalHGT(model, test),
+		})
+	}
+	return res
+}
+
+// Format renders the ablation table.
+func (r *AblationResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation (%s)\n", r.Family)
+	b.WriteString(row("Config", "Precision", "Recall", "F1", "Accuracy") + "\n")
+	for _, rw := range r.Rows {
+		c := rw.Confusion
+		fmt.Fprintf(&b, "%s\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			rw.Name, c.Precision(), c.Recall(), c.F1(), c.Accuracy())
+	}
+	return b.String()
+}

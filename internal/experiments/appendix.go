@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"graph2par/internal/auggraph"
+	"graph2par/internal/hgt"
+	"graph2par/internal/metrics"
+	"graph2par/internal/nn"
+	"graph2par/internal/train"
+)
+
+// AppendixResult reproduces the paper's appendix-style training report:
+// per-epoch loss and test accuracy for Graph2Par, plus corpus and model
+// summaries.
+type AppendixResult struct {
+	EpochLoss     []float64
+	EpochTestAcc  []float64
+	ParamCount    int
+	VocabKinds    int
+	VocabAttrs    int
+	TrainSize     int
+	TestSize      int
+	MeanGraphSize float64
+	MeanEdges     float64
+}
+
+// Appendix trains a fresh Graph2Par model while recording the per-epoch
+// trajectory (the cached suite models are not reused so the curve starts
+// from initialization).
+func (st *Suite) Appendix() *AppendixResult {
+	res := &AppendixResult{TrainSize: len(st.Train), TestSize: len(st.Test)}
+
+	trainSet := train.PrepareGraphs(st.Train, auggraph.Default(), nil, train.ParallelLabel)
+	testSet := train.PrepareGraphs(st.Test, auggraph.Default(), trainSet.Vocab, train.ParallelLabel)
+	res.VocabKinds = trainSet.Vocab.NumKinds()
+	res.VocabAttrs = trainSet.Vocab.NumAttrs()
+
+	var nodes, edges int
+	for _, enc := range trainSet.Encoded {
+		nodes += len(enc.KindIDs)
+		edges += len(enc.Edges)
+	}
+	if len(trainSet.Encoded) > 0 {
+		res.MeanGraphSize = float64(nodes) / float64(len(trainSet.Encoded))
+		res.MeanEdges = float64(edges) / float64(len(trainSet.Encoded))
+	}
+
+	cfg := hgt.DefaultConfig(trainSet.Vocab.NumKinds(), trainSet.Vocab.NumAttrs(), trainSet.Vocab.NumTypes())
+	cfg.Hidden = st.Opts.Hidden
+	cfg.Heads = st.Opts.Heads
+	cfg.Layers = st.Opts.Layers
+	cfg.Seed = st.Opts.Seed
+	model := hgt.New(cfg)
+	res.ParamCount = model.Params.NumParams()
+	opt := nn.NewAdam(st.Opts.LR)
+	rng := model.RNG()
+
+	bs := st.Opts.BatchSize
+	if bs < 1 {
+		bs = 1
+	}
+	for epoch := 0; epoch < st.Opts.Epochs; epoch++ {
+		perm := rng.Perm(len(trainSet.Encoded))
+		var total float64
+		pending := 0
+		model.Params.ZeroGrad()
+		for _, idx := range perm {
+			g := nn.NewGraph()
+			loss := model.Loss(g, trainSet.Encoded[idx], trainSet.Labels[idx], true)
+			g.Backward(loss)
+			total += loss.Val.Data[0]
+			if pending++; pending >= bs {
+				model.Params.ClipGrad(5)
+				opt.Step(&model.Params)
+				model.Params.ZeroGrad()
+				pending = 0
+			}
+		}
+		if pending > 0 {
+			model.Params.ClipGrad(5)
+			opt.Step(&model.Params)
+			model.Params.ZeroGrad()
+		}
+		res.EpochLoss = append(res.EpochLoss, total/float64(len(trainSet.Encoded)))
+
+		var c metrics.Confusion
+		for i, enc := range testSet.Encoded {
+			pred, _ := model.Predict(enc)
+			c.Add(pred == 1, testSet.Labels[i] == 1)
+		}
+		res.EpochTestAcc = append(res.EpochTestAcc, c.Accuracy())
+	}
+	return res
+}
+
+// Format renders the appendix report.
+func (r *AppendixResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Appendix: Graph2Par training dynamics\n")
+	fmt.Fprintf(&b, "corpus: train=%d test=%d | graphs: mean %.1f nodes, %.1f edges\n",
+		r.TrainSize, r.TestSize, r.MeanGraphSize, r.MeanEdges)
+	fmt.Fprintf(&b, "model: %d parameters | vocab: %d kinds, %d attrs\n",
+		r.ParamCount, r.VocabKinds, r.VocabAttrs)
+	b.WriteString(row("epoch", "train-loss", "test-acc") + "\n")
+	for i := range r.EpochLoss {
+		fmt.Fprintf(&b, "%d\t%.4f\t%.4f\n", i+1, r.EpochLoss[i], r.EpochTestAcc[i])
+	}
+	return b.String()
+}

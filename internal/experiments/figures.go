@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"graph2par/internal/auggraph"
+	"graph2par/internal/dataset"
+	"graph2par/internal/train"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 2 — category-wise loops missed by the tools
+
+// Figure2Result counts, per tool, the actually-parallel loops it failed to
+// detect, bucketed by the paper's five categories. Coverage mirrors the
+// section 2 statistic (fraction of loops each tool can process at all).
+type Figure2Result struct {
+	// Missed[tool][category] = count.
+	Missed map[string]map[string]int
+	// Coverage[tool] = processable fraction of all loops.
+	Coverage map[string]float64
+	Total    int
+}
+
+// Figure2 reproduces the missed-loop histogram.
+func (st *Suite) Figure2() *Figure2Result {
+	res := &Figure2Result{
+		Missed:   map[string]map[string]int{},
+		Coverage: map[string]float64{},
+		Total:    len(st.Corpus.Samples),
+	}
+	for _, tool := range st.Tools {
+		vs := st.RunTool(tool)
+		buckets := map[string]int{}
+		processable := 0
+		for i, s := range st.Corpus.Samples {
+			if vs[i].Processable {
+				processable++
+			}
+			if !s.Parallel {
+				continue
+			}
+			if vs[i].Processable && vs[i].Parallel {
+				continue // detected
+			}
+			buckets[missCategory(s)]++
+		}
+		res.Missed[tool.Name()] = buckets
+		res.Coverage[tool.Name()] = float64(processable) / float64(len(st.Corpus.Samples))
+	}
+	return res
+}
+
+// Format renders the histogram as text.
+func (r *Figure2Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Figure 2: category-wise parallel loops missed per tool\n")
+	header := append([]string{"Tool"}, figure2Categories...)
+	b.WriteString(row(append(header, "coverage")...) + "\n")
+	for _, tool := range sortedKeys(r.Missed) {
+		cells := []string{tool}
+		for _, cat := range figure2Categories {
+			cells = append(cells, fmt.Sprint(r.Missed[tool][cat]))
+		}
+		cells = append(cells, pct(r.Coverage[tool])+"%")
+		b.WriteString(row(cells...) + "\n")
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// §6.5 — aug-AST construction overhead
+
+// OverheadResult summarizes per-loop aug-AST construction cost.
+type OverheadResult struct {
+	Loops     int
+	Total     time.Duration
+	PerLoop   time.Duration
+	MaxSingle time.Duration
+}
+
+// Overhead measures aug-AST construction over the test split.
+func (st *Suite) Overhead() *OverheadResult {
+	res := &OverheadResult{}
+	for _, s := range st.Test {
+		start := time.Now()
+		g := auggraph.Build(s.Loop, auggraph.Default())
+		el := time.Since(start)
+		_ = g
+		res.Loops++
+		res.Total += el
+		if el > res.MaxSingle {
+			res.MaxSingle = el
+		}
+	}
+	if res.Loops > 0 {
+		res.PerLoop = res.Total / time.Duration(res.Loops)
+	}
+	return res
+}
+
+// Format renders the overhead summary.
+func (r *OverheadResult) Format() string {
+	return fmt.Sprintf("Section 6.5: aug-AST construction overhead: %d loops, total %v, mean %v/loop, max %v\n",
+		r.Loops, r.Total, r.PerLoop, r.MaxSingle)
+}
+
+// ---------------------------------------------------------------------------
+// §6.6 — case study: tool blind spots Graph2Par covers
+
+// CaseStudyResult lists parallel loops missed by every tool, and how many
+// of those Graph2Par detects.
+type CaseStudyResult struct {
+	MissedByAllTools int
+	RecoveredByModel int
+	ExampleSources   []string
+}
+
+// CaseStudy reproduces the 48-loops analysis: parallel loops that every
+// algorithm-based tool misses, scored against Graph2Par's predictions.
+func (st *Suite) CaseStudy() *CaseStudyResult {
+	res := &CaseStudyResult{}
+	g2p, vocab := st.Graph2Par()
+
+	detected := make([][]bool, len(st.Tools))
+	for ti, tool := range st.Tools {
+		vs := st.RunTool(tool)
+		det := make([]bool, len(vs))
+		for i, v := range vs {
+			det[i] = v.Processable && v.Parallel
+		}
+		detected[ti] = det
+	}
+
+	var blind []*dataset.Sample
+	for i, s := range st.Corpus.Samples {
+		if !s.Parallel {
+			continue
+		}
+		missedByAll := true
+		for ti := range st.Tools {
+			if detected[ti][i] {
+				missedByAll = false
+				break
+			}
+		}
+		if missedByAll {
+			blind = append(blind, s)
+		}
+	}
+	res.MissedByAllTools = len(blind)
+	if len(blind) == 0 {
+		return res
+	}
+
+	set := train.PrepareGraphs(blind, auggraph.Default(), vocab, train.ParallelLabel)
+	preds := train.PredictHGT(g2p, set)
+	for i, p := range preds {
+		if p {
+			res.RecoveredByModel++
+			if len(res.ExampleSources) < 3 {
+				res.ExampleSources = append(res.ExampleSources, set.Samples[i].LoopSrc)
+			}
+		}
+	}
+	return res
+}
+
+// Format renders the case-study summary.
+func (r *CaseStudyResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 6.6: %d parallel loops missed by all three tools; Graph2Par recovers %d\n",
+		r.MissedByAllTools, r.RecoveredByModel)
+	for i, src := range r.ExampleSources {
+		fmt.Fprintf(&b, "  example %d:\n%s\n", i+1, indent(src))
+	}
+	return b.String()
+}
+
+func indent(s string) string {
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = "    " + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,163 @@
+// Package experiments implements the paper's evaluation: one harness per
+// table and figure, shared between the root bench_test.go and
+// cmd/evaluate. Each harness returns a structured result plus a formatted
+// paper-style rendering, so EXPERIMENTS.md can record paper-vs-measured
+// side by side.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"graph2par/internal/auggraph"
+	"graph2par/internal/dataset"
+	"graph2par/internal/hgt"
+	"graph2par/internal/metrics"
+	"graph2par/internal/tools"
+	"graph2par/internal/tools/autopar"
+	"graph2par/internal/tools/discopop"
+	"graph2par/internal/tools/pluto"
+	"graph2par/internal/train"
+)
+
+// Suite prepares the corpus, the split and the comparator tools once, and
+// caches trained models across tables.
+type Suite struct {
+	Corpus *dataset.Corpus
+	Train  []*dataset.Sample
+	Test   []*dataset.Sample
+
+	Tools []tools.Tool
+	Opts  train.Options
+
+	// lazily trained models for the parallelism task
+	graph2par *hgt.Model
+	g2pVocab  *auggraph.Vocab
+	hgtAST    *hgt.Model
+	astVocab  *auggraph.Vocab
+
+	// cached tool verdicts over the full corpus, keyed by tool name.
+	verdicts map[string][]tools.Verdict
+}
+
+// Config scales the suite.
+type Config struct {
+	Scale    float64
+	Seed     uint64
+	TestFrac float64
+	Training train.Options
+}
+
+// DefaultConfig returns the configuration used by the benches: small
+// enough to train on a CPU in seconds, large enough for the paper's
+// qualitative shape to emerge.
+func DefaultConfig() Config {
+	return Config{Scale: 0.02, Seed: 1234, TestFrac: 0.25, Training: train.DefaultOptions()}
+}
+
+// NewSuite generates the corpus and splits it.
+func NewSuite(cfg Config) *Suite {
+	if cfg.TestFrac <= 0 || cfg.TestFrac >= 1 {
+		cfg.TestFrac = 0.25
+	}
+	corpus := dataset.Generate(dataset.Config{Scale: cfg.Scale, Seed: cfg.Seed})
+	tr, te := corpus.Split(cfg.TestFrac, cfg.Seed)
+	return &Suite{
+		Corpus:   corpus,
+		Train:    tr,
+		Test:     te,
+		Tools:    []tools.Tool{pluto.New(), autopar.New(), discopop.New()},
+		Opts:     cfg.Training,
+		verdicts: map[string][]tools.Verdict{},
+	}
+}
+
+// toolSample converts a dataset sample to the tool-facing form.
+func toolSample(s *dataset.Sample) tools.Sample {
+	return tools.Sample{
+		Loop:       s.Loop,
+		File:       s.File,
+		Compilable: s.Compilable,
+		Runnable:   s.Runnable,
+	}
+}
+
+// RunTool returns (and caches) the verdicts of one tool over the whole
+// corpus, index-aligned with Corpus.Samples.
+func (st *Suite) RunTool(tool tools.Tool) []tools.Verdict {
+	if vs, ok := st.verdicts[tool.Name()]; ok {
+		return vs
+	}
+	vs := make([]tools.Verdict, len(st.Corpus.Samples))
+	for i, s := range st.Corpus.Samples {
+		vs[i] = tool.Analyze(toolSample(s))
+	}
+	st.verdicts[tool.Name()] = vs
+	return vs
+}
+
+// Graph2Par returns the trained full-representation model (cached).
+func (st *Suite) Graph2Par() (*hgt.Model, *auggraph.Vocab) {
+	if st.graph2par == nil {
+		set := train.PrepareGraphs(st.Train, auggraph.Default(), nil, train.ParallelLabel)
+		st.graph2par = train.TrainHGT(set, st.Opts)
+		st.g2pVocab = set.Vocab
+	}
+	return st.graph2par, st.g2pVocab
+}
+
+// HGTAST returns the vanilla-AST ablation model (cached).
+func (st *Suite) HGTAST() (*hgt.Model, *auggraph.Vocab) {
+	if st.hgtAST == nil {
+		opts := st.Opts
+		opts.Graph = auggraph.VanillaAST()
+		set := train.PrepareGraphs(st.Train, opts.Graph, nil, train.ParallelLabel)
+		st.hgtAST = train.TrainHGT(set, opts)
+		st.astVocab = set.Vocab
+	}
+	return st.hgtAST, st.astVocab
+}
+
+// evalModelOn scores an HGT model on the given samples with the given
+// graph options and vocabulary.
+func evalModelOn(model *hgt.Model, vocab *auggraph.Vocab, opts auggraph.Options, samples []*dataset.Sample) *metrics.Confusion {
+	set := train.PrepareGraphs(samples, opts, vocab, train.ParallelLabel)
+	return train.EvalHGT(model, set)
+}
+
+// missCategory buckets a parallel loop the way Figure 2 does.
+func missCategory(s *dataset.Sample) string {
+	isRed := s.Category == "reduction"
+	switch {
+	case isRed && s.HasCall:
+		return "reduction+call"
+	case isRed:
+		return "reduction"
+	case s.HasCall:
+		return "function call"
+	case s.Nested:
+		return "nested"
+	default:
+		return "others"
+	}
+}
+
+// figure2Categories is the fixed category order of the figure.
+var figure2Categories = []string{"reduction", "function call", "reduction+call", "nested", "others"}
+
+// pct formats a ratio as NN.NN%.
+func pct(v float64) string { return fmt.Sprintf("%.2f", 100*v) }
+
+// row renders an aligned table row.
+func row(cells ...string) string { return strings.Join(cells, "\t") }
+
+// sortedKeys returns map keys in deterministic order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

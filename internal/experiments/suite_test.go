@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"graph2par/internal/train"
+)
+
+var (
+	sharedSuite     *Suite
+	sharedSuiteOnce sync.Once
+)
+
+// testSuite builds a deliberately tiny suite so the full table set runs in
+// test time; the benchmark harness uses larger scales. It is shared across
+// tests (the suite caches tool verdicts and trained models).
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	sharedSuiteOnce.Do(func() {
+		cfg := DefaultConfig()
+		cfg.Scale = 0.015
+		cfg.Seed = 42
+		cfg.Training = train.Options{
+			Epochs: 4, BatchSize: 8, LR: 3e-3, Hidden: 24, Heads: 2, Layers: 2,
+			Seed: 5, Graph: cfg.Training.Graph,
+		}
+		sharedSuite = NewSuite(cfg)
+	})
+	return sharedSuite
+}
+
+func TestTable1Shape(t *testing.T) {
+	st := testSuite(t)
+	r := st.Table1()
+	if len(r.Rows) < 7 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byKey := map[string]Table1Row{}
+	for _, rw := range r.Rows {
+		byKey[rw.Source+"/"+rw.PragmaType] = rw
+	}
+	// Paper shape: private > reduction > simd > target; non-parallel
+	// biggest; simd shortest.
+	if !(byKey["github/private"].Loops > byKey["github/reduction"].Loops) {
+		t.Error("private should outnumber reduction")
+	}
+	if !(byKey["github/non-parallel"].Loops > byKey["github/private"].Loops) {
+		t.Error("non-parallel should dominate")
+	}
+	if byKey["github/simd"].AvgLOC >= byKey["github/private"].AvgLOC {
+		t.Error("simd loops should be shortest")
+	}
+	out := r.Format()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "reduction") {
+		t.Errorf("format broken:\n%s", out)
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	st := testSuite(t)
+	r := st.Figure2()
+	if len(r.Missed) != 3 {
+		t.Fatalf("tools = %d", len(r.Missed))
+	}
+	// Every tool misses a nonzero number of parallel loops, with the
+	// reduction category prominent (the paper's headline observation).
+	for tool, buckets := range r.Missed {
+		total := 0
+		for _, n := range buckets {
+			total += n
+		}
+		if total == 0 {
+			t.Errorf("%s misses nothing — too optimistic to be real", tool)
+		}
+	}
+	// Coverage ordering: DiscoPoP (dynamic) < autoPar (compilable) <
+	// PLUTO.
+	if !(r.Coverage["DiscoPoP"] < r.Coverage["autoPar"]) {
+		t.Errorf("coverage DiscoPoP=%.2f should be below autoPar=%.2f",
+			r.Coverage["DiscoPoP"], r.Coverage["autoPar"])
+	}
+	if !(r.Coverage["autoPar"] < r.Coverage["PLUTO"]) {
+		t.Errorf("coverage autoPar=%.2f should be below PLUTO=%.2f",
+			r.Coverage["autoPar"], r.Coverage["PLUTO"])
+	}
+	_ = r.Format()
+}
+
+func TestTable3AndTable4Shape(t *testing.T) {
+	st := testSuite(t)
+
+	t3 := st.Table3()
+	byName := map[string]int{}
+	for _, rw := range t3.Rows {
+		byName[rw.Approach] = rw.Detected
+	}
+	if byName["Graph2Par"] == 0 {
+		t.Error("Graph2Par detected nothing")
+	}
+	// The paper's ordering: Graph2Par detects far more than any tool.
+	for _, tool := range []string{"DiscoPoP", "PLUTO", "autoPar"} {
+		if byName[tool] >= byName["Graph2Par"] {
+			t.Errorf("%s (%d) should detect fewer than Graph2Par (%d)", tool, byName[tool], byName["Graph2Par"])
+		}
+	}
+
+	t4 := st.Table4()
+	if len(t4.Subsets) != 3 {
+		t.Fatalf("subsets = %d", len(t4.Subsets))
+	}
+	for _, sub := range t4.Subsets {
+		if sub.SubsetSize == 0 {
+			t.Errorf("subset %s empty", sub.ToolName)
+			continue
+		}
+		// Tools are conservative: zero false positives.
+		if sub.Tool.FP != 0 {
+			t.Errorf("%s has %d false positives; conservative tools must have none", sub.ToolName, sub.Tool.FP)
+		}
+		// Graph2Par finds more true positives than the tool on its own
+		// subset (the 1.2×–5.2× claim, direction only).
+		if sub.Graph2Par.TP < sub.Tool.TP {
+			t.Errorf("Subset_%s: Graph2Par TP=%d below tool TP=%d", sub.ToolName, sub.Graph2Par.TP, sub.Tool.TP)
+		}
+	}
+	_ = t4.Format()
+}
+
+func TestOverheadMillisecondScale(t *testing.T) {
+	st := testSuite(t)
+	r := st.Overhead()
+	if r.Loops == 0 {
+		t.Fatal("no loops measured")
+	}
+	// The paper reports "order of milliseconds"; ours must be at most that.
+	if r.PerLoop.Milliseconds() > 10 {
+		t.Errorf("aug-AST construction too slow: %v per loop", r.PerLoop)
+	}
+	_ = r.Format()
+}
+
+func TestAppendixTrainingDynamics(t *testing.T) {
+	st := testSuite(t)
+	r := st.Appendix()
+	if len(r.EpochLoss) != st.Opts.Epochs || len(r.EpochTestAcc) != st.Opts.Epochs {
+		t.Fatalf("epochs recorded: loss=%d acc=%d want %d", len(r.EpochLoss), len(r.EpochTestAcc), st.Opts.Epochs)
+	}
+	// Loss must decrease overall.
+	if r.EpochLoss[len(r.EpochLoss)-1] >= r.EpochLoss[0] {
+		t.Errorf("loss did not decrease: %v", r.EpochLoss)
+	}
+	if r.ParamCount == 0 || r.VocabKinds < 5 {
+		t.Errorf("summary fields empty: %+v", r)
+	}
+	if r.MeanGraphSize <= 0 || r.MeanEdges <= r.MeanGraphSize {
+		t.Errorf("graph stats implausible: nodes=%.1f edges=%.1f", r.MeanGraphSize, r.MeanEdges)
+	}
+	if !strings.Contains(r.Format(), "training dynamics") {
+		t.Error("format broken")
+	}
+}
+
+func TestAblationEdgesShape(t *testing.T) {
+	st := testSuite(t)
+	r := st.AblationEdges()
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	names := map[string]bool{}
+	for _, rw := range r.Rows {
+		names[rw.Name] = true
+		if rw.Confusion.Total() == 0 {
+			t.Errorf("%s evaluated nothing", rw.Name)
+		}
+	}
+	if !names["aug-AST (full)"] || !names["AST only"] {
+		t.Errorf("expected configs missing: %v", names)
+	}
+	_ = r.Format()
+}
+
+func TestCaseStudyRunsAndReports(t *testing.T) {
+	st := testSuite(t)
+	r := st.CaseStudy()
+	if r.MissedByAllTools == 0 {
+		t.Error("expected tool blind spots in the corpus")
+	}
+	out := r.Format()
+	if !strings.Contains(out, "missed by all three tools") {
+		t.Errorf("format: %s", out)
+	}
+}

@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"graph2par/internal/auggraph"
+	"graph2par/internal/dataset"
+	"graph2par/internal/metrics"
+	"graph2par/internal/train"
+)
+
+// ---------------------------------------------------------------------------
+// Table 1 — dataset statistics
+
+// Table1Row is one (origin, pragma-type) row.
+type Table1Row struct {
+	Source     string
+	PragmaType string
+	Loops      int
+	Calls      int
+	Nested     int
+	AvgLOC     float64
+}
+
+// Table1Result is the dataset-statistics table.
+type Table1Result struct {
+	Rows    []Table1Row
+	Dropped int
+}
+
+// Table1 reproduces the statistic summary of the OMP_Serial corpus.
+func (st *Suite) Table1() *Table1Result {
+	stats := st.Corpus.ComputeStats()
+	res := &Table1Result{Dropped: st.Corpus.Dropped}
+	order := []string{
+		"github/reduction", "github/private", "github/simd", "github/target",
+		"github/non-parallel",
+		"synthetic/reduction", "synthetic/private", "synthetic/non-parallel",
+	}
+	for _, key := range order {
+		cs := stats.ByKey[key]
+		if cs == nil {
+			continue
+		}
+		parts := strings.SplitN(key, "/", 2)
+		res.Rows = append(res.Rows, Table1Row{
+			Source:     parts[0],
+			PragmaType: parts[1],
+			Loops:      cs.Loops,
+			Calls:      cs.Calls,
+			Nested:     cs.Nested,
+			AvgLOC:     cs.AvgLOC(),
+		})
+	}
+	return res
+}
+
+// Format renders the paper-style table.
+func (r *Table1Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Table 1: OMP_Serial statistic summary\n")
+	b.WriteString(row("Source", "PragmaType", "Loops", "FuncCall", "Nested", "AvgLOC") + "\n")
+	for _, rw := range r.Rows {
+		fmt.Fprintf(&b, "%s\t%s\t%d\t%d\t%d\t%.2f\n",
+			rw.Source, rw.PragmaType, rw.Loops, rw.Calls, rw.Nested, rw.AvgLOC)
+	}
+	fmt.Fprintf(&b, "(dropped during generation/parse check: %d)\n", r.Dropped)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — representation comparison (pragma existence prediction)
+
+// Table2Row is one approach's test metrics.
+type Table2Row struct {
+	Approach  string
+	Confusion *metrics.Confusion
+}
+
+// Table2Result compares AST vs PragFormer vs Graph2Par.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 trains the three representations and evaluates pragma-existence
+// prediction on the held-out test split.
+func (st *Suite) Table2() *Table2Result {
+	res := &Table2Result{}
+
+	// Vanilla AST + HGT.
+	astModel, astVocab := st.HGTAST()
+	astConf := evalModelOn(astModel, astVocab, auggraph.VanillaAST(), st.Test)
+	res.Rows = append(res.Rows, Table2Row{Approach: "AST", Confusion: astConf})
+
+	// PragFormer (token transformer).
+	seqTrain := train.PrepareSeqs(st.Train, nil, train.ParallelLabel)
+	seqModel := train.TrainSeq(seqTrain, st.Opts)
+	seqTest := train.PrepareSeqs(st.Test, seqTrain.Vocab, train.ParallelLabel)
+	res.Rows = append(res.Rows, Table2Row{Approach: "PragFormer", Confusion: train.EvalSeq(seqModel, seqTest)})
+
+	// Graph2Par (aug-AST + HGT).
+	g2p, g2pVocab := st.Graph2Par()
+	g2pConf := evalModelOn(g2p, g2pVocab, auggraph.Default(), st.Test)
+	res.Rows = append(res.Rows, Table2Row{Approach: "Graph2Par", Confusion: g2pConf})
+	return res
+}
+
+// Format renders the paper-style table.
+func (r *Table2Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Table 2: pragma existence prediction\n")
+	b.WriteString(row("Approach", "Precision", "Recall", "F1", "Accuracy") + "\n")
+	for _, rw := range r.Rows {
+		c := rw.Confusion
+		fmt.Fprintf(&b, "%s\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			rw.Approach, c.Precision(), c.Recall(), c.F1(), c.Accuracy())
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — number of detected parallel loops
+
+// Table3Row is one approach's detection count.
+type Table3Row struct {
+	Approach string
+	Detected int
+}
+
+// Table3Result counts detected parallel loops over the full corpus.
+type Table3Result struct {
+	Rows          []Table3Row
+	TotalParallel int
+}
+
+// Table3 counts, for every approach, how many of the corpus's actually
+// parallel loops it detects (the models run on the whole corpus; their
+// training split is a subset of it, mirroring the paper's protocol).
+func (st *Suite) Table3() *Table3Result {
+	res := &Table3Result{}
+	for _, s := range st.Corpus.Samples {
+		if s.Parallel {
+			res.TotalParallel++
+		}
+	}
+
+	count := func(pred []bool, set *train.GraphSet) int {
+		n := 0
+		for i, p := range pred {
+			if p && set.Samples[i].Parallel {
+				n++
+			}
+		}
+		return n
+	}
+
+	g2p, g2pVocab := st.Graph2Par()
+	allG2P := train.PrepareGraphs(st.Corpus.Samples, auggraph.Default(), g2pVocab, train.ParallelLabel)
+	res.Rows = append(res.Rows, Table3Row{"Graph2Par", count(train.PredictHGT(g2p, allG2P), allG2P)})
+
+	ast, astVocab := st.HGTAST()
+	allAST := train.PrepareGraphs(st.Corpus.Samples, auggraph.VanillaAST(), astVocab, train.ParallelLabel)
+	res.Rows = append(res.Rows, Table3Row{"HGT-AST", count(train.PredictHGT(ast, allAST), allAST)})
+
+	for _, tool := range st.Tools {
+		vs := st.RunTool(tool)
+		n := 0
+		for i, v := range vs {
+			if v.Processable && v.Parallel && st.Corpus.Samples[i].Parallel {
+				n++
+			}
+		}
+		res.Rows = append(res.Rows, Table3Row{tool.Name(), n})
+	}
+	return res
+}
+
+// Format renders the paper-style table.
+func (r *Table3Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: detected parallel loops (of %d)\n", r.TotalParallel)
+	b.WriteString(row("Approach", "#detected") + "\n")
+	for _, rw := range r.Rows {
+		fmt.Fprintf(&b, "%s\t%d\n", rw.Approach, rw.Detected)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 — per-tool subset comparison
+
+// Table4Subset is one tool's subset with both confusions.
+type Table4Subset struct {
+	ToolName   string
+	SubsetSize int
+	Tool       *metrics.Confusion
+	Graph2Par  *metrics.Confusion
+}
+
+// Table4Result holds all three subsets.
+type Table4Result struct {
+	Subsets []Table4Subset
+}
+
+// Table4 evaluates each tool against Graph2Par on the subset of test loops
+// the tool can process.
+func (st *Suite) Table4() *Table4Result {
+	res := &Table4Result{}
+	g2p, g2pVocab := st.Graph2Par()
+
+	for _, tool := range st.Tools {
+		vs := st.RunTool(tool)
+		byID := map[int]int{}
+		for i, s := range st.Corpus.Samples {
+			byID[s.ID] = i
+		}
+		var subset []*dataset.Sample
+		toolConf := &metrics.Confusion{}
+		for _, s := range st.Test {
+			v := vs[byID[s.ID]]
+			if !v.Processable {
+				continue
+			}
+			subset = append(subset, s)
+			toolConf.Add(v.Parallel, s.Parallel)
+		}
+		g2pConf := evalModelOn(g2p, g2pVocab, auggraph.Default(), subset)
+		res.Subsets = append(res.Subsets, Table4Subset{
+			ToolName:   tool.Name(),
+			SubsetSize: len(subset),
+			Tool:       toolConf,
+			Graph2Par:  g2pConf,
+		})
+	}
+	return res
+}
+
+// Format renders the paper-style table.
+func (r *Table4Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Table 4: per-tool subset comparison (parallelism detection)\n")
+	b.WriteString(row("Subset", "Approach", "TP", "TN", "FP", "FN", "P%", "R%", "F1%", "Acc%") + "\n")
+	for _, sub := range r.Subsets {
+		for _, e := range []struct {
+			name string
+			c    *metrics.Confusion
+		}{{sub.ToolName, sub.Tool}, {"Graph2Par", sub.Graph2Par}} {
+			fmt.Fprintf(&b, "Subset_%s(n=%d)\t%s\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%s\n",
+				sub.ToolName, sub.SubsetSize, e.name, e.c.TP, e.c.TN, e.c.FP, e.c.FN,
+				pct(e.c.Precision()), pct(e.c.Recall()), pct(e.c.F1()), pct(e.c.Accuracy()))
+		}
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 5 — four-pragma classification
+
+// Table5Row is one (pragma, approach) result.
+type Table5Row struct {
+	Pragma    string
+	Approach  string
+	Supported bool
+	Confusion *metrics.Confusion
+}
+
+// Table5Result holds all pragma rows.
+type Table5Result struct {
+	Rows []Table5Row
+}
+
+// table5Pragmas in paper order.
+var table5Pragmas = []string{"private", "reduction", "simd", "target"}
+
+// pragFormerSupports mirrors the paper: the token baseline only reports
+// private and reduction.
+func pragFormerSupports(p string) bool { return p == "private" || p == "reduction" }
+
+// Table5 trains one binary head per pragma for Graph2Par and PragFormer.
+func (st *Suite) Table5() *Table5Result {
+	res := &Table5Result{}
+	for _, prag := range table5Pragmas {
+		label := train.CategoryLabel(prag)
+
+		gTrain := train.PrepareGraphs(st.Train, auggraph.Default(), nil, label)
+		gModel := train.TrainHGT(gTrain, st.Opts)
+		gTest := train.PrepareGraphs(st.Test, auggraph.Default(), gTrain.Vocab, label)
+		res.Rows = append(res.Rows, Table5Row{
+			Pragma: prag, Approach: "Graph2Par", Supported: true,
+			Confusion: train.EvalHGT(gModel, gTest),
+		})
+
+		if pragFormerSupports(prag) {
+			sTrain := train.PrepareSeqs(st.Train, nil, label)
+			sModel := train.TrainSeq(sTrain, st.Opts)
+			sTest := train.PrepareSeqs(st.Test, sTrain.Vocab, label)
+			res.Rows = append(res.Rows, Table5Row{
+				Pragma: prag, Approach: "PragFormer", Supported: true,
+				Confusion: train.EvalSeq(sModel, sTest),
+			})
+		} else {
+			res.Rows = append(res.Rows, Table5Row{Pragma: prag, Approach: "PragFormer"})
+		}
+	}
+	return res
+}
+
+// Format renders the paper-style table.
+func (r *Table5Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Table 5: four-pragma prediction\n")
+	b.WriteString(row("Pragma", "Approach", "Precision", "Recall", "F1", "Accuracy") + "\n")
+	for _, rw := range r.Rows {
+		if !rw.Supported {
+			fmt.Fprintf(&b, "%s\t%s\tN/A\tN/A\tN/A\tN/A\n", rw.Pragma, rw.Approach)
+			continue
+		}
+		c := rw.Confusion
+		fmt.Fprintf(&b, "%s\t%s\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			rw.Pragma, rw.Approach, c.Precision(), c.Recall(), c.F1(), c.Accuracy())
+	}
+	return b.String()
+}

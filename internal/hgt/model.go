@@ -1,0 +1,319 @@
+// Package hgt implements the Heterogeneous Graph Transformer (Hu et al.,
+// WWW 2020) used by Graph2Par, adapted as the paper describes: temporal
+// encoding disabled and inductive timestamp assignment deactivated, since
+// aug-AST graphs are static.
+//
+// Per layer, the three HGT components of section 5.2 are implemented
+// faithfully:
+//
+//   - Heterogeneous Mutual Attention: node-type-specific Key and Query
+//     projections; a per-edge-type W_ATT mixes the Key before the per-head
+//     dot product with the Query; attention is softmax-normalized over ALL
+//     incoming edges of each target node (formula 2);
+//   - Heterogeneous Message Passing: node-type-specific Value projection
+//     mixed by a per-edge-type W_MSG (formula 3);
+//   - Target-Specific Aggregation: attention-weighted message sum, passed
+//     through a nonlinearity and a target-node-type-specific A-Linear, with
+//     a residual connection to the previous layer (formulas 4 and 5).
+package hgt
+
+import (
+	"fmt"
+	"math"
+
+	"graph2par/internal/auggraph"
+	"graph2par/internal/nn"
+	"graph2par/internal/tensor"
+)
+
+// Config sets model hyperparameters.
+type Config struct {
+	Hidden  int // hidden width d
+	Heads   int // attention heads h (d must be divisible by h)
+	Layers  int // HGT layers
+	Classes int // output classes
+	Dropout float64
+	// NumKinds / NumAttrs / NumTypes are vocabulary sizes from the
+	// training corpus.
+	NumKinds, NumAttrs, NumTypes int
+	// EdgeTypes is the number of heterogeneous edge types (usually
+	// auggraph.NumEdgeTypes).
+	EdgeTypes int
+	Seed      uint64
+}
+
+// DefaultConfig returns the laptop-scale configuration used by the
+// experiment harness.
+func DefaultConfig(numKinds, numAttrs, numTypes int) Config {
+	return Config{
+		Hidden: 48, Heads: 4, Layers: 2, Classes: 2, Dropout: 0.1,
+		NumKinds: numKinds, NumAttrs: numAttrs, NumTypes: numTypes,
+		EdgeTypes: int(auggraph.NumEdgeTypes), Seed: 17,
+	}
+}
+
+// layerParams holds one HGT layer's parameters.
+type layerParams struct {
+	// per node kind: Key, Query, Value (message) and A-Linear projections
+	key, query, value, aLinear []*nn.Linear
+	// per edge type: attention and message mixing matrices plus the
+	// learnable relation prior mu
+	wAtt, wMsg []*nn.Param
+	mu         []*nn.Param
+	norm       *nn.LayerNormParams
+}
+
+// Model is the Graph2Par HGT classifier.
+type Model struct {
+	Cfg    Config
+	Params nn.ParamSet
+
+	kindEmb  *nn.Embedding
+	attrEmb  *nn.Embedding
+	typeEmb  *nn.Embedding
+	orderEmb *nn.Embedding
+	inProj   *nn.Linear
+	layers   []*layerParams
+	headA    *nn.Linear // classifier hidden
+	headB    *nn.Linear // classifier output
+
+	rng *tensor.RNG
+}
+
+// New builds a model with freshly initialized parameters.
+func New(cfg Config) *Model {
+	if cfg.Hidden%cfg.Heads != 0 {
+		panic(fmt.Sprintf("hgt: hidden %d not divisible by heads %d", cfg.Hidden, cfg.Heads))
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	m := &Model{Cfg: cfg, rng: rng}
+	d := cfg.Hidden
+
+	m.kindEmb = nn.NewEmbedding(&m.Params, "emb.kind", cfg.NumKinds, d, rng)
+	m.attrEmb = nn.NewEmbedding(&m.Params, "emb.attr", cfg.NumAttrs, d, rng)
+	m.typeEmb = nn.NewEmbedding(&m.Params, "emb.type", cfg.NumTypes, d, rng)
+	m.orderEmb = nn.NewEmbedding(&m.Params, "emb.order", auggraph.MaxOrder+1, d, rng)
+	m.inProj = nn.NewLinear(&m.Params, "in", d, d, rng)
+
+	for l := 0; l < cfg.Layers; l++ {
+		lp := &layerParams{}
+		for k := 0; k < cfg.NumKinds; k++ {
+			lp.key = append(lp.key, nn.NewLinear(&m.Params, fmt.Sprintf("l%d.k%d.key", l, k), d, d, rng))
+			lp.query = append(lp.query, nn.NewLinear(&m.Params, fmt.Sprintf("l%d.k%d.query", l, k), d, d, rng))
+			lp.value = append(lp.value, nn.NewLinear(&m.Params, fmt.Sprintf("l%d.k%d.value", l, k), d, d, rng))
+			lp.aLinear = append(lp.aLinear, nn.NewLinear(&m.Params, fmt.Sprintf("l%d.k%d.alin", l, k), d, d, rng))
+		}
+		for r := 0; r < cfg.EdgeTypes; r++ {
+			wa := nn.NewParam(fmt.Sprintf("l%d.r%d.watt", l, r), d, d, rng)
+			wm := nn.NewParam(fmt.Sprintf("l%d.r%d.wmsg", l, r), d, d, rng)
+			mu := nn.NewParamOnes(fmt.Sprintf("l%d.r%d.mu", l, r), 1, 1)
+			m.Params.Register(wa, wm, mu)
+			lp.wAtt = append(lp.wAtt, wa)
+			lp.wMsg = append(lp.wMsg, wm)
+			lp.mu = append(lp.mu, mu)
+		}
+		lp.norm = nn.NewLayerNorm(&m.Params, fmt.Sprintf("l%d.norm", l), d)
+		m.layers = append(m.layers, lp)
+	}
+	m.headA = nn.NewLinear(&m.Params, "head.a", 2*d, d, rng)
+	m.headB = nn.NewLinear(&m.Params, "head.b", d, cfg.Classes, rng)
+	return m
+}
+
+// RNG exposes the model's RNG (dropout and shuffling share it so runs are
+// reproducible from Config.Seed).
+func (m *Model) RNG() *tensor.RNG { return m.rng }
+
+// clampID maps out-of-vocabulary ids to the reserved <unk> slot.
+func clampID(id, n int) int {
+	if id < 0 || id >= n {
+		return 0
+	}
+	return id
+}
+
+// Forward computes class logits (1×Classes) for one encoded aug-AST.
+func (m *Model) Forward(g *nn.Graph, enc *auggraph.Encoded, train bool) *nn.Node {
+	n := len(enc.KindIDs)
+	if n == 0 {
+		panic("hgt: empty graph")
+	}
+	cfg := m.Cfg
+
+	kinds := make([]int, n)
+	attrs := make([]int, n)
+	types := make([]int, n)
+	orders := make([]int, n)
+	for i := 0; i < n; i++ {
+		kinds[i] = clampID(enc.KindIDs[i], cfg.NumKinds)
+		attrs[i] = clampID(enc.AttrIDs[i], cfg.NumAttrs)
+		types[i] = clampID(enc.TypeIDs[i], cfg.NumTypes)
+		orders[i] = clampID(enc.Orders[i], auggraph.MaxOrder+1)
+	}
+
+	// Input features: sum of the four embeddings, projected.
+	h := g.Add(
+		g.Add(m.kindEmb.Lookup(g, kinds), m.attrEmb.Lookup(g, attrs)),
+		g.Add(m.typeEmb.Lookup(g, types), m.orderEmb.Lookup(g, orders)),
+	)
+	h = m.inProj.Apply(g, h)
+	h = g.Dropout(h, cfg.Dropout, m.rng, train)
+
+	// Group nodes by kind once (deterministic order).
+	byKind := make([][]int, cfg.NumKinds)
+	for i, k := range kinds {
+		byKind[k] = append(byKind[k], i)
+	}
+	// Group edges by type once.
+	byEdgeType := make([][]auggraph.Edge, cfg.EdgeTypes)
+	for _, e := range enc.Edges {
+		t := int(e.Type)
+		if t < 0 || t >= cfg.EdgeTypes {
+			continue
+		}
+		byEdgeType[t] = append(byEdgeType[t], e)
+	}
+	totalEdges := 0
+	for _, es := range byEdgeType {
+		totalEdges += len(es)
+	}
+
+	scale := 1 / math.Sqrt(float64(cfg.Hidden/cfg.Heads))
+
+	for _, lp := range m.layers {
+		// Per-kind K/Q/V projections, assembled into N×d matrices.
+		projK := m.perKind(g, h, byKind, lp.key, n)
+		projQ := m.perKind(g, h, byKind, lp.query, n)
+		projV := m.perKind(g, h, byKind, lp.value, n)
+
+		if totalEdges == 0 {
+			// no structure: fall back to a per-node transform
+			agg := projV
+			upd := m.perKind(g, g.GELU(agg), byKind, lp.aLinear, n)
+			h = lp.norm.Apply(g, g.Add(upd, h))
+			continue
+		}
+
+		// Edge-level attention scores and messages, per edge type.
+		var allSrc, allDst []int
+		var scoreParts, msgParts []*nn.Node
+		for r := 0; r < cfg.EdgeTypes; r++ {
+			es := byEdgeType[r]
+			if len(es) == 0 {
+				continue
+			}
+			src := make([]int, len(es))
+			dst := make([]int, len(es))
+			for i, e := range es {
+				src[i] = e.Src
+				dst[i] = e.Dst
+			}
+			kSrc := g.GatherRows(projK, src)              // E_r × d
+			kMix := g.MatMul(kSrc, g.Param(lp.wAtt[r]))   // W_ATT^r
+			qDst := g.GatherRows(projQ, dst)              // E_r × d
+			score := g.RowDotHeads(kMix, qDst, cfg.Heads) // E_r × H
+			muV := lp.mu[r].W.Data[0]
+			score = g.Scale(score, scale*muV)
+			vSrc := g.GatherRows(projV, src)
+			msg := g.MatMul(vSrc, g.Param(lp.wMsg[r])) // W_MSG^r
+			allSrc = append(allSrc, src...)
+			allDst = append(allDst, dst...)
+			scoreParts = append(scoreParts, score)
+			msgParts = append(msgParts, msg)
+		}
+		scores := concatRows(g, scoreParts)
+		msgs := concatRows(g, msgParts)
+
+		alpha := g.SegmentSoftmax(scores, allDst, n) // softmax over N(t)
+		weighted := g.HeadScale(msgs, alpha, cfg.Heads)
+		agg := g.ScatterRowsAdd(weighted, allDst, n) // Σ_{s∈N(t)}
+
+		// Target-specific aggregation with residual (formula 5).
+		upd := m.perKind(g, g.GELU(agg), byKind, lp.aLinear, n)
+		upd = g.Dropout(upd, cfg.Dropout, m.rng, train)
+		h = lp.norm.Apply(g, g.Add(upd, h))
+	}
+
+	// Readout: mean over nodes concatenated with the loop-root node.
+	mean := g.MeanRows(h)
+	root := g.GatherRows(h, []int{enc.Root})
+	pooled := g.ConcatCols(mean, root)
+	hidden := g.GELU(m.headA.Apply(g, pooled))
+	hidden = g.Dropout(hidden, cfg.Dropout, m.rng, train)
+	return m.headB.Apply(g, hidden)
+}
+
+// perKind applies the kind-specific linear to each node group and
+// reassembles an N×d matrix.
+func (m *Model) perKind(g *nn.Graph, h *nn.Node, byKind [][]int, linears []*nn.Linear, n int) *nn.Node {
+	var out *nn.Node
+	for k, idx := range byKind {
+		if len(idx) == 0 {
+			continue
+		}
+		sub := g.GatherRows(h, idx)
+		proj := linears[k].Apply(g, sub)
+		scattered := g.ScatterRowsAdd(proj, idx, n)
+		if out == nil {
+			out = scattered
+		} else {
+			out = g.Add(out, scattered)
+		}
+	}
+	if out == nil {
+		panic("hgt: no nodes")
+	}
+	return out
+}
+
+// concatRows stacks parts vertically.
+func concatRows(g *nn.Graph, parts []*nn.Node) *nn.Node {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	total := 0
+	cols := parts[0].Val.Cols
+	offsets := make([]int, len(parts))
+	for i, p := range parts {
+		offsets[i] = total
+		total += p.Val.Rows
+	}
+	// Build via scatter-add of each part into its row band.
+	var out *nn.Node
+	for i, p := range parts {
+		idx := make([]int, p.Val.Rows)
+		for r := range idx {
+			idx[r] = offsets[i] + r
+		}
+		sc := g.ScatterRowsAdd(p, idx, total)
+		if out == nil {
+			out = sc
+		} else {
+			out = g.Add(out, sc)
+		}
+	}
+	_ = cols
+	return out
+}
+
+// Predict returns the argmax class and class probabilities for one graph.
+func (m *Model) Predict(enc *auggraph.Encoded) (int, []float64) {
+	g := nn.NewGraph()
+	logits := m.Forward(g, enc, false)
+	probs := logits.Val.Clone()
+	tensor.SoftmaxRows(probs)
+	best, bestP := 0, probs.Data[0]
+	for j := 1; j < probs.Cols; j++ {
+		if probs.Data[j] > bestP {
+			best, bestP = j, probs.Data[j]
+		}
+	}
+	return best, probs.Data
+}
+
+// Loss computes the cross-entropy loss node for one labeled graph.
+func (m *Model) Loss(g *nn.Graph, enc *auggraph.Encoded, label int, train bool) *nn.Node {
+	logits := m.Forward(g, enc, train)
+	loss, _ := g.SoftmaxCrossEntropy(logits, []int{label})
+	return loss
+}

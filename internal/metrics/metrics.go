@@ -1,0 +1,69 @@
+// Package metrics provides the binary-classification measures the paper
+// reports: precision, recall, F1 and accuracy over TP/TN/FP/FN counts.
+package metrics
+
+import "fmt"
+
+// Confusion is a binary confusion matrix; the positive class is "parallel".
+type Confusion struct {
+	TP, TN, FP, FN int
+}
+
+// Add records one prediction.
+func (c *Confusion) Add(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && actual:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// Total returns the number of recorded predictions.
+func (c *Confusion) Total() int { return c.TP + c.TN + c.FP + c.FN }
+
+// Precision = TP / (TP + FP); 1.0 when no positives were predicted
+// (matching the paper's convention of reporting 100.00 for tools with zero
+// false positives).
+func (c *Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall = TP / (TP + FN); 0 when there are no actual positives.
+func (c *Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (c *Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy = (TP + TN) / total.
+func (c *Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(t)
+}
+
+// String renders the Table 4 style row.
+func (c *Confusion) String() string {
+	return fmt.Sprintf("TP=%d TN=%d FP=%d FN=%d P=%.2f R=%.2f F1=%.2f Acc=%.2f%%",
+		c.TP, c.TN, c.FP, c.FN, c.Precision(), c.Recall(), c.F1(), 100*c.Accuracy())
+}

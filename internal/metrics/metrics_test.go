@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownValues(t *testing.T) {
+	// Table 4's PLUTO row: TP=1593, TN=0, FP=0, FN=2439.
+	c := Confusion{TP: 1593, TN: 0, FP: 0, FN: 2439}
+	if got := c.Precision(); got != 1 {
+		t.Errorf("precision %v, want 1 (zero-FP convention)", got)
+	}
+	if got := 100 * c.Recall(); math.Abs(got-39.51) > 0.01 {
+		t.Errorf("recall %.2f%%, want 39.51%%", got)
+	}
+	if got := 100 * c.F1(); math.Abs(got-56.64) > 0.02 {
+		t.Errorf("F1 %.2f%%, want 56.64%%", got)
+	}
+	if got := 100 * c.Accuracy(); math.Abs(got-39.51) > 0.01 {
+		t.Errorf("accuracy %.2f%%, want 39.51%%", got)
+	}
+}
+
+func TestAddRouting(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)
+	c.Add(true, false)
+	c.Add(false, true)
+	c.Add(false, false)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Errorf("confusion = %+v", c)
+	}
+	if c.Total() != 4 {
+		t.Errorf("total = %d", c.Total())
+	}
+}
+
+func TestEmptyEdgeCases(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Error("empty confusion should yield zeros")
+	}
+	if c.Precision() != 1 {
+		t.Error("no predicted positives → precision 1 by convention")
+	}
+}
+
+// Property: all measures stay in [0, 1] and accuracy equals
+// (TP+TN)/total for arbitrary counts.
+func TestQuickMeasureBounds(t *testing.T) {
+	f := func(tp, tn, fp, fn uint8) bool {
+		c := Confusion{TP: int(tp), TN: int(tn), FP: int(fp), FN: int(fn)}
+		for _, v := range []float64{c.Precision(), c.Recall(), c.F1(), c.Accuracy()} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		if c.Total() == 0 {
+			return true
+		}
+		want := float64(c.TP+c.TN) / float64(c.Total())
+		return math.Abs(c.Accuracy()-want) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: F1 is the harmonic mean — between min and max of P and R.
+func TestQuickF1Between(t *testing.T) {
+	f := func(tp, fp, fn uint8) bool {
+		c := Confusion{TP: int(tp) + 1, FP: int(fp), FN: int(fn)}
+		p, r, f1 := c.Precision(), c.Recall(), c.F1()
+		lo, hi := math.Min(p, r), math.Max(p, r)
+		return f1 >= lo-1e-12 && f1 <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,656 @@
+// Package nn implements a tape-based reverse-mode automatic differentiation
+// engine over tensor.Matrix, plus the layers and optimizer the Graph2Par
+// models need: linear projections, embeddings, layer normalization, row and
+// segment softmax (for sequence attention and per-target-node attention in
+// the HGT), gather/scatter for heterogeneous per-type projections, and Adam.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"graph2par/internal/tensor"
+)
+
+// Node is one value in the computation graph.
+type Node struct {
+	Val  *tensor.Matrix
+	Grad *tensor.Matrix
+
+	needsGrad bool
+	back      func()
+}
+
+// Graph is the autodiff tape for one forward pass.
+type Graph struct {
+	nodes []*Node
+}
+
+// NewGraph starts a fresh tape.
+func NewGraph() *Graph { return &Graph{} }
+
+func (g *Graph) add(n *Node) *Node {
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// Constant introduces a value that does not require gradients.
+func (g *Graph) Constant(m *tensor.Matrix) *Node {
+	return g.add(&Node{Val: m})
+}
+
+// Param introduces a trainable parameter; gradients accumulate into p.G.
+func (g *Graph) Param(p *Param) *Node {
+	return g.add(&Node{Val: p.W, Grad: p.G, needsGrad: true})
+}
+
+func (g *Graph) newLike(rows, cols int, needsGrad bool) *Node {
+	n := &Node{Val: tensor.New(rows, cols), needsGrad: needsGrad}
+	if needsGrad {
+		n.Grad = tensor.New(rows, cols)
+	}
+	return g.add(n)
+}
+
+// Backward runs reverse-mode differentiation from the scalar loss node.
+func (g *Graph) Backward(loss *Node) {
+	if loss.Val.Rows != 1 || loss.Val.Cols != 1 {
+		panic("nn: Backward expects a scalar loss")
+	}
+	if loss.Grad == nil {
+		loss.Grad = tensor.New(1, 1)
+	}
+	loss.Grad.Data[0] = 1
+	for i := len(g.nodes) - 1; i >= 0; i-- {
+		n := g.nodes[i]
+		if n.back != nil && n.needsGrad {
+			n.back()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// core ops
+
+// MatMul returns a·b.
+func (g *Graph) MatMul(a, b *Node) *Node {
+	out := g.newLike(a.Val.Rows, b.Val.Cols, a.needsGrad || b.needsGrad)
+	tensor.MatMulInto(out.Val, a.Val, b.Val)
+	out.back = func() {
+		if a.needsGrad {
+			tensor.MatMulBTInto(a.Grad, out.Grad, b.Val) // dA = dOut·Bᵀ
+		}
+		if b.needsGrad {
+			tensor.MatMulATInto(b.Grad, a.Val, out.Grad) // dB = Aᵀ·dOut
+		}
+	}
+	return out
+}
+
+// MatMulBT returns a·bᵀ (used for attention scores Q·Kᵀ).
+func (g *Graph) MatMulBT(a, b *Node) *Node {
+	if a.Val.Cols != b.Val.Cols {
+		panic("nn: MatMulBT inner-dimension mismatch")
+	}
+	out := g.newLike(a.Val.Rows, b.Val.Rows, a.needsGrad || b.needsGrad)
+	tensor.MatMulBTInto(out.Val, a.Val, b.Val)
+	out.back = func() {
+		if a.needsGrad {
+			// dA = dOut·B
+			tmp := tensor.New(a.Val.Rows, a.Val.Cols)
+			tensor.MatMulInto(tmp, out.Grad, b.Val)
+			tensor.AddInPlace(a.Grad, tmp)
+		}
+		if b.needsGrad {
+			// dB = dOutᵀ·A
+			tensor.MatMulATInto(b.Grad, out.Grad, a.Val)
+		}
+	}
+	return out
+}
+
+// Add returns a + b (same shape).
+func (g *Graph) Add(a, b *Node) *Node {
+	if a.Val.Rows != b.Val.Rows || a.Val.Cols != b.Val.Cols {
+		panic(fmt.Sprintf("nn: Add shape mismatch %dx%d vs %dx%d", a.Val.Rows, a.Val.Cols, b.Val.Rows, b.Val.Cols))
+	}
+	out := g.newLike(a.Val.Rows, a.Val.Cols, a.needsGrad || b.needsGrad)
+	for i := range out.Val.Data {
+		out.Val.Data[i] = a.Val.Data[i] + b.Val.Data[i]
+	}
+	out.back = func() {
+		if a.needsGrad {
+			tensor.AddInPlace(a.Grad, out.Grad)
+		}
+		if b.needsGrad {
+			tensor.AddInPlace(b.Grad, out.Grad)
+		}
+	}
+	return out
+}
+
+// AddBias broadcasts a 1×d bias over every row of a.
+func (g *Graph) AddBias(a, bias *Node) *Node {
+	if bias.Val.Rows != 1 || bias.Val.Cols != a.Val.Cols {
+		panic("nn: AddBias expects 1xD bias")
+	}
+	out := g.newLike(a.Val.Rows, a.Val.Cols, a.needsGrad || bias.needsGrad)
+	d := a.Val.Cols
+	for i := 0; i < a.Val.Rows; i++ {
+		for j := 0; j < d; j++ {
+			out.Val.Data[i*d+j] = a.Val.Data[i*d+j] + bias.Val.Data[j]
+		}
+	}
+	out.back = func() {
+		if a.needsGrad {
+			tensor.AddInPlace(a.Grad, out.Grad)
+		}
+		if bias.needsGrad {
+			for i := 0; i < a.Val.Rows; i++ {
+				for j := 0; j < d; j++ {
+					bias.Grad.Data[j] += out.Grad.Data[i*d+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Scale multiplies every element by the constant s.
+func (g *Graph) Scale(a *Node, s float64) *Node {
+	out := g.newLike(a.Val.Rows, a.Val.Cols, a.needsGrad)
+	for i, v := range a.Val.Data {
+		out.Val.Data[i] = v * s
+	}
+	out.back = func() {
+		if a.needsGrad {
+			for i, v := range out.Grad.Data {
+				a.Grad.Data[i] += v * s
+			}
+		}
+	}
+	return out
+}
+
+// Mul is the elementwise (Hadamard) product.
+func (g *Graph) Mul(a, b *Node) *Node {
+	if a.Val.Rows != b.Val.Rows || a.Val.Cols != b.Val.Cols {
+		panic("nn: Mul shape mismatch")
+	}
+	out := g.newLike(a.Val.Rows, a.Val.Cols, a.needsGrad || b.needsGrad)
+	for i := range out.Val.Data {
+		out.Val.Data[i] = a.Val.Data[i] * b.Val.Data[i]
+	}
+	out.back = func() {
+		if a.needsGrad {
+			for i := range out.Grad.Data {
+				a.Grad.Data[i] += out.Grad.Data[i] * b.Val.Data[i]
+			}
+		}
+		if b.needsGrad {
+			for i := range out.Grad.Data {
+				b.Grad.Data[i] += out.Grad.Data[i] * a.Val.Data[i]
+			}
+		}
+	}
+	return out
+}
+
+// ReLU applies max(0, x).
+func (g *Graph) ReLU(a *Node) *Node {
+	out := g.newLike(a.Val.Rows, a.Val.Cols, a.needsGrad)
+	for i, v := range a.Val.Data {
+		if v > 0 {
+			out.Val.Data[i] = v
+		}
+	}
+	out.back = func() {
+		if a.needsGrad {
+			for i, v := range a.Val.Data {
+				if v > 0 {
+					a.Grad.Data[i] += out.Grad.Data[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GELU applies the Gaussian error linear unit (tanh approximation).
+func (g *Graph) GELU(a *Node) *Node {
+	out := g.newLike(a.Val.Rows, a.Val.Cols, a.needsGrad)
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	for i, x := range a.Val.Data {
+		out.Val.Data[i] = 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
+	}
+	out.back = func() {
+		if !a.needsGrad {
+			return
+		}
+		for i, x := range a.Val.Data {
+			u := c * (x + 0.044715*x*x*x)
+			t := math.Tanh(u)
+			du := c * (1 + 3*0.044715*x*x)
+			d := 0.5*(1+t) + 0.5*x*(1-t*t)*du
+			a.Grad.Data[i] += out.Grad.Data[i] * d
+		}
+	}
+	return out
+}
+
+// Tanh applies the hyperbolic tangent.
+func (g *Graph) Tanh(a *Node) *Node {
+	out := g.newLike(a.Val.Rows, a.Val.Cols, a.needsGrad)
+	for i, v := range a.Val.Data {
+		out.Val.Data[i] = math.Tanh(v)
+	}
+	out.back = func() {
+		if a.needsGrad {
+			for i, y := range out.Val.Data {
+				a.Grad.Data[i] += out.Grad.Data[i] * (1 - y*y)
+			}
+		}
+	}
+	return out
+}
+
+// Dropout zeroes elements with probability p during training, scaling the
+// survivors by 1/(1-p). Identity when train is false or p == 0.
+func (g *Graph) Dropout(a *Node, p float64, rng *tensor.RNG, train bool) *Node {
+	if !train || p <= 0 {
+		return a
+	}
+	out := g.newLike(a.Val.Rows, a.Val.Cols, a.needsGrad)
+	mask := make([]bool, len(a.Val.Data))
+	scale := 1 / (1 - p)
+	for i, v := range a.Val.Data {
+		if rng.Float64() >= p {
+			mask[i] = true
+			out.Val.Data[i] = v * scale
+		}
+	}
+	out.back = func() {
+		if a.needsGrad {
+			for i := range a.Val.Data {
+				if mask[i] {
+					a.Grad.Data[i] += out.Grad.Data[i] * scale
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConcatCols concatenates a and b along columns.
+func (g *Graph) ConcatCols(a, b *Node) *Node {
+	if a.Val.Rows != b.Val.Rows {
+		panic("nn: ConcatCols row mismatch")
+	}
+	da, db := a.Val.Cols, b.Val.Cols
+	out := g.newLike(a.Val.Rows, da+db, a.needsGrad || b.needsGrad)
+	for i := 0; i < a.Val.Rows; i++ {
+		copy(out.Val.Data[i*(da+db):i*(da+db)+da], a.Val.Row(i))
+		copy(out.Val.Data[i*(da+db)+da:(i+1)*(da+db)], b.Val.Row(i))
+	}
+	out.back = func() {
+		for i := 0; i < a.Val.Rows; i++ {
+			if a.needsGrad {
+				for j := 0; j < da; j++ {
+					a.Grad.Data[i*da+j] += out.Grad.Data[i*(da+db)+j]
+				}
+			}
+			if b.needsGrad {
+				for j := 0; j < db; j++ {
+					b.Grad.Data[i*db+j] += out.Grad.Data[i*(da+db)+da+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MeanRows averages all rows into a single 1×d row (global pooling).
+func (g *Graph) MeanRows(a *Node) *Node {
+	out := g.newLike(1, a.Val.Cols, a.needsGrad)
+	n := float64(a.Val.Rows)
+	for i := 0; i < a.Val.Rows; i++ {
+		for j := 0; j < a.Val.Cols; j++ {
+			out.Val.Data[j] += a.Val.Data[i*a.Val.Cols+j]
+		}
+	}
+	for j := range out.Val.Data {
+		out.Val.Data[j] /= n
+	}
+	out.back = func() {
+		if a.needsGrad {
+			for i := 0; i < a.Val.Rows; i++ {
+				for j := 0; j < a.Val.Cols; j++ {
+					a.Grad.Data[i*a.Val.Cols+j] += out.Grad.Data[j] / n
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SumAll reduces every element to a 1×1 scalar.
+func (g *Graph) SumAll(a *Node) *Node {
+	out := g.newLike(1, 1, a.needsGrad)
+	var s float64
+	for _, v := range a.Val.Data {
+		s += v
+	}
+	out.Val.Data[0] = s
+	out.back = func() {
+		if a.needsGrad {
+			gr := out.Grad.Data[0]
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += gr
+			}
+		}
+	}
+	return out
+}
+
+// GatherRows selects rows of a by index (duplicates allowed).
+func (g *Graph) GatherRows(a *Node, idx []int) *Node {
+	out := g.newLike(len(idx), a.Val.Cols, a.needsGrad)
+	d := a.Val.Cols
+	for i, src := range idx {
+		copy(out.Val.Data[i*d:(i+1)*d], a.Val.Row(src))
+	}
+	out.back = func() {
+		if a.needsGrad {
+			for i, src := range idx {
+				for j := 0; j < d; j++ {
+					a.Grad.Data[src*d+j] += out.Grad.Data[i*d+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ScatterRowsAdd builds an n×d matrix with a's rows added at positions idx
+// (duplicates accumulate).
+func (g *Graph) ScatterRowsAdd(a *Node, idx []int, n int) *Node {
+	out := g.newLike(n, a.Val.Cols, a.needsGrad)
+	d := a.Val.Cols
+	for i, dst := range idx {
+		for j := 0; j < d; j++ {
+			out.Val.Data[dst*d+j] += a.Val.Data[i*d+j]
+		}
+	}
+	out.back = func() {
+		if a.needsGrad {
+			for i, dst := range idx {
+				for j := 0; j < d; j++ {
+					a.Grad.Data[i*d+j] += out.Grad.Data[dst*d+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RowDotHeads computes per-row, per-head dot products: a and b are E×(H·dh);
+// output is E×H where out[e,h] = Σ_j a[e,h·dh+j]·b[e,h·dh+j].
+func (g *Graph) RowDotHeads(a, b *Node, heads int) *Node {
+	if a.Val.Rows != b.Val.Rows || a.Val.Cols != b.Val.Cols {
+		panic("nn: RowDotHeads shape mismatch")
+	}
+	if a.Val.Cols%heads != 0 {
+		panic("nn: RowDotHeads cols not divisible by heads")
+	}
+	dh := a.Val.Cols / heads
+	out := g.newLike(a.Val.Rows, heads, a.needsGrad || b.needsGrad)
+	for e := 0; e < a.Val.Rows; e++ {
+		for h := 0; h < heads; h++ {
+			var s float64
+			base := e*a.Val.Cols + h*dh
+			for j := 0; j < dh; j++ {
+				s += a.Val.Data[base+j] * b.Val.Data[base+j]
+			}
+			out.Val.Data[e*heads+h] = s
+		}
+	}
+	out.back = func() {
+		for e := 0; e < a.Val.Rows; e++ {
+			for h := 0; h < heads; h++ {
+				gr := out.Grad.Data[e*heads+h]
+				if gr == 0 {
+					continue
+				}
+				base := e*a.Val.Cols + h*dh
+				for j := 0; j < dh; j++ {
+					if a.needsGrad {
+						a.Grad.Data[base+j] += gr * b.Val.Data[base+j]
+					}
+					if b.needsGrad {
+						b.Grad.Data[base+j] += gr * a.Val.Data[base+j]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// HeadScale multiplies each dh-wide head slice of msg (E×H·dh) by the
+// matching per-head weight alpha (E×H).
+func (g *Graph) HeadScale(msg, alpha *Node, heads int) *Node {
+	if msg.Val.Rows != alpha.Val.Rows || alpha.Val.Cols != heads {
+		panic("nn: HeadScale shape mismatch")
+	}
+	dh := msg.Val.Cols / heads
+	out := g.newLike(msg.Val.Rows, msg.Val.Cols, msg.needsGrad || alpha.needsGrad)
+	for e := 0; e < msg.Val.Rows; e++ {
+		for h := 0; h < heads; h++ {
+			w := alpha.Val.Data[e*heads+h]
+			base := e*msg.Val.Cols + h*dh
+			for j := 0; j < dh; j++ {
+				out.Val.Data[base+j] = msg.Val.Data[base+j] * w
+			}
+		}
+	}
+	out.back = func() {
+		for e := 0; e < msg.Val.Rows; e++ {
+			for h := 0; h < heads; h++ {
+				w := alpha.Val.Data[e*heads+h]
+				base := e*msg.Val.Cols + h*dh
+				var s float64
+				for j := 0; j < dh; j++ {
+					gr := out.Grad.Data[base+j]
+					if msg.needsGrad {
+						msg.Grad.Data[base+j] += gr * w
+					}
+					s += gr * msg.Val.Data[base+j]
+				}
+				if alpha.needsGrad {
+					alpha.Grad.Data[e*heads+h] += s
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SegmentSoftmax normalizes scores (E×H) with a softmax taken per segment:
+// rows sharing seg[e] (the target node of edge e) compete within each head
+// column. This is the ∀s∈N(t) softmax of HGT's mutual attention.
+func (g *Graph) SegmentSoftmax(scores *Node, seg []int, n int) *Node {
+	h := scores.Val.Cols
+	out := g.newLike(scores.Val.Rows, h, scores.needsGrad)
+	maxv := tensor.New(n, h)
+	for i := range maxv.Data {
+		maxv.Data[i] = math.Inf(-1)
+	}
+	for e, s := range seg {
+		for c := 0; c < h; c++ {
+			if v := scores.Val.Data[e*h+c]; v > maxv.Data[s*h+c] {
+				maxv.Data[s*h+c] = v
+			}
+		}
+	}
+	sum := tensor.New(n, h)
+	for e, s := range seg {
+		for c := 0; c < h; c++ {
+			v := math.Exp(scores.Val.Data[e*h+c] - maxv.Data[s*h+c])
+			out.Val.Data[e*h+c] = v
+			sum.Data[s*h+c] += v
+		}
+	}
+	for e, s := range seg {
+		for c := 0; c < h; c++ {
+			if z := sum.Data[s*h+c]; z > 0 {
+				out.Val.Data[e*h+c] /= z
+			}
+		}
+	}
+	out.back = func() {
+		if !scores.needsGrad {
+			return
+		}
+		// d/dx softmax: dx_e = y_e (g_e − Σ_k y_k g_k) per segment/head.
+		dot := tensor.New(n, h)
+		for e, s := range seg {
+			for c := 0; c < h; c++ {
+				dot.Data[s*h+c] += out.Val.Data[e*h+c] * out.Grad.Data[e*h+c]
+			}
+		}
+		for e, s := range seg {
+			for c := 0; c < h; c++ {
+				y := out.Val.Data[e*h+c]
+				scores.Grad.Data[e*h+c] += y * (out.Grad.Data[e*h+c] - dot.Data[s*h+c])
+			}
+		}
+	}
+	return out
+}
+
+// SoftmaxRows applies softmax independently to each row (sequence
+// attention).
+func (g *Graph) SoftmaxRows(a *Node) *Node {
+	out := g.newLike(a.Val.Rows, a.Val.Cols, a.needsGrad)
+	copy(out.Val.Data, a.Val.Data)
+	tensor.SoftmaxRows(out.Val)
+	out.back = func() {
+		if !a.needsGrad {
+			return
+		}
+		for i := 0; i < a.Val.Rows; i++ {
+			var dot float64
+			yrow := out.Val.Row(i)
+			grow := out.Grad.Row(i)
+			for j := range yrow {
+				dot += yrow[j] * grow[j]
+			}
+			for j := range yrow {
+				a.Grad.Data[i*a.Val.Cols+j] += yrow[j] * (grow[j] - dot)
+			}
+		}
+	}
+	return out
+}
+
+// LayerNorm normalizes each row to zero mean/unit variance, then applies a
+// learned gain and bias (1×d each).
+func (g *Graph) LayerNorm(a, gain, bias *Node) *Node {
+	d := a.Val.Cols
+	if gain.Val.Cols != d || bias.Val.Cols != d {
+		panic("nn: LayerNorm gain/bias shape mismatch")
+	}
+	const eps = 1e-5
+	out := g.newLike(a.Val.Rows, d, true)
+	xhat := tensor.New(a.Val.Rows, d)
+	invStd := make([]float64, a.Val.Rows)
+	for i := 0; i < a.Val.Rows; i++ {
+		row := a.Val.Row(i)
+		var mean float64
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(d)
+		var varc float64
+		for _, v := range row {
+			varc += (v - mean) * (v - mean)
+		}
+		varc /= float64(d)
+		inv := 1 / math.Sqrt(varc+eps)
+		invStd[i] = inv
+		for j, v := range row {
+			xh := (v - mean) * inv
+			xhat.Data[i*d+j] = xh
+			out.Val.Data[i*d+j] = xh*gain.Val.Data[j] + bias.Val.Data[j]
+		}
+	}
+	out.back = func() {
+		for i := 0; i < a.Val.Rows; i++ {
+			grow := out.Grad.Row(i)
+			// gradients to gain/bias
+			for j := 0; j < d; j++ {
+				if gain.needsGrad {
+					gain.Grad.Data[j] += grow[j] * xhat.Data[i*d+j]
+				}
+				if bias.needsGrad {
+					bias.Grad.Data[j] += grow[j]
+				}
+			}
+			if !a.needsGrad {
+				continue
+			}
+			// dxhat = g * gain; dx = invStd*(dxhat - mean(dxhat) - xhat*mean(dxhat*xhat))
+			var meanDx, meanDxXhat float64
+			dxhat := make([]float64, d)
+			for j := 0; j < d; j++ {
+				dxhat[j] = grow[j] * gain.Val.Data[j]
+				meanDx += dxhat[j]
+				meanDxXhat += dxhat[j] * xhat.Data[i*d+j]
+			}
+			meanDx /= float64(d)
+			meanDxXhat /= float64(d)
+			for j := 0; j < d; j++ {
+				a.Grad.Data[i*d+j] += invStd[i] * (dxhat[j] - meanDx - xhat.Data[i*d+j]*meanDxXhat)
+			}
+		}
+	}
+	return out
+}
+
+// SoftmaxCrossEntropy computes the mean cross-entropy between row-softmaxed
+// logits (B×C) and integer labels. It returns the scalar loss node and the
+// softmax probabilities for metric computation.
+func (g *Graph) SoftmaxCrossEntropy(logits *Node, labels []int) (*Node, *tensor.Matrix) {
+	b, c := logits.Val.Rows, logits.Val.Cols
+	if len(labels) != b {
+		panic("nn: label count mismatch")
+	}
+	probs := logits.Val.Clone()
+	tensor.SoftmaxRows(probs)
+	out := g.newLike(1, 1, logits.needsGrad)
+	var loss float64
+	for i, y := range labels {
+		p := probs.At(i, y)
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+	}
+	out.Val.Data[0] = loss / float64(b)
+	out.back = func() {
+		if !logits.needsGrad {
+			return
+		}
+		scale := out.Grad.Data[0] / float64(b)
+		for i := 0; i < b; i++ {
+			for j := 0; j < c; j++ {
+				d := probs.At(i, j)
+				if j == labels[i] {
+					d -= 1
+				}
+				logits.Grad.Data[i*c+j] += scale * d
+			}
+		}
+	}
+	return out, probs
+}

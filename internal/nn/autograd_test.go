@@ -1,0 +1,272 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"graph2par/internal/tensor"
+)
+
+// numericGrad estimates dLoss/dp by central differences, where loss is
+// rebuilt from scratch by fn on every evaluation.
+func numericGrad(p *Param, fn func() float64, eps float64) *tensor.Matrix {
+	out := tensor.New(p.W.Rows, p.W.Cols)
+	for i := range p.W.Data {
+		orig := p.W.Data[i]
+		p.W.Data[i] = orig + eps
+		lp := fn()
+		p.W.Data[i] = orig - eps
+		lm := fn()
+		p.W.Data[i] = orig
+		out.Data[i] = (lp - lm) / (2 * eps)
+	}
+	return out
+}
+
+// checkGrad verifies analytic vs numeric gradients for a loss builder.
+func checkGrad(t *testing.T, name string, params []*Param, build func(g *Graph) *Node) {
+	t.Helper()
+	loss := func() float64 {
+		g := NewGraph()
+		return build(g).Val.Data[0]
+	}
+	g := NewGraph()
+	l := build(g)
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	g.Backward(l)
+	for _, p := range params {
+		num := numericGrad(p, loss, 1e-5)
+		for i := range num.Data {
+			a, n := p.G.Data[i], num.Data[i]
+			denom := math.Max(1, math.Max(math.Abs(a), math.Abs(n)))
+			if math.Abs(a-n)/denom > 1e-4 {
+				t.Errorf("%s: param %s[%d]: analytic %.8f vs numeric %.8f", name, p.Name, i, a, n)
+				return
+			}
+		}
+	}
+}
+
+func TestGradMatMulAddBias(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	w := NewParam("w", 3, 4, rng)
+	b := NewParamGaussian("b", 1, 4, 0.5, rng)
+	x := tensor.New(2, 3).Gaussian(rng, 1)
+	checkGrad(t, "matmul+bias", []*Param{w, b}, func(g *Graph) *Node {
+		out := g.AddBias(g.MatMul(g.Constant(x), g.Param(w)), g.Param(b))
+		return g.SumAll(g.Mul(out, out)) // quadratic so grads are nontrivial
+	})
+}
+
+func TestGradReLUAndTanhAndGELU(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	w := NewParam("w", 4, 4, rng)
+	x := tensor.New(3, 4).Gaussian(rng, 1)
+	checkGrad(t, "relu", []*Param{w}, func(g *Graph) *Node {
+		return g.SumAll(g.ReLU(g.MatMul(g.Constant(x), g.Param(w))))
+	})
+	checkGrad(t, "tanh", []*Param{w}, func(g *Graph) *Node {
+		return g.SumAll(g.Tanh(g.MatMul(g.Constant(x), g.Param(w))))
+	})
+	checkGrad(t, "gelu", []*Param{w}, func(g *Graph) *Node {
+		return g.SumAll(g.GELU(g.MatMul(g.Constant(x), g.Param(w))))
+	})
+}
+
+func TestGradLayerNorm(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	w := NewParam("w", 4, 6, rng)
+	gain := NewParamOnes("gain", 1, 6)
+	bias := NewParamZero("bias", 1, 6)
+	// perturb gain/bias so their grads are non-trivial
+	for i := range gain.W.Data {
+		gain.W.Data[i] = 1 + 0.1*float64(i)
+		bias.W.Data[i] = 0.05 * float64(i)
+	}
+	x := tensor.New(3, 4).Gaussian(rng, 1)
+	checkGrad(t, "layernorm", []*Param{w, gain, bias}, func(g *Graph) *Node {
+		h := g.MatMul(g.Constant(x), g.Param(w))
+		out := g.LayerNorm(h, g.Param(gain), g.Param(bias))
+		return g.SumAll(g.Mul(out, out))
+	})
+}
+
+func TestGradSoftmaxRows(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	w := NewParam("w", 3, 5, rng)
+	x := tensor.New(2, 3).Gaussian(rng, 1)
+	tgt := tensor.New(2, 5).Gaussian(rng, 1)
+	checkGrad(t, "softmaxrows", []*Param{w}, func(g *Graph) *Node {
+		sm := g.SoftmaxRows(g.MatMul(g.Constant(x), g.Param(w)))
+		return g.SumAll(g.Mul(sm, g.Constant(tgt)))
+	})
+}
+
+func TestGradSoftmaxCrossEntropy(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	w := NewParam("w", 4, 3, rng)
+	x := tensor.New(5, 4).Gaussian(rng, 1)
+	labels := []int{0, 2, 1, 1, 0}
+	checkGrad(t, "xent", []*Param{w}, func(g *Graph) *Node {
+		logits := g.MatMul(g.Constant(x), g.Param(w))
+		loss, _ := g.SoftmaxCrossEntropy(logits, labels)
+		return loss
+	})
+}
+
+func TestGradMatMulBT(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	a := NewParam("a", 3, 4, rng)
+	b := NewParam("b", 5, 4, rng)
+	checkGrad(t, "matmulBT", []*Param{a, b}, func(g *Graph) *Node {
+		out := g.MatMulBT(g.Param(a), g.Param(b)) // 3×5
+		return g.SumAll(g.Mul(out, out))
+	})
+}
+
+func TestGradGatherScatter(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	w := NewParam("w", 4, 3, rng)
+	idx := []int{2, 0, 2, 3, 1}
+	checkGrad(t, "gather", []*Param{w}, func(g *Graph) *Node {
+		rows := g.GatherRows(g.Param(w), idx)
+		return g.SumAll(g.Mul(rows, rows))
+	})
+	checkGrad(t, "scatter", []*Param{w}, func(g *Graph) *Node {
+		rows := g.GatherRows(g.Param(w), idx)
+		spread := g.ScatterRowsAdd(rows, []int{0, 1, 0, 2, 1}, 3)
+		return g.SumAll(g.Mul(spread, spread))
+	})
+}
+
+func TestGradSegmentSoftmaxAndHeadOps(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	heads, dh := 2, 3
+	k := NewParam("k", 5, heads*dh, rng)
+	q := NewParam("q", 5, heads*dh, rng)
+	m := NewParam("m", 5, heads*dh, rng)
+	seg := []int{0, 0, 1, 2, 2}
+	checkGrad(t, "segment-attention", []*Param{k, q, m}, func(g *Graph) *Node {
+		scores := g.RowDotHeads(g.Param(k), g.Param(q), heads)
+		alpha := g.SegmentSoftmax(scores, seg, 3)
+		weighted := g.HeadScale(g.Param(m), alpha, heads)
+		agg := g.ScatterRowsAdd(weighted, seg, 3)
+		return g.SumAll(g.Mul(agg, agg))
+	})
+}
+
+func TestGradMeanRowsConcat(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	a := NewParam("a", 4, 3, rng)
+	b := NewParam("b", 4, 2, rng)
+	checkGrad(t, "meanrows-concat", []*Param{a, b}, func(g *Graph) *Node {
+		cat := g.ConcatCols(g.Param(a), g.Param(b))
+		mean := g.MeanRows(cat)
+		return g.SumAll(g.Mul(mean, mean))
+	})
+}
+
+func TestGradEmbeddingLookup(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	var ps ParamSet
+	emb := NewEmbedding(&ps, "emb", 6, 4, rng)
+	ids := []int{1, 3, 1, 5}
+	checkGrad(t, "embedding", []*Param{emb.Table}, func(g *Graph) *Node {
+		rows := emb.Lookup(g, ids)
+		return g.SumAll(g.Mul(rows, rows))
+	})
+}
+
+func TestDropoutTrainEval(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	x := tensor.New(10, 10)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	g := NewGraph()
+	// eval mode: identity
+	out := g.Dropout(g.Constant(x), 0.5, rng, false)
+	if !tensor.Equal(out.Val, x, 0) {
+		t.Error("dropout in eval mode must be identity")
+	}
+	// train mode: some elements zeroed, survivors scaled by 2
+	out2 := g.Dropout(g.Constant(x), 0.5, rng, true)
+	zeros, twos := 0, 0
+	for _, v := range out2.Val.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			twos++
+		default:
+			t.Fatalf("unexpected value %v", v)
+		}
+	}
+	if zeros == 0 || twos == 0 {
+		t.Errorf("dropout did nothing: zeros=%d twos=%d", zeros, twos)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// minimize ||W - T||² for a fixed target T.
+	rng := tensor.NewRNG(11)
+	var ps ParamSet
+	w := NewParam("w", 3, 3, rng)
+	ps.Register(w)
+	target := tensor.New(3, 3).Gaussian(rng, 1)
+	opt := NewAdam(0.05)
+	var last float64
+	for step := 0; step < 300; step++ {
+		ps.ZeroGrad()
+		g := NewGraph()
+		diff := g.Add(g.Param(w), g.Scale(g.Constant(target), -1))
+		loss := g.SumAll(g.Mul(diff, diff))
+		g.Backward(loss)
+		opt.Step(&ps)
+		last = loss.Val.Data[0]
+	}
+	if last > 1e-3 {
+		t.Errorf("Adam failed to converge: final loss %v", last)
+	}
+}
+
+func TestGradClip(t *testing.T) {
+	var ps ParamSet
+	p := NewParamZero("p", 1, 4)
+	ps.Register(p)
+	copy(p.G.Data, []float64{3, 4, 0, 0}) // norm 5
+	ps.ClipGrad(1)
+	if n := ps.GradNorm(); math.Abs(n-1) > 1e-9 {
+		t.Errorf("clipped norm = %v", n)
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	rng := tensor.NewRNG(12)
+	var ps ParamSet
+	NewLinear(&ps, "l1", 10, 20, rng)
+	NewLinear(&ps, "l2", 20, 5, rng)
+	want := 10*20 + 20 + 20*5 + 5
+	if got := ps.NumParams(); got != want {
+		t.Errorf("NumParams = %d, want %d", got, want)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := tensor.NewRNG(42), tensor.NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	perm := tensor.NewRNG(1).Perm(10)
+	seen := map[int]bool{}
+	for _, v := range perm {
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Perm not a permutation: %v", perm)
+	}
+}

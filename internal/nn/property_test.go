@@ -1,0 +1,148 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"graph2par/internal/tensor"
+)
+
+// Property: backward of MatMul is linear — grad(a·b) wrt upstream G scales
+// linearly with G.
+func TestQuickBackwardLinearity(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed | 1)
+		n, k, m := 1+rng.Intn(4), 1+rng.Intn(4), 1+rng.Intn(4)
+		a := NewParam("a", n, k, rng)
+		b := NewParam("b", k, m, rng)
+
+		gradFor := func(scale float64) []float64 {
+			a.ZeroGrad()
+			b.ZeroGrad()
+			g := NewGraph()
+			out := g.MatMul(g.Param(a), g.Param(b))
+			loss := g.SumAll(g.Scale(out, scale))
+			g.Backward(loss)
+			return append([]float64(nil), a.G.Data...)
+		}
+		g1 := gradFor(1)
+		g3 := gradFor(3)
+		for i := range g1 {
+			if math.Abs(3*g1[i]-g3[i]) > 1e-9*math.Max(1, math.Abs(g3[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: gradients accumulate — two backward passes double the gradient
+// of one.
+func TestQuickGradAccumulation(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed | 1)
+		w := NewParam("w", 3, 3, rng)
+		once := func() {
+			g := NewGraph()
+			out := g.Mul(g.Param(w), g.Param(w))
+			g.Backward(g.SumAll(out))
+		}
+		w.ZeroGrad()
+		once()
+		single := append([]float64(nil), w.G.Data...)
+		w.ZeroGrad()
+		once()
+		once()
+		for i := range single {
+			if math.Abs(w.G.Data[i]-2*single[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SegmentSoftmax outputs form a probability distribution per
+// (segment, head) group.
+func TestQuickSegmentSoftmaxNormalized(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed | 1)
+		e := 2 + rng.Intn(20)
+		h := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(5)
+		seg := make([]int, e)
+		for i := range seg {
+			seg[i] = rng.Intn(n)
+		}
+		scores := tensor.New(e, h).Gaussian(rng, 2)
+		g := NewGraph()
+		alpha := g.SegmentSoftmax(g.Constant(scores), seg, n)
+
+		sums := tensor.New(n, h)
+		for i, sgm := range seg {
+			for c := 0; c < h; c++ {
+				v := alpha.Val.At(i, c)
+				if v < 0 || v > 1 {
+					return false
+				}
+				sums.Data[sgm*h+c] += v
+			}
+		}
+		// populated groups sum to 1
+		counts := map[int]bool{}
+		for _, sgm := range seg {
+			counts[sgm] = true
+		}
+		for sgm := range counts {
+			for c := 0; c < h; c++ {
+				if math.Abs(sums.At(sgm, c)-1) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LayerNorm output rows have ~zero mean and ~unit variance under
+// identity gain/zero bias.
+func TestQuickLayerNormMoments(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed | 1)
+		rows, d := 1+rng.Intn(6), 4+rng.Intn(12)
+		x := tensor.New(rows, d).Gaussian(rng, 3)
+		gain := NewParamOnes("g", 1, d)
+		bias := NewParamZero("b", 1, d)
+		g := NewGraph()
+		out := g.LayerNorm(g.Constant(x), g.Param(gain), g.Param(bias))
+		for i := 0; i < rows; i++ {
+			var mean, varc float64
+			row := out.Val.Row(i)
+			for _, v := range row {
+				mean += v
+			}
+			mean /= float64(d)
+			for _, v := range row {
+				varc += (v - mean) * (v - mean)
+			}
+			varc /= float64(d)
+			if math.Abs(mean) > 1e-9 || math.Abs(varc-1) > 1e-2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !Equal(c, want, 1e-12) {
+		t.Errorf("got %v", c.Data)
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on shape mismatch")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ, using MatMulATInto/MatMulBTInto as the
+// transposed primitives the backward passes rely on.
+func TestQuickTransposedMatMulIdentities(t *testing.T) {
+	rng := NewRNG(99)
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n, k, m := 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5)
+		a := New(n, k).Gaussian(rng, 1)
+		b := New(k, m).Gaussian(rng, 1)
+		ab := MatMul(a, b)
+
+		// out = aᵀ·ab should equal MatMulATInto accumulation
+		at := New(k, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				at.Set(j, i, a.At(i, j))
+			}
+		}
+		direct := MatMul(at, ab)
+		accum := New(k, ab.Cols)
+		MatMulATInto(accum, a, ab)
+		if !Equal(direct, accum, 1e-9) {
+			return false
+		}
+
+		// out = ab·bᵀ should equal MatMulBTInto accumulation
+		bt := New(m, k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < m; j++ {
+				bt.Set(j, i, b.At(i, j))
+			}
+		}
+		direct2 := MatMul(ab, bt)
+		accum2 := New(ab.Rows, k)
+		MatMulBTInto(accum2, ab, b)
+		return Equal(direct2, accum2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxRowsProperties(t *testing.T) {
+	rng := NewRNG(7)
+	m := New(10, 6).Gaussian(rng, 3)
+	SoftmaxRows(m)
+	for i := 0; i < m.Rows; i++ {
+		var sum float64
+		for _, v := range m.Row(i) {
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax out of range: %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	m := FromSlice(1, 3, []float64{1000, 1001, 1002})
+	SoftmaxRows(m)
+	for _, v := range m.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("softmax unstable: %v", m.Data)
+		}
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(123)
+	n := 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("variance = %v", variance)
+	}
+}
+
+func TestXavierBounds(t *testing.T) {
+	r := NewRNG(5)
+	m := New(30, 40).Xavier(r)
+	limit := math.Sqrt(6.0 / 70.0)
+	for _, v := range m.Data {
+		if math.Abs(v) > limit {
+			t.Fatalf("xavier value %v beyond limit %v", v, limit)
+		}
+	}
+	if m.MaxAbs() < limit/3 {
+		t.Error("xavier looks degenerate")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 2, 3})
+	b := a.Clone()
+	b.Data[0] = 99
+	if a.Data[0] != 1 {
+		t.Error("clone shares storage")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(1)
+	s1 := r.Split()
+	s2 := r.Split()
+	if s1.Uint64() == s2.Uint64() {
+		t.Error("split streams should differ")
+	}
+}

@@ -1,0 +1,218 @@
+// Package discopop reimplements the decision behaviour of DiscoPoP, the
+// hybrid dynamic parallelism detector of the paper's evaluation. The real
+// tool instruments LLVM IR and analyzes the memory-access trace of an
+// actual execution; here the trace comes from the cinterp interpreter. The
+// profile mirrored from the paper:
+//
+//   - needs to EXECUTE the program: only loops inside complete runnable
+//     translation units are processable, under a step budget that stands in
+//     for profiling cost (the paper reports 3.7% coverage on OMP_Serial);
+//   - calls to external (non-instrumented) functions — including libm —
+//     are opaque and force a conservative "not parallel" (Listing 1);
+//     calls to functions defined in the same file are instrumented through
+//     and fine (Listing 3);
+//   - do-all detection: an address accessed in two different iterations
+//     with at least one write is an inter-iteration dependence;
+//   - reduction detection is pattern-based: only single-statement updates
+//     (x += e, x = x op e, x++) count (the two-statement update of
+//     Listing 4 is missed), and the update must execute exactly once per
+//     iteration of the analyzed loop (so the outer loop of the nest in
+//     Listing 5, whose counter is bumped many times per outer iteration,
+//     is missed).
+package discopop
+
+import (
+	"fmt"
+	"sort"
+
+	"graph2par/internal/cast"
+	"graph2par/internal/cinterp"
+	"graph2par/internal/depend"
+	"graph2par/internal/tools"
+)
+
+// DiscoPoP is the dynamic analyzer.
+type DiscoPoP struct {
+	// MaxSteps is the interpreter step budget per sample (profiling cost
+	// stand-in). Default 2,000,000.
+	MaxSteps int
+	// IterCap caps traced iterations (sampling). 0 (the default) executes
+	// the loop fully — profiling cost is part of the tool's real profile,
+	// so long-running programs genuinely blow the step budget.
+	IterCap int
+}
+
+// New returns the tool with default budgets.
+func New() *DiscoPoP { return &DiscoPoP{MaxSteps: 2_000_000} }
+
+// Name implements tools.Tool.
+func (d *DiscoPoP) Name() string { return "DiscoPoP" }
+
+type accessRec struct {
+	iter  int
+	write bool
+}
+
+// Analyze implements tools.Tool.
+func (d *DiscoPoP) Analyze(s tools.Sample) tools.Verdict {
+	v := tools.Verdict{Reductions: map[string]string{}}
+	if !s.Runnable || s.File == nil {
+		v.Reason = "DiscoPoP: requires a runnable program for profiling"
+		return v
+	}
+	loop, ok := s.Loop.(*cast.For)
+	if !ok {
+		v.Reason = "DiscoPoP: loop-level analysis targets for-loops"
+		return v
+	}
+
+	// Identify defined functions to separate instrumented from opaque calls.
+	defined := map[string]bool{}
+	for _, fn := range s.File.Funcs {
+		if fn.Body != nil {
+			defined[fn.Name] = true
+		}
+	}
+
+	info := depend.ExtractLoop(loop)
+	// Syntactic single-statement reduction candidates (DiscoPoP's pattern
+	// matcher); multi-statement updates are deliberately not candidates.
+	redOps := map[string]string{}
+	for _, r := range depend.FindReductions(loop.Body, map[string]bool{info.IndVar: true}) {
+		if !r.MultiStatement {
+			redOps[r.Var] = r.Op
+		}
+	}
+	watch := []string{}
+	if info.IndVar != "" {
+		watch = append(watch, info.IndVar)
+	}
+	for name := range redOps {
+		watch = append(watch, name)
+	}
+	sort.Strings(watch)
+
+	in := cinterp.New(s.File)
+	in.MaxSteps = d.MaxSteps
+	in.IterCap = d.IterCap
+	in.TraceLoop = loop
+	in.WatchNames = watch
+
+	trace := map[cinterp.Addr][]accessRec{}
+	maxIter := -1
+	in.Trace = func(a cinterp.Addr, w bool, iter int) {
+		trace[a] = append(trace[a], accessRec{iter: iter, write: w})
+		if iter > maxIter {
+			maxIter = iter
+		}
+	}
+	if _, err := in.Run(); err != nil {
+		v.Reason = fmt.Sprintf("DiscoPoP: program not profilable (%v)", err)
+		return v
+	}
+	if maxIter < 1 {
+		v.Reason = "DiscoPoP: instrumented loop executed fewer than 2 iterations"
+		return v
+	}
+	v.Processable = true
+
+	if depend.HasLoopExit(loop.Body) {
+		v.Reason = "DiscoPoP: early exit violates the canonical worksharing form"
+		return v
+	}
+
+	// Opaque external calls make the trace incomplete: conservative.
+	if has, names := depend.HasCalls(loop.Body); has {
+		for _, n := range names {
+			if !defined[n] {
+				v.Reason = fmt.Sprintf("DiscoPoP: call to non-instrumented function %q", n)
+				return v
+			}
+		}
+	}
+
+	ivAddr, hasIV := in.Watched[info.IndVar]
+	redAddr := map[cinterp.Addr]string{}
+	for name := range redOps {
+		if a, ok := in.Watched[name]; ok {
+			redAddr[a] = name
+		}
+	}
+
+	// Dependence scan over the trace.
+	addrs := make([]cinterp.Addr, 0, len(trace))
+	for a := range trace {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		if addrs[i].Obj != addrs[j].Obj {
+			return addrs[i].Obj < addrs[j].Obj
+		}
+		return addrs[i].Elem < addrs[j].Elem
+	})
+	confirmedReds := map[string]string{}
+	anyArrayWrite := false
+	for _, a := range addrs {
+		if a.IsArrayElem() {
+			for _, r := range trace[a] {
+				if r.write {
+					anyArrayWrite = true
+					break
+				}
+			}
+		}
+	}
+	for _, a := range addrs {
+		if hasIV && a == ivAddr {
+			continue // loop control
+		}
+		recs := trace[a]
+		iters := map[int]bool{}
+		writesPerIter := map[int]int{}
+		anyWrite := false
+		for _, r := range recs {
+			iters[r.iter] = true
+			if r.write {
+				writesPerIter[r.iter]++
+				anyWrite = true
+			}
+		}
+		if !anyWrite || len(iters) < 2 {
+			continue // read-only or confined to one iteration
+		}
+		if name, isRed := redAddr[a]; isRed {
+			oncePerIter := true
+			for it := range iters {
+				if writesPerIter[it] != 1 {
+					oncePerIter = false
+					break
+				}
+			}
+			if oncePerIter {
+				confirmedReds[name] = redOps[name]
+				continue
+			}
+			v.Reason = fmt.Sprintf("DiscoPoP: reduction candidate %q updated multiple times per iteration", name)
+			return v
+		}
+		v.Reason = fmt.Sprintf("DiscoPoP: inter-iteration dependence on object %d", a.Obj)
+		return v
+	}
+
+	// Template matching: DiscoPoP classifies a loop as do-all OR as a
+	// reduction; a body that both reduces a scalar and writes arrays falls
+	// outside both templates (the Listing 6 failure mode).
+	if len(confirmedReds) > 0 && anyArrayWrite {
+		v.Reason = "DiscoPoP: mixed reduction and array-write pattern matches neither template"
+		return v
+	}
+
+	v.Parallel = true
+	v.Reductions = confirmedReds
+	if len(confirmedReds) > 0 {
+		v.Reason = "DiscoPoP: reduction pattern"
+	} else {
+		v.Reason = "DiscoPoP: do-all pattern"
+	}
+	return v
+}

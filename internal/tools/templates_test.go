@@ -1,0 +1,129 @@
+package tools_test
+
+import (
+	"testing"
+
+	"graph2par/internal/dataset"
+	"graph2par/internal/tools"
+	"graph2par/internal/tools/autopar"
+	"graph2par/internal/tools/discopop"
+	"graph2par/internal/tools/pluto"
+)
+
+// Golden behaviour over the synthetic corpus: the paper verified every
+// synthetic template with DiscoPoP, so our DiscoPoP must agree with the
+// generated labels on clean (call-free, unmixed) synthetic programs, and
+// the static tools must never produce a false positive anywhere.
+func TestToolsAgainstSyntheticTemplates(t *testing.T) {
+	corpus := dataset.Generate(dataset.Config{Scale: 0.05, Seed: 202, Noise: -1})
+	dp := discopop.New()
+	ap := autopar.New()
+	pl := pluto.New()
+
+	var dpChecked, dpAgree int
+	for _, s := range corpus.Samples {
+		if s.Origin != "synthetic" {
+			continue
+		}
+		sample := tools.Sample{Loop: s.Loop, File: s.File, Compilable: s.Compilable, Runnable: s.Runnable}
+
+		// static tools: zero false positives, everywhere
+		for _, tool := range []tools.Tool{ap, pl} {
+			v := tool.Analyze(sample)
+			if v.Processable && v.Parallel && !s.Parallel {
+				t.Errorf("%s false positive on synthetic sample %d:\n%s", tool.Name(), s.ID, s.LoopSrc)
+			}
+		}
+
+		v := dp.Analyze(sample)
+		if !v.Processable {
+			continue
+		}
+		dpChecked++
+		if v.Parallel == s.Parallel {
+			dpAgree++
+		} else if v.Parallel && !s.Parallel {
+			t.Errorf("DiscoPoP false positive on synthetic sample %d:\n%s", s.ID, s.LoopSrc)
+		}
+	}
+	if dpChecked < 20 {
+		t.Fatalf("DiscoPoP processed only %d synthetic samples", dpChecked)
+	}
+	// DiscoPoP misses some patterns by design (mixed, multi-statement,
+	// per-iteration multiplicity) but must agree on a solid majority of
+	// the template set it can process.
+	if ratio := float64(dpAgree) / float64(dpChecked); ratio < 0.7 {
+		t.Errorf("DiscoPoP agrees on only %.0f%% of synthetic programs", 100*ratio)
+	}
+}
+
+// The GitHub-surrogate corpus: static tools keep zero false positives when
+// noise is enabled, because noise is restricted to their blind spot.
+func TestStaticToolsZeroFPUnderNoise(t *testing.T) {
+	corpus := dataset.Generate(dataset.Config{Scale: 0.03, Seed: 203}) // default noise
+	noisy := 0
+	for _, s := range corpus.Samples {
+		if s.Mislabeled {
+			noisy++
+		}
+	}
+	if noisy == 0 {
+		t.Fatal("expected mislabeled samples under default noise")
+	}
+	for _, tool := range []tools.Tool{autopar.New(), pluto.New(), discopop.New()} {
+		for _, s := range corpus.Samples {
+			if s.Parallel {
+				continue
+			}
+			v := tool.Analyze(tools.Sample{Loop: s.Loop, File: s.File, Compilable: s.Compilable, Runnable: s.Runnable})
+			if v.Processable && v.Parallel {
+				t.Errorf("%s false positive on sample %d (mislabeled=%v):\n%s",
+					tool.Name(), s.ID, s.Mislabeled, s.LoopSrc)
+			}
+		}
+	}
+}
+
+// Struct-based reductions (Listing 2 family): the static tools reject
+// them; DiscoPoP processes the call-free ones thanks to the interpreter's
+// struct support.
+func TestStructReductionToolProfile(t *testing.T) {
+	corpus := dataset.Generate(dataset.Config{Scale: 0.12, Seed: 204, Noise: -1})
+	pl := pluto.New()
+	dp := discopop.New()
+	var structSamples, plutoMisses, dpProcessed int
+	for _, s := range corpus.Samples {
+		if !s.Parallel || s.Category != "reduction" {
+			continue
+		}
+		if !containsStr(s.LoopSrc, "].") {
+			continue // not a struct access loop
+		}
+		structSamples++
+		sample := tools.Sample{Loop: s.Loop, File: s.File, Compilable: s.Compilable, Runnable: s.Runnable}
+		if v := pl.Analyze(sample); !v.Parallel {
+			plutoMisses++
+		}
+		if v := dp.Analyze(sample); v.Processable {
+			dpProcessed++
+		}
+	}
+	if structSamples == 0 {
+		t.Fatal("no struct reduction samples generated")
+	}
+	if plutoMisses != structSamples {
+		t.Errorf("PLUTO must miss all %d struct loops, missed %d", structSamples, plutoMisses)
+	}
+	if dpProcessed == 0 {
+		t.Error("DiscoPoP should process at least one runnable struct program")
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

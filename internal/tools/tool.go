@@ -1,0 +1,49 @@
+// Package tools defines the common interface of the algorithm-based
+// parallelism-assistant comparators reimplemented for the evaluation:
+// autoPar (conservative static), PLUTO (polyhedral static) and DiscoPoP
+// (dynamic, trace-based). Each tool receives a loop sample — the loop AST
+// plus whatever file context exists — and reports whether it can process
+// the loop at all and, if so, whether it detects parallelism.
+package tools
+
+import (
+	"graph2par/internal/cast"
+)
+
+// Sample is the unit of analysis: one loop, optionally embedded in a file.
+type Sample struct {
+	// Loop is the loop statement (For or While).
+	Loop cast.Stmt
+	// File is the enclosing translation unit when the loop came from a
+	// complete source file; nil for bare extracted snippets.
+	File *cast.File
+	// Compilable marks samples whose enclosing file passed the compile
+	// check (static whole-file tools need this).
+	Compilable bool
+	// Runnable marks samples whose enclosing file is a complete program
+	// with a main() (dynamic tools need to execute it).
+	Runnable bool
+}
+
+// Verdict is a tool's output for one sample.
+type Verdict struct {
+	// Processable reports whether the tool could analyze the loop at all.
+	// Unprocessable loops are excluded from the tool's comparison subset
+	// (Table 4) and from its detection counts (Table 3).
+	Processable bool
+	// Parallel is the tool's detection result (meaningless when
+	// !Processable).
+	Parallel bool
+	// Reductions lists recognized reduction variables (var -> operator).
+	Reductions map[string]string
+	// Private lists scalars the tool would place in a private clause.
+	Private []string
+	// Reason explains the decision, for diagnostics and the case study.
+	Reason string
+}
+
+// Tool is an algorithm-based parallelism detector.
+type Tool interface {
+	Name() string
+	Analyze(s Sample) Verdict
+}

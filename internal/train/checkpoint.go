@@ -1,0 +1,118 @@
+package train
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"graph2par/internal/auggraph"
+	"graph2par/internal/hgt"
+)
+
+// Checkpoint is a serializable trained Graph2Par model: configuration,
+// weights and the aug-AST vocabulary it was trained with.
+type Checkpoint struct {
+	Config hgt.Config
+	Params []ParamBlob
+	Kinds  []string
+	Attrs  []string
+	Types  []string
+	Graph  GraphOptionsBlob
+}
+
+// ParamBlob is one named weight matrix.
+type ParamBlob struct {
+	Name string
+	Rows int
+	Cols int
+	Data []float64
+}
+
+// GraphOptionsBlob mirrors auggraph.Options without the function map.
+type GraphOptionsBlob struct {
+	CFG, Lexical, Reverse, Normalize bool
+}
+
+// SaveCheckpoint writes the model, vocabulary and graph options to path.
+func SaveCheckpoint(path string, model *hgt.Model, vocab *auggraph.Vocab, opts auggraph.Options) error {
+	ck := &Checkpoint{
+		Config: model.Cfg,
+		Graph:  GraphOptionsBlob{CFG: opts.CFG, Lexical: opts.Lexical, Reverse: opts.Reverse, Normalize: opts.Normalize},
+	}
+	for _, p := range model.Params.All() {
+		ck.Params = append(ck.Params, ParamBlob{
+			Name: p.Name, Rows: p.W.Rows, Cols: p.W.Cols,
+			Data: append([]float64(nil), p.W.Data...),
+		})
+	}
+	ck.Kinds, ck.Attrs, ck.Types = vocabTables(vocab)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return gob.NewEncoder(f).Encode(ck)
+}
+
+// LoadCheckpoint restores a model, its vocabulary and graph options.
+func LoadCheckpoint(path string) (*hgt.Model, *auggraph.Vocab, auggraph.Options, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, auggraph.Options{}, err
+	}
+	defer f.Close()
+	var ck Checkpoint
+	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
+		return nil, nil, auggraph.Options{}, err
+	}
+	model := hgt.New(ck.Config)
+	params := model.Params.All()
+	if len(params) != len(ck.Params) {
+		return nil, nil, auggraph.Options{}, fmt.Errorf("train: checkpoint has %d params, model expects %d", len(ck.Params), len(params))
+	}
+	for i, blob := range ck.Params {
+		p := params[i]
+		if p.W.Rows != blob.Rows || p.W.Cols != blob.Cols {
+			return nil, nil, auggraph.Options{}, fmt.Errorf("train: param %s shape %dx%d vs checkpoint %dx%d",
+				p.Name, p.W.Rows, p.W.Cols, blob.Rows, blob.Cols)
+		}
+		copy(p.W.Data, blob.Data)
+	}
+	vocab := rebuildVocab(ck.Kinds, ck.Attrs, ck.Types)
+	opts := auggraph.Options{CFG: ck.Graph.CFG, Lexical: ck.Graph.Lexical, Reverse: ck.Graph.Reverse, Normalize: ck.Graph.Normalize}
+	return model, vocab, opts, nil
+}
+
+func vocabTables(v *auggraph.Vocab) (kinds, attrs, types []string) {
+	kinds = make([]string, v.NumKinds())
+	for k, id := range v.Kinds {
+		kinds[id] = k
+	}
+	attrs = make([]string, v.NumAttrs())
+	for k, id := range v.Attrs {
+		attrs[id] = k
+	}
+	types = make([]string, v.NumTypes())
+	for k, id := range v.Types {
+		types[id] = k
+	}
+	return kinds, attrs, types
+}
+
+func rebuildVocab(kinds, attrs, types []string) *auggraph.Vocab {
+	v := auggraph.NewVocab()
+	v.Kinds = map[string]int{}
+	v.Attrs = map[string]int{}
+	v.Types = map[string]int{}
+	for i, k := range kinds {
+		v.Kinds[k] = i
+	}
+	for i, k := range attrs {
+		v.Attrs[k] = i
+	}
+	for i, k := range types {
+		v.Types[k] = i
+	}
+	v.RestoreLists(kinds, attrs, types)
+	return v
+}

@@ -1,0 +1,343 @@
+// Package train drives model training and evaluation over OMP_Serial
+// samples: aug-AST graph preparation with a train-side vocabulary, epoch
+// loops with gradient accumulation and clipping for the HGT (Graph2Par and
+// its vanilla-AST ablation) and for the PragFormer token baseline, and
+// confusion-matrix evaluation.
+package train
+
+import (
+	"fmt"
+
+	"graph2par/internal/auggraph"
+	"graph2par/internal/cast"
+	"graph2par/internal/dataset"
+	"graph2par/internal/hgt"
+	"graph2par/internal/metrics"
+	"graph2par/internal/nn"
+	"graph2par/internal/seqmodel"
+)
+
+// LabelFunc maps a sample to its class (e.g. parallel = 1).
+type LabelFunc func(*dataset.Sample) int
+
+// ParallelLabel is the pragma-existence task of Tables 2–4.
+func ParallelLabel(s *dataset.Sample) int {
+	if s.Parallel {
+		return 1
+	}
+	return 0
+}
+
+// CategoryLabel builds the per-pragma task of Table 5.
+func CategoryLabel(cat string) LabelFunc {
+	return func(s *dataset.Sample) int {
+		if s.Parallel && s.Category == cat {
+			return 1
+		}
+		return 0
+	}
+}
+
+// Options bundles the knobs shared by both trainers.
+type Options struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Hidden    int
+	Heads     int
+	Layers    int
+	Seed      uint64
+	// Graph selects the aug-AST configuration (Default vs VanillaAST).
+	Graph auggraph.Options
+	// Verbose prints per-epoch loss to stdout.
+	Verbose bool
+	// ValFrac > 0 holds out that fraction of the training set for early
+	// stopping; Patience epochs without validation-accuracy improvement
+	// stop training and restore the best weights.
+	ValFrac  float64
+	Patience int
+}
+
+// DefaultOptions returns the laptop-scale training configuration.
+func DefaultOptions() Options {
+	return Options{
+		Epochs: 6, BatchSize: 8, LR: 3e-3,
+		Hidden: 48, Heads: 4, Layers: 2,
+		Seed:  101,
+		Graph: auggraph.Default(),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// graph pipeline (Graph2Par / HGT-AST)
+
+// GraphSet holds encoded graphs ready for the HGT.
+type GraphSet struct {
+	Encoded []*auggraph.Encoded
+	Labels  []int
+	Samples []*dataset.Sample
+	Vocab   *auggraph.Vocab
+}
+
+// PrepareGraphs builds aug-ASTs for the samples. When vocab is nil a new
+// vocabulary is built from these samples (training side); otherwise the
+// existing vocabulary is reused (test side, OOV → <unk>).
+func PrepareGraphs(samples []*dataset.Sample, opts auggraph.Options, vocab *auggraph.Vocab, label LabelFunc) *GraphSet {
+	building := vocab == nil
+	if building {
+		vocab = auggraph.NewVocab()
+	}
+	gs := &GraphSet{Vocab: vocab}
+	graphs := make([]*auggraph.Graph, 0, len(samples))
+	kept := make([]*dataset.Sample, 0, len(samples))
+	for _, s := range samples {
+		o := opts
+		if s.File != nil {
+			o.Funcs = fileFuncs(s.File)
+		}
+		g := auggraph.Build(s.Loop, o)
+		if len(g.Nodes) == 0 {
+			continue
+		}
+		graphs = append(graphs, g)
+		kept = append(kept, s)
+		if building {
+			vocab.Add(g)
+		}
+	}
+	for i, g := range graphs {
+		gs.Encoded = append(gs.Encoded, vocab.Encode(g))
+		gs.Labels = append(gs.Labels, label(kept[i]))
+		gs.Samples = append(gs.Samples, kept[i])
+	}
+	return gs
+}
+
+func fileFuncs(f *cast.File) map[string]*cast.FuncDecl {
+	out := map[string]*cast.FuncDecl{}
+	for _, fn := range f.Funcs {
+		if fn.Body != nil {
+			out[fn.Name] = fn
+		}
+	}
+	return out
+}
+
+// TrainHGT trains a Graph2Par model on the set, optionally with
+// validation-based early stopping.
+func TrainHGT(train *GraphSet, opts Options) *hgt.Model {
+	cfg := hgt.DefaultConfig(train.Vocab.NumKinds(), train.Vocab.NumAttrs(), train.Vocab.NumTypes())
+	cfg.Hidden = opts.Hidden
+	cfg.Heads = opts.Heads
+	cfg.Layers = opts.Layers
+	cfg.Seed = opts.Seed
+	model := hgt.New(cfg)
+	optzr := nn.NewAdam(opts.LR)
+
+	bs := opts.BatchSize
+	if bs < 1 {
+		bs = 1
+	}
+	rng := model.RNG()
+
+	// Carve out a validation slice when early stopping is requested.
+	trainIdx := make([]int, len(train.Encoded))
+	for i := range trainIdx {
+		trainIdx[i] = i
+	}
+	var valIdx []int
+	if opts.ValFrac > 0 && opts.Patience > 0 && len(trainIdx) >= 10 {
+		nVal := int(float64(len(trainIdx)) * opts.ValFrac)
+		if nVal < 1 {
+			nVal = 1
+		}
+		perm := rng.Perm(len(trainIdx))
+		valIdx = perm[:nVal]
+		trainIdx = perm[nVal:]
+	}
+
+	bestAcc := -1.0
+	sinceBest := 0
+	var bestWeights [][]float64
+
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		perm := rng.Perm(len(trainIdx))
+		var total float64
+		pending := 0
+		model.Params.ZeroGrad()
+		for _, pi := range perm {
+			idx := trainIdx[pi]
+			g := nn.NewGraph()
+			loss := model.Loss(g, train.Encoded[idx], train.Labels[idx], true)
+			g.Backward(loss)
+			total += loss.Val.Data[0]
+			pending++
+			if pending >= bs {
+				model.Params.ClipGrad(5)
+				optzr.Step(&model.Params)
+				model.Params.ZeroGrad()
+				pending = 0
+			}
+		}
+		if pending > 0 {
+			model.Params.ClipGrad(5)
+			optzr.Step(&model.Params)
+			model.Params.ZeroGrad()
+		}
+		if opts.Verbose {
+			fmt.Printf("  [hgt] epoch %d/%d loss %.4f\n", epoch+1, opts.Epochs, total/float64(len(trainIdx)))
+		}
+		if len(valIdx) == 0 {
+			continue
+		}
+		var c metrics.Confusion
+		for _, idx := range valIdx {
+			pred, _ := model.Predict(train.Encoded[idx])
+			c.Add(pred == 1, train.Labels[idx] == 1)
+		}
+		acc := c.Accuracy()
+		if acc > bestAcc {
+			bestAcc = acc
+			sinceBest = 0
+			bestWeights = snapshotWeights(&model.Params)
+		} else if sinceBest++; sinceBest >= opts.Patience {
+			if opts.Verbose {
+				fmt.Printf("  [hgt] early stop at epoch %d (best val acc %.4f)\n", epoch+1, bestAcc)
+			}
+			break
+		}
+	}
+	if bestWeights != nil {
+		restoreWeights(&model.Params, bestWeights)
+	}
+	return model
+}
+
+func snapshotWeights(ps *nn.ParamSet) [][]float64 {
+	out := make([][]float64, 0, len(ps.All()))
+	for _, p := range ps.All() {
+		out = append(out, append([]float64(nil), p.W.Data...))
+	}
+	return out
+}
+
+func restoreWeights(ps *nn.ParamSet, weights [][]float64) {
+	for i, p := range ps.All() {
+		copy(p.W.Data, weights[i])
+	}
+}
+
+// EvalHGT computes the confusion matrix of the model over the set.
+func EvalHGT(model *hgt.Model, set *GraphSet) *metrics.Confusion {
+	var c metrics.Confusion
+	for i, enc := range set.Encoded {
+		pred, _ := model.Predict(enc)
+		c.Add(pred == 1, set.Labels[i] == 1)
+	}
+	return &c
+}
+
+// PredictHGT returns per-sample predictions (true = parallel).
+func PredictHGT(model *hgt.Model, set *GraphSet) []bool {
+	out := make([]bool, len(set.Encoded))
+	for i, enc := range set.Encoded {
+		pred, _ := model.Predict(enc)
+		out[i] = pred == 1
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// token pipeline (PragFormer)
+
+// SeqSet holds encoded token sequences.
+type SeqSet struct {
+	IDs     [][]int
+	Labels  []int
+	Samples []*dataset.Sample
+	Vocab   *seqmodel.Vocab
+}
+
+// PrepareSeqs tokenizes samples; vocab semantics mirror PrepareGraphs.
+func PrepareSeqs(samples []*dataset.Sample, vocab *seqmodel.Vocab, label LabelFunc) *SeqSet {
+	building := vocab == nil
+	if building {
+		vocab = seqmodel.NewVocab()
+	}
+	ss := &SeqSet{Vocab: vocab}
+	toks := make([][]string, 0, len(samples))
+	kept := make([]*dataset.Sample, 0, len(samples))
+	for _, s := range samples {
+		tk, err := seqmodel.Tokenize(s.LoopSrc)
+		if err != nil || len(tk) == 0 {
+			continue
+		}
+		toks = append(toks, tk)
+		kept = append(kept, s)
+		if building {
+			vocab.Add(tk)
+		}
+	}
+	for i, tk := range toks {
+		ss.IDs = append(ss.IDs, vocab.Encode(tk))
+		ss.Labels = append(ss.Labels, label(kept[i]))
+		ss.Samples = append(ss.Samples, kept[i])
+	}
+	return ss
+}
+
+// TrainSeq trains the PragFormer baseline.
+func TrainSeq(train *SeqSet, opts Options) *seqmodel.Model {
+	cfg := seqmodel.DefaultConfig(train.Vocab.Size())
+	cfg.Hidden = opts.Hidden
+	cfg.Heads = opts.Heads
+	cfg.Layers = opts.Layers
+	cfg.FFN = 2 * opts.Hidden
+	cfg.Seed = opts.Seed
+	model := seqmodel.New(cfg)
+	optzr := nn.NewAdam(opts.LR)
+
+	bs := opts.BatchSize
+	if bs < 1 {
+		bs = 1
+	}
+	rng := model.RNG()
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		perm := rng.Perm(len(train.IDs))
+		var total float64
+		pending := 0
+		model.Params.ZeroGrad()
+		for _, idx := range perm {
+			g := nn.NewGraph()
+			loss := model.Loss(g, train.IDs[idx], train.Labels[idx], true)
+			g.Backward(loss)
+			total += loss.Val.Data[0]
+			pending++
+			if pending >= bs {
+				model.Params.ClipGrad(5)
+				optzr.Step(&model.Params)
+				model.Params.ZeroGrad()
+				pending = 0
+			}
+		}
+		if pending > 0 {
+			model.Params.ClipGrad(5)
+			optzr.Step(&model.Params)
+			model.Params.ZeroGrad()
+		}
+		if opts.Verbose {
+			fmt.Printf("  [seq] epoch %d/%d loss %.4f\n", epoch+1, opts.Epochs, total/float64(len(train.IDs)))
+		}
+	}
+	return model
+}
+
+// EvalSeq computes the confusion matrix of the baseline over the set.
+func EvalSeq(model *seqmodel.Model, set *SeqSet) *metrics.Confusion {
+	var c metrics.Confusion
+	for i, ids := range set.IDs {
+		pred, _ := model.Predict(ids)
+		c.Add(pred == 1, set.Labels[i] == 1)
+	}
+	return &c
+}

@@ -1,0 +1,191 @@
+package train
+
+import (
+	"os"
+	"testing"
+
+	"graph2par/internal/auggraph"
+	"graph2par/internal/dataset"
+)
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func tinyOpts() Options {
+	o := DefaultOptions()
+	o.Hidden = 16
+	o.Heads = 2
+	o.Layers = 1
+	o.Epochs = 3
+	return o
+}
+
+func corpusSplit(t *testing.T) (tr, te []*dataset.Sample) {
+	t.Helper()
+	c := dataset.Generate(dataset.Config{Scale: 0.008, Seed: 31})
+	tr, te = c.Split(0.25, 7)
+	if len(tr) < 20 || len(te) < 5 {
+		t.Fatalf("tiny corpus too small: train=%d test=%d", len(tr), len(te))
+	}
+	return tr, te
+}
+
+func TestGraphPipelineEndToEnd(t *testing.T) {
+	tr, te := corpusSplit(t)
+	opts := tinyOpts()
+
+	trainSet := PrepareGraphs(tr, opts.Graph, nil, ParallelLabel)
+	testSet := PrepareGraphs(te, opts.Graph, trainSet.Vocab, ParallelLabel)
+	if len(trainSet.Encoded) == 0 || len(testSet.Encoded) == 0 {
+		t.Fatal("empty graph sets")
+	}
+	if trainSet.Vocab != testSet.Vocab {
+		t.Fatal("test set must reuse the training vocabulary")
+	}
+
+	model := TrainHGT(trainSet, opts)
+	trainConf := EvalHGT(model, trainSet)
+	// The model must at least learn the training distribution well above
+	// the majority-class baseline.
+	majority := 0
+	for _, l := range trainSet.Labels {
+		if l == 1 {
+			majority++
+		}
+	}
+	base := float64(majority) / float64(len(trainSet.Labels))
+	if base < 0.5 {
+		base = 1 - base
+	}
+	if trainConf.Accuracy() < base {
+		t.Errorf("train accuracy %.2f below majority baseline %.2f", trainConf.Accuracy(), base)
+	}
+
+	preds := PredictHGT(model, testSet)
+	if len(preds) != len(testSet.Encoded) {
+		t.Fatal("prediction count mismatch")
+	}
+}
+
+func TestSeqPipelineEndToEnd(t *testing.T) {
+	tr, te := corpusSplit(t)
+	opts := tinyOpts()
+
+	trainSet := PrepareSeqs(tr, nil, ParallelLabel)
+	testSet := PrepareSeqs(te, trainSet.Vocab, ParallelLabel)
+	if len(trainSet.IDs) == 0 || len(testSet.IDs) == 0 {
+		t.Fatal("empty seq sets")
+	}
+	model := TrainSeq(trainSet, opts)
+	conf := EvalSeq(model, testSet)
+	if conf.Total() != len(testSet.IDs) {
+		t.Fatal("confusion total mismatch")
+	}
+}
+
+func TestVanillaASTHasFewerEdges(t *testing.T) {
+	tr, _ := corpusSplit(t)
+	full := PrepareGraphs(tr[:10], auggraph.Default(), nil, ParallelLabel)
+	vanilla := PrepareGraphs(tr[:10], auggraph.VanillaAST(), nil, ParallelLabel)
+	for i := range full.Encoded {
+		if len(vanilla.Encoded[i].Edges) >= len(full.Encoded[i].Edges) {
+			t.Errorf("sample %d: vanilla AST should have fewer edges (%d vs %d)",
+				i, len(vanilla.Encoded[i].Edges), len(full.Encoded[i].Edges))
+		}
+	}
+}
+
+func TestCategoryLabel(t *testing.T) {
+	s := &dataset.Sample{Parallel: true, Category: "reduction"}
+	if CategoryLabel("reduction")(s) != 1 {
+		t.Error("reduction sample should be positive for reduction task")
+	}
+	if CategoryLabel("simd")(s) != 0 {
+		t.Error("reduction sample should be negative for simd task")
+	}
+	np := &dataset.Sample{Parallel: false}
+	if CategoryLabel("reduction")(np) != 0 {
+		t.Error("non-parallel sample is negative for every category task")
+	}
+	if ParallelLabel(np) != 0 || ParallelLabel(s) != 1 {
+		t.Error("ParallelLabel broken")
+	}
+}
+
+func TestEarlyStoppingRuns(t *testing.T) {
+	tr, te := corpusSplit(t)
+	opts := tinyOpts()
+	opts.Epochs = 12
+	opts.ValFrac = 0.2
+	opts.Patience = 2
+	trainSet := PrepareGraphs(tr, opts.Graph, nil, ParallelLabel)
+	model := TrainHGT(trainSet, opts)
+	testSet := PrepareGraphs(te, opts.Graph, trainSet.Vocab, ParallelLabel)
+	conf := EvalHGT(model, testSet)
+	if conf.Total() != len(testSet.Encoded) {
+		t.Fatal("eval size mismatch")
+	}
+	// early stopping must not destroy the model
+	if conf.Accuracy() < 0.4 {
+		t.Errorf("accuracy %.2f suspiciously low after early stopping", conf.Accuracy())
+	}
+}
+
+func TestCheckpointRoundTripPreservesPredictions(t *testing.T) {
+	tr, te := corpusSplit(t)
+	opts := tinyOpts()
+	trainSet := PrepareGraphs(tr, opts.Graph, nil, ParallelLabel)
+	model := TrainHGT(trainSet, opts)
+	testSet := PrepareGraphs(te, opts.Graph, trainSet.Vocab, ParallelLabel)
+	before := PredictHGT(model, testSet)
+
+	path := t.TempDir() + "/m.ckpt"
+	if err := SaveCheckpoint(path, model, trainSet.Vocab, opts.Graph); err != nil {
+		t.Fatal(err)
+	}
+	m2, v2, gopts, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gopts.CFG || !gopts.Lexical {
+		t.Error("graph options lost in checkpoint")
+	}
+	testSet2 := PrepareGraphs(te, gopts, v2, ParallelLabel)
+	after := PredictHGT(m2, testSet2)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("prediction %d changed after checkpoint round trip", i)
+		}
+	}
+}
+
+func TestLoadCheckpointCorrupt(t *testing.T) {
+	path := t.TempDir() + "/bad.ckpt"
+	if err := writeFile(path, []byte("not a gob stream")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := LoadCheckpoint(path); err == nil {
+		t.Error("corrupt checkpoint should fail to load")
+	}
+	if _, _, _, err := LoadCheckpoint(t.TempDir() + "/missing.ckpt"); err == nil {
+		t.Error("missing checkpoint should fail to load")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	tr, te := corpusSplit(t)
+	opts := tinyOpts()
+	run := func() []bool {
+		trainSet := PrepareGraphs(tr, opts.Graph, nil, ParallelLabel)
+		testSet := PrepareGraphs(te, opts.Graph, trainSet.Vocab, ParallelLabel)
+		m := TrainHGT(trainSet, opts)
+		return PredictHGT(m, testSet)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("training is not deterministic")
+		}
+	}
+}
