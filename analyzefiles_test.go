@@ -1,0 +1,119 @@
+package graph2par
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// corpusFiles generates n distinct C translation units, each with a mix of
+// do-all, reduction, recurrence and privatizable-temp loops, sized so the
+// dynamic comparator has real work to do per file.
+func corpusFiles(n int) map[string]string {
+	files := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		size := 48 + 8*i
+		files[fmt.Sprintf("file_%02d.c", i)] = fmt.Sprintf(`
+int main() {
+    int a[%[1]d], b[%[1]d];
+    int i, s = 0, t = 0;
+    for (i = 0; i < %[1]d; i++) b[i] = i * %[2]d;
+    for (i = 0; i < %[1]d; i++) a[i] = b[i] * 2 + %[2]d;
+    for (i = 1; i < %[1]d; i++) a[i] = a[i-1] + b[i];
+    for (i = 0; i < %[1]d; i++) s += a[i];
+    for (i = 0; i < %[1]d; i++) { t = b[i] + %[2]d; a[i] = t * t; }
+    return s + t;
+}
+`, size, i+1)
+	}
+	return files
+}
+
+// withWorkers returns a shallow copy of the shared test engine re-bounded
+// to the given pool size (the model and tools are shared, which is exactly
+// the concurrency guarantee under test).
+func withWorkers(t *testing.T, n int) *Engine {
+	t.Helper()
+	e := *engine(t)
+	e.SetWorkers(n)
+	return &e
+}
+
+// TestAnalyzeFilesDeterministicAcrossWorkers is the race-clean determinism
+// check: the same ≥8-file corpus analyzed with Workers=1 and Workers=8
+// must produce identical reports in identical order.
+func TestAnalyzeFilesDeterministicAcrossWorkers(t *testing.T) {
+	files := corpusFiles(10)
+	serial, err := withWorkers(t, 1).AnalyzeFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concurrent, err := withWorkers(t, 8).AnalyzeFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(files) || len(concurrent) != len(files) {
+		t.Fatalf("files analyzed: serial=%d concurrent=%d, want %d", len(serial), len(concurrent), len(files))
+	}
+	for name := range files {
+		if !reflect.DeepEqual(serial[name], concurrent[name]) {
+			t.Errorf("%s: reports differ between Workers=1 and Workers=8\nserial: %+v\nconcurrent: %+v",
+				name, serial[name], concurrent[name])
+		}
+	}
+}
+
+// TestAnalyzeFilesMatchesAnalyzeSource pins the batched API to the
+// established per-file one.
+func TestAnalyzeFilesMatchesAnalyzeSource(t *testing.T) {
+	e := withWorkers(t, 4)
+	files := corpusFiles(4)
+	batch, err := e.AnalyzeFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range files {
+		single, err := e.AnalyzeSource(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch[name], single) {
+			t.Errorf("%s: AnalyzeFiles disagrees with AnalyzeSource", name)
+		}
+	}
+}
+
+func TestAnalyzeFilesSurfacesParseErrors(t *testing.T) {
+	e := withWorkers(t, 4)
+	files := corpusFiles(3)
+	files["broken.c"] = "int main() { for (i=0 i<10; i++) ; }"
+	out, err := e.AnalyzeFiles(files)
+	if err == nil {
+		t.Fatal("parse error should surface")
+	}
+	if !strings.Contains(err.Error(), "broken.c") {
+		t.Errorf("error should name the failing file: %v", err)
+	}
+	if _, ok := out["broken.c"]; ok {
+		t.Error("unparsable file should be omitted from results")
+	}
+	if len(out) != 3 {
+		t.Errorf("parsable files analyzed = %d, want 3", len(out))
+	}
+	for name := range out {
+		if len(out[name]) == 0 {
+			t.Errorf("%s: no loops reported", name)
+		}
+	}
+}
+
+func TestAnalyzeFilesEmptyInput(t *testing.T) {
+	out, err := withWorkers(t, 4).AnalyzeFiles(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("expected empty result, got %d entries", len(out))
+	}
+}

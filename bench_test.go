@@ -6,6 +6,7 @@
 package graph2par
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -20,6 +21,10 @@ import (
 var (
 	benchSuite     *experiments.Suite
 	benchSuiteOnce sync.Once
+
+	benchEngine     *Engine
+	benchEngineOnce sync.Once
+	benchEngineErr  error
 )
 
 // suite returns the shared benchmark suite (small scale: the shapes of the
@@ -198,6 +203,49 @@ func BenchmarkHGTForward(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		model.Predict(enc)
 	}
+}
+
+// analysisEngine returns a shared quickly-trained engine for the
+// AnalyzeFiles benchmarks (training cost must stay out of the timed loop).
+func analysisEngine(b *testing.B) *Engine {
+	benchEngineOnce.Do(func() {
+		benchEngine, benchEngineErr = NewEngine(EngineConfig{
+			TrainScale: 0.01, Epochs: 3, Seed: 9, Quiet: true,
+		})
+	})
+	if benchEngineErr != nil {
+		b.Fatal(benchEngineErr)
+	}
+	return benchEngine
+}
+
+// benchmarkAnalyzeFiles measures one full batched analysis pass — parse,
+// aug-AST build, HGT inference, tool cross-checks — over a 16-file corpus
+// with the given worker-pool size.
+func benchmarkAnalyzeFiles(b *testing.B, workers int) {
+	e := *analysisEngine(b)
+	e.SetWorkers(workers)
+	files := corpusFiles(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := e.AnalyzeFiles(files)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(files) {
+			b.Fatalf("analyzed %d of %d files", len(out), len(files))
+		}
+	}
+}
+
+// BenchmarkAnalyzeFilesSerial is the Workers=1 baseline.
+func BenchmarkAnalyzeFilesSerial(b *testing.B) { benchmarkAnalyzeFiles(b, 1) }
+
+// BenchmarkAnalyzeFilesParallel runs the same corpus with a full
+// GOMAXPROCS pool; on a multi-core runner the ratio of the two benchmarks
+// is the measured speedup of the concurrent pipeline.
+func BenchmarkAnalyzeFilesParallel(b *testing.B) {
+	benchmarkAnalyzeFiles(b, runtime.GOMAXPROCS(0))
 }
 
 // BenchmarkToolAnalysis isolates the per-loop cost of each comparator.

@@ -27,6 +27,7 @@ func main() {
 	hidden := flag.Int("hidden", 48, "model hidden width")
 	table := flag.Int("table", 0, "run a single table (1-5)")
 	figure := flag.Int("figure", 0, "run a single figure (2)")
+	workers := flag.Int("workers", 0, "worker pool size for the per-sample sweeps (0 = GOMAXPROCS)")
 	all := flag.Bool("all", false, "run everything")
 	ablations := flag.Bool("ablations", false, "run the DESIGN.md ablations")
 	appendix := flag.Bool("appendix", false, "run the appendix training-dynamics report")
@@ -38,7 +39,7 @@ func main() {
 	opts.Hidden = *hidden
 	opts.Verbose = *verbose
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, TestFrac: 0.25, Training: opts}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, TestFrac: 0.25, Training: opts, Workers: *workers}
 	fmt.Printf("generating OMP_Serial at scale %.3f (seed %d)...\n", *scale, *seed)
 	start := time.Now()
 	suite := experiments.NewSuite(cfg)

@@ -25,6 +25,7 @@ func main() {
 	scale := flag.Float64("scale", 0.02, "OMP_Serial scale factor for from-scratch training")
 	epochs := flag.Int("epochs", 6, "training epochs")
 	seed := flag.Uint64("seed", 1234, "training seed")
+	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 	dotDir := flag.String("dot", "", "write one Graphviz .dot file per loop to this directory")
 	flag.Parse()
 
@@ -39,6 +40,7 @@ func main() {
 		TrainScale: *scale,
 		Epochs:     *epochs,
 		Seed:       *seed,
+		Workers:    *workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graph2par:", err)
@@ -52,7 +54,10 @@ func main() {
 		fmt.Println("model saved to", *savePath)
 	}
 
+	// Read every file up front and analyze the whole batch in one
+	// concurrent AnalyzeFiles pass; printing stays in argument order.
 	exit := 0
+	sources := map[string]string{}
 	for _, path := range flag.Args() {
 		src, err := os.ReadFile(path)
 		if err != nil {
@@ -60,11 +65,17 @@ func main() {
 			exit = 1
 			continue
 		}
-		reports, err := engine.AnalyzeSource(string(src))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "graph2par: %s: %v\n", path, err)
-			exit = 1
-			continue
+		sources[path] = string(src)
+	}
+	byFile, err := engine.AnalyzeFiles(sources)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err) // already prefixed graph2par:
+		exit = 1
+	}
+	for _, path := range flag.Args() {
+		reports, ok := byFile[path]
+		if !ok {
+			continue // unreadable or unparsable, already reported
 		}
 		fmt.Printf("== %s: %d loops ==\n", path, len(reports))
 		for i, r := range reports {

@@ -1,0 +1,3 @@
+module graph2par
+
+go 1.21

@@ -20,12 +20,14 @@ package graph2par
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"graph2par/internal/auggraph"
 	"graph2par/internal/cast"
 	"graph2par/internal/cparse"
 	"graph2par/internal/dataset"
 	"graph2par/internal/hgt"
+	"graph2par/internal/parallel"
 	"graph2par/internal/pragma"
 	"graph2par/internal/tools"
 	"graph2par/internal/tools/autopar"
@@ -47,14 +49,25 @@ type EngineConfig struct {
 	Epochs int
 	// Quiet suppresses the training progress line.
 	Quiet bool
+	// Workers bounds the worker pool used by AnalyzeSource, AnalyzeFiles
+	// and the graph-preparation sweep of from-scratch training. Values
+	// < 1 mean runtime.GOMAXPROCS(0). The optimizer loop itself is
+	// inherently sequential and unaffected.
+	Workers int
 }
 
 // Engine is a ready-to-use Graph2Par analyzer.
+//
+// Once constructed, an Engine is safe for concurrent use: analysis only
+// reads the trained model, the vocabulary and the (stateless) comparator
+// tools. See hgt.Model.Predict and auggraph.Vocab.Encode for the
+// underlying guarantees.
 type Engine struct {
-	model *hgt.Model
-	vocab *auggraph.Vocab
-	gopts auggraph.Options
-	tools []tools.Tool
+	model   *hgt.Model
+	vocab   *auggraph.Vocab
+	gopts   auggraph.Options
+	tools   []tools.Tool
+	workers int
 }
 
 // ToolVerdict is one comparator tool's opinion on a loop.
@@ -93,7 +106,8 @@ type LoopReport struct {
 // model on a generated OMP_Serial corpus.
 func NewEngine(cfg EngineConfig) (*Engine, error) {
 	e := &Engine{
-		tools: []tools.Tool{autopar.New(), pluto.New(), discopop.New()},
+		tools:   []tools.Tool{autopar.New(), pluto.New(), discopop.New()},
+		workers: parallel.Workers(cfg.Workers),
 	}
 	if cfg.ModelPath != "" {
 		model, vocab, gopts, err := train.LoadCheckpoint(cfg.ModelPath)
@@ -119,7 +133,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	opts := train.DefaultOptions()
 	opts.Epochs = cfg.Epochs
 	opts.Seed = cfg.Seed
-	set := train.PrepareGraphs(corpus.Samples, opts.Graph, nil, train.ParallelLabel)
+	set := train.PrepareGraphsN(cfg.Workers, corpus.Samples, opts.Graph, nil, train.ParallelLabel)
 	e.model = train.TrainHGT(set, opts)
 	e.vocab = set.Vocab
 	e.gopts = opts.Graph
@@ -131,12 +145,26 @@ func (e *Engine) Save(path string) error {
 	return train.SaveCheckpoint(path, e.model, e.vocab, e.gopts)
 }
 
+// SetWorkers re-bounds the analysis worker pool (values < 1 mean
+// runtime.GOMAXPROCS(0)). It must not be called concurrently with
+// Analyze* methods.
+func (e *Engine) SetWorkers(n int) { e.workers = parallel.Workers(n) }
+
 // AnalyzeSource parses a C translation unit and reports on every loop.
+// Loops are analyzed concurrently over the engine's worker pool; the
+// returned reports are sorted by source line regardless of worker count,
+// so results are identical to a serial run.
 func (e *Engine) AnalyzeSource(src string) ([]LoopReport, error) {
 	file, err := cparse.ParseFile(src)
 	if err != nil {
 		return nil, err
 	}
+	return e.analyzeFileLoops(file), nil
+}
+
+// collectLoops harvests a parsed file's loops and its defined-function
+// map — the shared front half of AnalyzeSource and AnalyzeFiles.
+func collectLoops(file *cast.File) (map[string]*cast.FuncDecl, []cast.Stmt) {
 	funcs := map[string]*cast.FuncDecl{}
 	for _, fn := range file.Funcs {
 		if fn.Body != nil {
@@ -153,12 +181,102 @@ func (e *Engine) AnalyzeSource(src string) ([]LoopReport, error) {
 			return true
 		})
 	}
-	reports := make([]LoopReport, 0, len(loops))
-	for _, loop := range loops {
-		reports = append(reports, e.analyzeLoop(loop, file, funcs))
-	}
+	return funcs, loops
+}
+
+// analyzeFileLoops fans loop analysis of one parsed file out over the
+// worker pool, preserving line-sorted output.
+func (e *Engine) analyzeFileLoops(file *cast.File) []LoopReport {
+	funcs, loops := collectLoops(file)
+	reports := make([]LoopReport, len(loops))
+	parallel.ForEach(e.workers, len(loops), func(i int) {
+		reports[i] = e.analyzeLoop(loops[i], file, funcs)
+	})
 	sort.SliceStable(reports, func(i, j int) bool { return reports[i].Line < reports[j].Line })
-	return reports, nil
+	return reports
+}
+
+// AnalyzeFiles analyzes a whole corpus of C sources, keyed by file name,
+// in one batched pass: parsing, aug-AST construction, HGT inference and
+// the tool cross-checks are pipelined across files and loops over the
+// engine's worker pool. The result maps each file name to its line-sorted
+// reports — byte-for-byte identical to calling AnalyzeSource per file.
+//
+// Files that fail to parse are omitted from the result; their errors are
+// combined (in file-name order, so the message is deterministic) into the
+// returned error alongside the successful results.
+func (e *Engine) AnalyzeFiles(sources map[string]string) (map[string][]LoopReport, error) {
+	names := make([]string, 0, len(sources))
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Stage 1: parse every file concurrently.
+	files := make([]*cast.File, len(names))
+	errs := make([]error, len(names))
+	parallel.ForEach(e.workers, len(names), func(i int) {
+		files[i], errs[i] = cparse.ParseFile(sources[names[i]])
+	})
+
+	// Stage 2: flatten loops of every parsed file into one work list so
+	// a file with many loops keeps every worker busy.
+	type fileCtx struct {
+		file  *cast.File
+		funcs map[string]*cast.FuncDecl
+	}
+	type workItem struct {
+		fileIdx int
+		loop    cast.Stmt
+	}
+	ctxs := make([]fileCtx, len(names))
+	var work []workItem
+	for i, file := range files {
+		if file == nil {
+			continue
+		}
+		funcs, loops := collectLoops(file)
+		ctxs[i] = fileCtx{file: file, funcs: funcs}
+		for _, loop := range loops {
+			work = append(work, workItem{fileIdx: i, loop: loop})
+		}
+	}
+
+	// Stage 3: analyze every loop of every file concurrently, writing to
+	// its own slot so output order is scheduling-independent.
+	loopReports := make([]LoopReport, len(work))
+	parallel.ForEach(e.workers, len(work), func(i int) {
+		ctx := ctxs[work[i].fileIdx]
+		loopReports[i] = e.analyzeLoop(work[i].loop, ctx.file, ctx.funcs)
+	})
+
+	// Stage 4: regroup per file and sort by line.
+	out := make(map[string][]LoopReport, len(names))
+	for i, file := range files {
+		if file != nil {
+			out[names[i]] = []LoopReport{}
+		}
+	}
+	for i, item := range work {
+		name := names[item.fileIdx]
+		out[name] = append(out[name], loopReports[i])
+	}
+	for name := range out {
+		rs := out[name]
+		sort.SliceStable(rs, func(i, j int) bool { return rs[i].Line < rs[j].Line })
+	}
+
+	var failed []string
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, fmt.Sprintf("%s: %v", names[i], err))
+		}
+	}
+	if len(failed) > 0 {
+		return out, fmt.Errorf("graph2par: %d of %d files failed to parse: %s",
+			len(failed), len(names), strings.Join(failed, "; "))
+	}
+	return out, nil
 }
 
 // AnalyzeLoop reports on a single loop snippet (no file context).

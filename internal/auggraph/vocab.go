@@ -8,6 +8,14 @@ import (
 // integer IDs for the neural models. Index 0 of each table is reserved for
 // unknown/out-of-vocabulary entries so a model trained on one corpus can be
 // applied to another.
+//
+// Concurrency: a Vocab has two phases. While it is being built, Add (and
+// RestoreLists) mutate the tables and must run from a single goroutine —
+// insertion order defines the IDs, so concurrent Adds would also destroy
+// determinism. Once building is done, every other method (Encode, the ID
+// lookups, the size accessors) only reads and is safe to call from any
+// number of goroutines. This is the guarantee the concurrent analysis
+// pipeline relies on.
 type Vocab struct {
 	Kinds map[string]int
 	Attrs map[string]int
@@ -31,7 +39,8 @@ func NewVocab() *Vocab {
 	return v
 }
 
-// Add registers every kind/attr/type that occurs in g.
+// Add registers every kind/attr/type that occurs in g. It mutates the
+// vocabulary and must not be called concurrently (see the Vocab doc).
 func (v *Vocab) Add(g *Graph) {
 	for _, n := range g.Nodes {
 		if _, ok := v.Kinds[n.Kind]; !ok {
@@ -99,7 +108,8 @@ type Encoded struct {
 // MaxOrder is the clamp for the sibling-order feature.
 const MaxOrder = 7
 
-// Encode converts g to integer features under the vocabulary.
+// Encode converts g to integer features under the vocabulary. It is
+// read-only and safe for concurrent use once building has finished.
 func (v *Vocab) Encode(g *Graph) *Encoded {
 	e := &Encoded{
 		KindIDs: make([]int, len(g.Nodes)),

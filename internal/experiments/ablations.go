@@ -38,10 +38,10 @@ func (st *Suite) AblationEdges() *AblationResult {
 	for _, cfg := range configs {
 		opts := st.Opts
 		opts.Graph = cfg.opts
-		set := train.PrepareGraphs(st.Train, cfg.opts, nil, train.ParallelLabel)
+		set := train.PrepareGraphsN(st.Workers, st.Train, cfg.opts, nil, train.ParallelLabel)
 		model := train.TrainHGT(set, opts)
-		test := train.PrepareGraphs(st.Test, cfg.opts, set.Vocab, train.ParallelLabel)
-		res.Rows = append(res.Rows, AblationRow{Name: cfg.name, Confusion: train.EvalHGT(model, test)})
+		test := train.PrepareGraphsN(st.Workers, st.Test, cfg.opts, set.Vocab, train.ParallelLabel)
+		res.Rows = append(res.Rows, AblationRow{Name: cfg.name, Confusion: train.EvalHGTN(st.Workers, model, test)})
 	}
 	return res
 }
@@ -53,17 +53,17 @@ func (st *Suite) AblationHeterogeneity() *AblationResult {
 	res := &AblationResult{Family: "heterogeneity"}
 
 	full := auggraph.Default()
-	set := train.PrepareGraphs(st.Train, full, nil, train.ParallelLabel)
+	set := train.PrepareGraphsN(st.Workers, st.Train, full, nil, train.ParallelLabel)
 	model := train.TrainHGT(set, st.Opts)
-	test := train.PrepareGraphs(st.Test, full, set.Vocab, train.ParallelLabel)
-	res.Rows = append(res.Rows, AblationRow{Name: "heterogeneous (normalized ids)", Confusion: train.EvalHGT(model, test)})
+	test := train.PrepareGraphsN(st.Workers, st.Test, full, set.Vocab, train.ParallelLabel)
+	res.Rows = append(res.Rows, AblationRow{Name: "heterogeneous (normalized ids)", Confusion: train.EvalHGTN(st.Workers, model, test)})
 
 	raw := auggraph.Default()
 	raw.Normalize = false
-	rawSet := train.PrepareGraphs(st.Train, raw, nil, train.ParallelLabel)
+	rawSet := train.PrepareGraphsN(st.Workers, st.Train, raw, nil, train.ParallelLabel)
 	rawModel := train.TrainHGT(rawSet, st.Opts)
-	rawTest := train.PrepareGraphs(st.Test, raw, rawSet.Vocab, train.ParallelLabel)
-	res.Rows = append(res.Rows, AblationRow{Name: "raw identifiers", Confusion: train.EvalHGT(rawModel, rawTest)})
+	rawTest := train.PrepareGraphsN(st.Workers, st.Test, raw, rawSet.Vocab, train.ParallelLabel)
+	res.Rows = append(res.Rows, AblationRow{Name: "raw identifiers", Confusion: train.EvalHGTN(st.Workers, rawModel, rawTest)})
 	return res
 }
 
@@ -76,12 +76,12 @@ func (st *Suite) AblationCapacity() *AblationResult {
 		opts := st.Opts
 		opts.Heads = cfg.heads
 		opts.Layers = cfg.layers
-		set := train.PrepareGraphs(st.Train, opts.Graph, nil, train.ParallelLabel)
+		set := train.PrepareGraphsN(st.Workers, st.Train, opts.Graph, nil, train.ParallelLabel)
 		model := train.TrainHGT(set, opts)
-		test := train.PrepareGraphs(st.Test, opts.Graph, set.Vocab, train.ParallelLabel)
+		test := train.PrepareGraphsN(st.Workers, st.Test, opts.Graph, set.Vocab, train.ParallelLabel)
 		res.Rows = append(res.Rows, AblationRow{
 			Name:      fmt.Sprintf("heads=%d layers=%d", cfg.heads, cfg.layers),
-			Confusion: train.EvalHGT(model, test),
+			Confusion: train.EvalHGTN(st.Workers, model, test),
 		})
 	}
 	return res

@@ -32,8 +32,8 @@ type AppendixResult struct {
 func (st *Suite) Appendix() *AppendixResult {
 	res := &AppendixResult{TrainSize: len(st.Train), TestSize: len(st.Test)}
 
-	trainSet := train.PrepareGraphs(st.Train, auggraph.Default(), nil, train.ParallelLabel)
-	testSet := train.PrepareGraphs(st.Test, auggraph.Default(), trainSet.Vocab, train.ParallelLabel)
+	trainSet := train.PrepareGraphsN(st.Workers, st.Train, auggraph.Default(), nil, train.ParallelLabel)
+	testSet := train.PrepareGraphsN(st.Workers, st.Test, auggraph.Default(), trainSet.Vocab, train.ParallelLabel)
 	res.VocabKinds = trainSet.Vocab.NumKinds()
 	res.VocabAttrs = trainSet.Vocab.NumAttrs()
 

@@ -155,8 +155,8 @@ func (st *Suite) CaseStudy() *CaseStudyResult {
 		return res
 	}
 
-	set := train.PrepareGraphs(blind, auggraph.Default(), vocab, train.ParallelLabel)
-	preds := train.PredictHGT(g2p, set)
+	set := train.PrepareGraphsN(st.Workers, blind, auggraph.Default(), vocab, train.ParallelLabel)
+	preds := train.PredictHGTN(st.Workers, g2p, set)
 	for i, p := range preds {
 		if p {
 			res.RecoveredByModel++

@@ -14,6 +14,7 @@ import (
 	"graph2par/internal/dataset"
 	"graph2par/internal/hgt"
 	"graph2par/internal/metrics"
+	"graph2par/internal/parallel"
 	"graph2par/internal/tools"
 	"graph2par/internal/tools/autopar"
 	"graph2par/internal/tools/discopop"
@@ -22,7 +23,10 @@ import (
 )
 
 // Suite prepares the corpus, the split and the comparator tools once, and
-// caches trained models across tables.
+// caches trained models across tables. A Suite is meant to be driven from
+// one goroutine (its model and verdict caches are filled lazily); the
+// expensive per-sample sweeps inside each table fan out over a worker
+// pool on their own.
 type Suite struct {
 	Corpus *dataset.Corpus
 	Train  []*dataset.Sample
@@ -30,6 +34,10 @@ type Suite struct {
 
 	Tools []tools.Tool
 	Opts  train.Options
+
+	// Workers bounds the per-sample sweeps (tool verdicts, model
+	// inference); < 1 means GOMAXPROCS. Training stays sequential.
+	Workers int
 
 	// lazily trained models for the parallelism task
 	graph2par *hgt.Model
@@ -47,6 +55,8 @@ type Config struct {
 	Seed     uint64
 	TestFrac float64
 	Training train.Options
+	// Workers bounds the suite's per-sample sweeps (< 1 → GOMAXPROCS).
+	Workers int
 }
 
 // DefaultConfig returns the configuration used by the benches: small
@@ -69,6 +79,7 @@ func NewSuite(cfg Config) *Suite {
 		Test:     te,
 		Tools:    []tools.Tool{pluto.New(), autopar.New(), discopop.New()},
 		Opts:     cfg.Training,
+		Workers:  cfg.Workers,
 		verdicts: map[string][]tools.Verdict{},
 	}
 }
@@ -84,15 +95,18 @@ func toolSample(s *dataset.Sample) tools.Sample {
 }
 
 // RunTool returns (and caches) the verdicts of one tool over the whole
-// corpus, index-aligned with Corpus.Samples.
+// corpus, index-aligned with Corpus.Samples. The per-sample sweep — the
+// dominant cost of Figure 2, Tables 3/4 and the case study — fans out
+// over the suite's worker pool; the tools are stateless, so verdicts are
+// independent of scheduling.
 func (st *Suite) RunTool(tool tools.Tool) []tools.Verdict {
 	if vs, ok := st.verdicts[tool.Name()]; ok {
 		return vs
 	}
 	vs := make([]tools.Verdict, len(st.Corpus.Samples))
-	for i, s := range st.Corpus.Samples {
-		vs[i] = tool.Analyze(toolSample(s))
-	}
+	parallel.ForEach(st.Workers, len(st.Corpus.Samples), func(i int) {
+		vs[i] = tool.Analyze(toolSample(st.Corpus.Samples[i]))
+	})
 	st.verdicts[tool.Name()] = vs
 	return vs
 }
@@ -100,7 +114,7 @@ func (st *Suite) RunTool(tool tools.Tool) []tools.Verdict {
 // Graph2Par returns the trained full-representation model (cached).
 func (st *Suite) Graph2Par() (*hgt.Model, *auggraph.Vocab) {
 	if st.graph2par == nil {
-		set := train.PrepareGraphs(st.Train, auggraph.Default(), nil, train.ParallelLabel)
+		set := train.PrepareGraphsN(st.Workers, st.Train, auggraph.Default(), nil, train.ParallelLabel)
 		st.graph2par = train.TrainHGT(set, st.Opts)
 		st.g2pVocab = set.Vocab
 	}
@@ -112,7 +126,7 @@ func (st *Suite) HGTAST() (*hgt.Model, *auggraph.Vocab) {
 	if st.hgtAST == nil {
 		opts := st.Opts
 		opts.Graph = auggraph.VanillaAST()
-		set := train.PrepareGraphs(st.Train, opts.Graph, nil, train.ParallelLabel)
+		set := train.PrepareGraphsN(st.Workers, st.Train, opts.Graph, nil, train.ParallelLabel)
 		st.hgtAST = train.TrainHGT(set, opts)
 		st.astVocab = set.Vocab
 	}
@@ -121,9 +135,9 @@ func (st *Suite) HGTAST() (*hgt.Model, *auggraph.Vocab) {
 
 // evalModelOn scores an HGT model on the given samples with the given
 // graph options and vocabulary.
-func evalModelOn(model *hgt.Model, vocab *auggraph.Vocab, opts auggraph.Options, samples []*dataset.Sample) *metrics.Confusion {
-	set := train.PrepareGraphs(samples, opts, vocab, train.ParallelLabel)
-	return train.EvalHGT(model, set)
+func (st *Suite) evalModelOn(model *hgt.Model, vocab *auggraph.Vocab, opts auggraph.Options, samples []*dataset.Sample) *metrics.Confusion {
+	set := train.PrepareGraphsN(st.Workers, samples, opts, vocab, train.ParallelLabel)
+	return train.EvalHGTN(st.Workers, model, set)
 }
 
 // missCategory buckets a parallel loop the way Figure 2 does.

@@ -18,6 +18,9 @@ var (
 // tests (the suite caches tool verdicts and trained models).
 func testSuite(t *testing.T) *Suite {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment suite is slow; skipped under -short (CI runs it without -race)")
+	}
 	sharedSuiteOnce.Do(func() {
 		cfg := DefaultConfig()
 		cfg.Scale = 0.015

@@ -90,7 +90,7 @@ func (st *Suite) Table2() *Table2Result {
 
 	// Vanilla AST + HGT.
 	astModel, astVocab := st.HGTAST()
-	astConf := evalModelOn(astModel, astVocab, auggraph.VanillaAST(), st.Test)
+	astConf := st.evalModelOn(astModel, astVocab, auggraph.VanillaAST(), st.Test)
 	res.Rows = append(res.Rows, Table2Row{Approach: "AST", Confusion: astConf})
 
 	// PragFormer (token transformer).
@@ -101,7 +101,7 @@ func (st *Suite) Table2() *Table2Result {
 
 	// Graph2Par (aug-AST + HGT).
 	g2p, g2pVocab := st.Graph2Par()
-	g2pConf := evalModelOn(g2p, g2pVocab, auggraph.Default(), st.Test)
+	g2pConf := st.evalModelOn(g2p, g2pVocab, auggraph.Default(), st.Test)
 	res.Rows = append(res.Rows, Table2Row{Approach: "Graph2Par", Confusion: g2pConf})
 	return res
 }
@@ -156,12 +156,12 @@ func (st *Suite) Table3() *Table3Result {
 	}
 
 	g2p, g2pVocab := st.Graph2Par()
-	allG2P := train.PrepareGraphs(st.Corpus.Samples, auggraph.Default(), g2pVocab, train.ParallelLabel)
-	res.Rows = append(res.Rows, Table3Row{"Graph2Par", count(train.PredictHGT(g2p, allG2P), allG2P)})
+	allG2P := train.PrepareGraphsN(st.Workers, st.Corpus.Samples, auggraph.Default(), g2pVocab, train.ParallelLabel)
+	res.Rows = append(res.Rows, Table3Row{"Graph2Par", count(train.PredictHGTN(st.Workers, g2p, allG2P), allG2P)})
 
 	ast, astVocab := st.HGTAST()
-	allAST := train.PrepareGraphs(st.Corpus.Samples, auggraph.VanillaAST(), astVocab, train.ParallelLabel)
-	res.Rows = append(res.Rows, Table3Row{"HGT-AST", count(train.PredictHGT(ast, allAST), allAST)})
+	allAST := train.PrepareGraphsN(st.Workers, st.Corpus.Samples, auggraph.VanillaAST(), astVocab, train.ParallelLabel)
+	res.Rows = append(res.Rows, Table3Row{"HGT-AST", count(train.PredictHGTN(st.Workers, ast, allAST), allAST)})
 
 	for _, tool := range st.Tools {
 		vs := st.RunTool(tool)
@@ -225,7 +225,7 @@ func (st *Suite) Table4() *Table4Result {
 			subset = append(subset, s)
 			toolConf.Add(v.Parallel, s.Parallel)
 		}
-		g2pConf := evalModelOn(g2p, g2pVocab, auggraph.Default(), subset)
+		g2pConf := st.evalModelOn(g2p, g2pVocab, auggraph.Default(), subset)
 		res.Subsets = append(res.Subsets, Table4Subset{
 			ToolName:   tool.Name(),
 			SubsetSize: len(subset),
@@ -283,12 +283,12 @@ func (st *Suite) Table5() *Table5Result {
 	for _, prag := range table5Pragmas {
 		label := train.CategoryLabel(prag)
 
-		gTrain := train.PrepareGraphs(st.Train, auggraph.Default(), nil, label)
+		gTrain := train.PrepareGraphsN(st.Workers, st.Train, auggraph.Default(), nil, label)
 		gModel := train.TrainHGT(gTrain, st.Opts)
-		gTest := train.PrepareGraphs(st.Test, auggraph.Default(), gTrain.Vocab, label)
+		gTest := train.PrepareGraphsN(st.Workers, st.Test, auggraph.Default(), gTrain.Vocab, label)
 		res.Rows = append(res.Rows, Table5Row{
 			Pragma: prag, Approach: "Graph2Par", Supported: true,
-			Confusion: train.EvalHGT(gModel, gTest),
+			Confusion: train.EvalHGTN(st.Workers, gModel, gTest),
 		})
 
 		if pragFormerSupports(prag) {

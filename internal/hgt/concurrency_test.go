@@ -1,0 +1,70 @@
+package hgt
+
+import (
+	"sync"
+	"testing"
+
+	"graph2par/internal/auggraph"
+)
+
+// TestPredictConcurrentMatchesSerial exercises the documented guarantee
+// that Predict is safe for concurrent use on a built model: many
+// goroutines predict over a shared model and vocabulary (run under -race
+// in CI), and every result must equal the serial one bit for bit.
+func TestPredictConcurrentMatchesSerial(t *testing.T) {
+	v := auggraph.NewVocab()
+	srcs := []string{
+		"for (i = 0; i < n; i++) s += a[i];",
+		"for (i = 0; i < n; i++) a[i] = b[i] * 2;",
+		"for (i = 1; i < n; i++) a[i] = a[i-1] + 1;",
+		"while (i < n) { s += a[i]; i++; }",
+		"for (i = 0; i < n; i++) { t = b[i]; a[i] = t * t; }",
+		"for (j = 0; j < m; j++) c[j] = sqrt(b[j]);",
+	}
+	encs := make([]*auggraph.Encoded, len(srcs))
+	for i, src := range srcs {
+		encs[i] = buildEncoded(t, src, v)
+	}
+	m := New(smallConfig(v))
+
+	type result struct {
+		pred  int
+		probs []float64
+	}
+	serial := make([]result, len(encs))
+	for i, enc := range encs {
+		p, probs := m.Predict(enc)
+		serial[i] = result{p, probs}
+	}
+
+	const rounds = 8
+	got := make([]result, rounds*len(encs))
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		for i := range encs {
+			wg.Add(1)
+			go func(slot, i int) {
+				defer wg.Done()
+				p, probs := m.Predict(encs[i])
+				got[slot] = result{p, probs}
+			}(r*len(encs)+i, i)
+		}
+	}
+	wg.Wait()
+
+	for r := 0; r < rounds; r++ {
+		for i := range encs {
+			g := got[r*len(encs)+i]
+			want := serial[i]
+			if g.pred != want.pred {
+				t.Fatalf("graph %d: concurrent pred %d != serial %d", i, g.pred, want.pred)
+			}
+			for j := range want.probs {
+				if g.probs[j] != want.probs[j] {
+					t.Fatalf("graph %d: prob[%d] drifted under concurrency: %v vs %v",
+						i, j, g.probs[j], want.probs[j])
+				}
+			}
+		}
+	}
+}

@@ -64,6 +64,16 @@ type layerParams struct {
 }
 
 // Model is the Graph2Par HGT classifier.
+//
+// Concurrency: a built (or loaded) Model is safe for concurrent inference.
+// Predict and Forward with train=false only read the parameter matrices —
+// the autodiff tape lives in the per-call nn.Graph, dropout is a no-op
+// outside training, and nothing touches the model RNG. The two mutating
+// paths MUST be serialized with each other and with inference: Forward
+// with train=true draws dropout masks from the shared RNG, and
+// Graph.Backward/optimizer steps write the shared gradient and weight
+// matrices. In short: train from one goroutine, then predict from as many
+// as you like.
 type Model struct {
 	Cfg    Config
 	Params nn.ParamSet
@@ -121,7 +131,8 @@ func New(cfg Config) *Model {
 }
 
 // RNG exposes the model's RNG (dropout and shuffling share it so runs are
-// reproducible from Config.Seed).
+// reproducible from Config.Seed). The RNG is NOT safe for concurrent use;
+// it belongs to the single-goroutine training loop.
 func (m *Model) RNG() *tensor.RNG { return m.rng }
 
 // clampID maps out-of-vocabulary ids to the reserved <unk> slot.
@@ -133,6 +144,10 @@ func clampID(id, n int) int {
 }
 
 // Forward computes class logits (1×Classes) for one encoded aug-AST.
+//
+// With train=false it is safe to call concurrently (each call must use its
+// own Graph); with train=true it consumes the shared model RNG for dropout
+// and must not overlap other Forward calls.
 func (m *Model) Forward(g *nn.Graph, enc *auggraph.Encoded, train bool) *nn.Node {
 	n := len(enc.KindIDs)
 	if n == 0 {
@@ -297,6 +312,7 @@ func concatRows(g *nn.Graph, parts []*nn.Node) *nn.Node {
 }
 
 // Predict returns the argmax class and class probabilities for one graph.
+// It is safe for concurrent use (see the Model doc).
 func (m *Model) Predict(enc *auggraph.Encoded) (int, []float64) {
 	g := nn.NewGraph()
 	logits := m.Forward(g, enc, false)

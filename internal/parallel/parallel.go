@@ -1,0 +1,61 @@
+// Package parallel is the one worker-pool helper shared by every
+// concurrent sweep in the repository: loop analysis fan-out in the public
+// Engine, graph preparation and model evaluation in train, and the
+// per-sample tool sweeps in experiments.
+//
+// The contract every caller relies on: ForEach runs fn(i) exactly once for
+// each index in [0, n), spread over a bounded number of goroutines, and
+// does not return until all calls have finished. Callers keep results
+// deterministic by writing to index i of a pre-sized slice — never by
+// appending — so the output order is independent of scheduling.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count knob: values < 1 (the "default" zero
+// value of a config struct) mean runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach calls fn(i) for every i in [0, n) using at most workers
+// goroutines (workers < 1 → GOMAXPROCS). It blocks until every call has
+// returned. With workers == 1 (or n < 2) everything runs on the calling
+// goroutine in index order, so a serial run is exactly the old loop.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,61 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 2, 13, 100} {
+			counts := make([]int32, n)
+			ForEach(workers, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachSerialIsInOrder(t *testing.T) {
+	var order []int
+	ForEach(1, 10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order broken: %v", order)
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	var cur, peak int32
+	ForEach(3, 50, func(i int) {
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+				break
+			}
+		}
+		runtime.Gosched()
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > 3 {
+		t.Errorf("observed %d concurrent calls, want <= 3", peak)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"graph2par/internal/hgt"
 	"graph2par/internal/metrics"
 	"graph2par/internal/nn"
+	"graph2par/internal/parallel"
 	"graph2par/internal/seqmodel"
 )
 
@@ -81,34 +82,60 @@ type GraphSet struct {
 
 // PrepareGraphs builds aug-ASTs for the samples. When vocab is nil a new
 // vocabulary is built from these samples (training side); otherwise the
-// existing vocabulary is reused (test side, OOV → <unk>).
+// existing vocabulary is reused (test side, OOV → <unk>). It is
+// PrepareGraphsN with a GOMAXPROCS-sized worker pool.
 func PrepareGraphs(samples []*dataset.Sample, opts auggraph.Options, vocab *auggraph.Vocab, label LabelFunc) *GraphSet {
+	return PrepareGraphsN(0, samples, opts, vocab, label)
+}
+
+// PrepareGraphsN is PrepareGraphs with an explicit worker-pool bound
+// (workers < 1 → GOMAXPROCS). Graph construction and encoding run over
+// the pool; the vocabulary is grown serially in sample order between the
+// two phases, so the IDs — and therefore the whole GraphSet — are
+// identical to a serial run.
+func PrepareGraphsN(workers int, samples []*dataset.Sample, opts auggraph.Options, vocab *auggraph.Vocab, label LabelFunc) *GraphSet {
 	building := vocab == nil
 	if building {
 		vocab = auggraph.NewVocab()
 	}
 	gs := &GraphSet{Vocab: vocab}
-	graphs := make([]*auggraph.Graph, 0, len(samples))
-	kept := make([]*dataset.Sample, 0, len(samples))
-	for _, s := range samples {
+
+	// Phase 1 (parallel): build one graph per sample into its own slot.
+	built := make([]*auggraph.Graph, len(samples))
+	parallel.ForEach(workers, len(samples), func(i int) {
+		s := samples[i]
 		o := opts
 		if s.File != nil {
 			o.Funcs = fileFuncs(s.File)
 		}
-		g := auggraph.Build(s.Loop, o)
+		built[i] = auggraph.Build(s.Loop, o)
+	})
+
+	// Phase 2 (serial): drop empty graphs and grow the vocabulary in
+	// sample order — insertion order defines the IDs.
+	graphs := make([]*auggraph.Graph, 0, len(samples))
+	kept := make([]*dataset.Sample, 0, len(samples))
+	for i, g := range built {
 		if len(g.Nodes) == 0 {
 			continue
 		}
 		graphs = append(graphs, g)
-		kept = append(kept, s)
+		kept = append(kept, samples[i])
 		if building {
 			vocab.Add(g)
 		}
 	}
-	for i, g := range graphs {
-		gs.Encoded = append(gs.Encoded, vocab.Encode(g))
-		gs.Labels = append(gs.Labels, label(kept[i]))
-		gs.Samples = append(gs.Samples, kept[i])
+
+	// Phase 3 (parallel): encode under the now-frozen vocabulary.
+	gs.Encoded = make([]*auggraph.Encoded, len(graphs))
+	parallel.ForEach(workers, len(graphs), func(i int) {
+		gs.Encoded[i] = vocab.Encode(graphs[i])
+	})
+	gs.Labels = make([]int, len(kept))
+	gs.Samples = make([]*dataset.Sample, len(kept))
+	for i, s := range kept {
+		gs.Labels[i] = label(s)
+		gs.Samples[i] = s
 	}
 	return gs
 }
@@ -227,23 +254,38 @@ func restoreWeights(ps *nn.ParamSet, weights [][]float64) {
 	}
 }
 
-// EvalHGT computes the confusion matrix of the model over the set.
+// EvalHGT computes the confusion matrix of the model over the set with a
+// GOMAXPROCS-sized worker pool.
 func EvalHGT(model *hgt.Model, set *GraphSet) *metrics.Confusion {
+	return EvalHGTN(0, model, set)
+}
+
+// EvalHGTN is EvalHGT with an explicit worker-pool bound. Inference fans
+// out over the pool (Predict is concurrency-safe); the confusion counts
+// are accumulated serially afterwards.
+func EvalHGTN(workers int, model *hgt.Model, set *GraphSet) *metrics.Confusion {
+	preds := PredictHGTN(workers, model, set)
 	var c metrics.Confusion
-	for i, enc := range set.Encoded {
-		pred, _ := model.Predict(enc)
-		c.Add(pred == 1, set.Labels[i] == 1)
+	for i, p := range preds {
+		c.Add(p, set.Labels[i] == 1)
 	}
 	return &c
 }
 
-// PredictHGT returns per-sample predictions (true = parallel).
+// PredictHGT returns per-sample predictions (true = parallel) with a
+// GOMAXPROCS-sized worker pool.
 func PredictHGT(model *hgt.Model, set *GraphSet) []bool {
+	return PredictHGTN(0, model, set)
+}
+
+// PredictHGTN is PredictHGT with an explicit worker-pool bound (workers
+// < 1 → GOMAXPROCS); predictions are computed concurrently over the pool.
+func PredictHGTN(workers int, model *hgt.Model, set *GraphSet) []bool {
 	out := make([]bool, len(set.Encoded))
-	for i, enc := range set.Encoded {
-		pred, _ := model.Predict(enc)
+	parallel.ForEach(workers, len(set.Encoded), func(i int) {
+		pred, _ := model.Predict(set.Encoded[i])
 		out[i] = pred == 1
-	}
+	})
 	return out
 }
 
