@@ -108,6 +108,209 @@ func TestAnalyzeFilesSurfacesParseErrors(t *testing.T) {
 	}
 }
 
+// cachedEngine returns a copy of the shared test engine with the analysis
+// cache enabled (the model and tools stay shared; the cache is fresh).
+func cachedEngine(t *testing.T, workers, cacheSize int) *Engine {
+	t.Helper()
+	e := *engine(t)
+	e.SetWorkers(workers)
+	e.SetCacheSize(cacheSize)
+	return &e
+}
+
+// TestAnalyzeFilesCachedByteIdentical is the acceptance check for the
+// analysis cache: with caching on, both the cold (miss-filling) pass and
+// the warm (all-hits) pass must be byte-for-byte identical to the
+// uncached engine's output.
+func TestAnalyzeFilesCachedByteIdentical(t *testing.T) {
+	files := corpusFiles(6)
+	plain, err := withWorkers(t, 4).AnalyzeFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := cachedEngine(t, 4, 1024)
+	cold, err := e.AnalyzeFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := e.AnalyzeFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, cold) {
+		t.Error("cold cached run differs from uncached run")
+	}
+	if !reflect.DeepEqual(plain, warm) {
+		t.Error("warm cached run differs from uncached run")
+	}
+
+	totalLoops := 0
+	for name := range plain {
+		totalLoops += len(plain[name])
+	}
+	st, ok := e.CacheStats()
+	if !ok {
+		t.Fatal("cache should be enabled")
+	}
+	if st.Misses != uint64(totalLoops) {
+		t.Errorf("misses = %d, want %d (one per loop on the cold pass)", st.Misses, totalLoops)
+	}
+	if st.Hits != uint64(totalLoops) {
+		t.Errorf("hits = %d, want %d (every loop served from cache when warm)", st.Hits, totalLoops)
+	}
+	if st.Entries != totalLoops {
+		t.Errorf("entries = %d, want %d", st.Entries, totalLoops)
+	}
+}
+
+// TestAnalyzeSourceCachedMatchesAndSurvivesMutation checks the per-file
+// API against the cache and that cached entries are detached from
+// returned reports: mutating a result must not poison later hits.
+func TestAnalyzeSourceCachedMatchesAndSurvivesMutation(t *testing.T) {
+	src := corpusFiles(1)["file_00.c"]
+	plain, err := withWorkers(t, 2).AnalyzeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := cachedEngine(t, 2, 256)
+	first, err := e.AnalyzeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, first) {
+		t.Error("cached AnalyzeSource differs from uncached")
+	}
+	// Vandalize the returned reports, then re-analyze from cache.
+	for i := range first {
+		first[i].Suggestion = "tampered"
+		for j := range first[i].Tools {
+			first[i].Tools[j].Reason = "tampered"
+		}
+		if len(first[i].Categories) > 0 {
+			first[i].Categories[0] = "tampered"
+		}
+	}
+	again, err := e.AnalyzeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, again) {
+		t.Error("cache entries were corrupted by caller mutation")
+	}
+}
+
+// TestAnalyzeLoopSnippetCacheDisjointFromFiles pins the key design: the
+// same loop text analyzed as a bare snippet (no enclosing file) and as
+// part of a file must not share cache entries — their tool verdicts
+// differ, so cross-hits would serve wrong reports.
+func TestAnalyzeLoopSnippetCacheDisjointFromFiles(t *testing.T) {
+	const loopText = "for (i = 0; i < 64; i++) s += a[i];"
+	e := cachedEngine(t, 2, 256)
+	snippet, err := e.AnalyzeLoop(loopText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := e.AnalyzeLoop(loopText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snippet, again) {
+		t.Error("snippet analysis not deterministic through the cache")
+	}
+	st, _ := e.CacheStats()
+	if st.Hits == 0 {
+		t.Error("repeated snippet should hit the cache")
+	}
+	for _, tv := range snippet.Tools {
+		if tv.Tool == "DiscoPoP" && tv.Processable {
+			t.Error("snippet verdicts must stay snippet verdicts (no file context)")
+		}
+	}
+
+	// Now analyze the very same loop text inside a full translation unit
+	// on the same cached engine. If the snippet and file key spaces
+	// overlapped, the cached snippet report (DiscoPoP: cannot process)
+	// would be served here; with file context DiscoPoP must process it.
+	src := "int main() {\n    int a[64];\n    int i, s = 0;\n    for (i = 0; i < 64; i++) a[i] = i;\n    " +
+		loopText + "\n    return s;\n}\n"
+	reports, err := e.AnalyzeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inFile *LoopReport
+	for i := range reports {
+		if strings.Contains(reports[i].Source, "s += a[i]") {
+			inFile = &reports[i]
+		}
+	}
+	if inFile == nil {
+		t.Fatal("reduction loop not found in file reports")
+	}
+	for _, tv := range inFile.Tools {
+		if tv.Tool == "DiscoPoP" && !tv.Processable {
+			t.Error("file-context analysis was served the snippet's cache entry (DiscoPoP should process with a file)")
+		}
+	}
+}
+
+// TestCacheKeySeparatesIdenticalLoopsOnOneLine is the regression test
+// for keying loops by byte offset rather than line: two textually
+// identical sibling loops on one source line are distinct program points
+// (the first mutates state the second reads), so they must not share a
+// cache entry, and the cached run must equal the uncached run exactly.
+func TestCacheKeySeparatesIdenticalLoopsOnOneLine(t *testing.T) {
+	src := `
+int main() {
+    int a[16];
+    int i, s = 0;
+    for (i = 0; i < 16; i++) a[i] = 1;
+    for (i = 0; i < 16; i++) s += a[i]; for (i = 0; i < 16; i++) s += a[i];
+    return s;
+}
+`
+	plain, err := withWorkers(t, 1).AnalyzeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := cachedEngine(t, 1, 256)
+	cold, err := e.AnalyzeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := e.AnalyzeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, cold) || !reflect.DeepEqual(plain, warm) {
+		t.Error("cached analysis of same-line identical loops differs from uncached")
+	}
+	st, _ := e.CacheStats()
+	if want := uint64(len(plain)); st.Misses != want {
+		t.Errorf("misses = %d, want %d (every loop is a distinct program point, none may share keys)", st.Misses, want)
+	}
+}
+
+// TestAnalyzeFilesCachedDeterministicAcrossWorkers runs the cached engine
+// under worker-pool concurrency — with -race this is the cache's
+// integration-level concurrency check.
+func TestAnalyzeFilesCachedDeterministicAcrossWorkers(t *testing.T) {
+	files := corpusFiles(8)
+	serial, err := withWorkers(t, 1).AnalyzeFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := cachedEngine(t, 8, 2048)
+	for pass := 0; pass < 3; pass++ {
+		got, err := e.AnalyzeFiles(files)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("pass %d: cached concurrent run differs from serial uncached run", pass)
+		}
+	}
+}
+
 func TestAnalyzeFilesEmptyInput(t *testing.T) {
 	out, err := withWorkers(t, 4).AnalyzeFiles(nil)
 	if err != nil {

@@ -248,6 +248,35 @@ func BenchmarkAnalyzeFilesParallel(b *testing.B) {
 	benchmarkAnalyzeFiles(b, runtime.GOMAXPROCS(0))
 }
 
+// BenchmarkAnalyzeFilesCached is BenchmarkAnalyzeFilesSerial with the
+// content-addressed analysis cache enabled and warmed: the same 16-file
+// corpus, the same single worker, but every loop served from the cache —
+// the repeat-query hot path of a long-running graph2serve instance. The
+// ratio to BenchmarkAnalyzeFilesSerial is the measured cache win.
+func BenchmarkAnalyzeFilesCached(b *testing.B) {
+	e := *analysisEngine(b)
+	e.SetWorkers(1)
+	e.SetCacheSize(1 << 14)
+	files := corpusFiles(16)
+	if _, err := e.AnalyzeFiles(files); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := e.AnalyzeFiles(files)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(files) {
+			b.Fatalf("analyzed %d of %d files", len(out), len(files))
+		}
+	}
+	b.StopTimer()
+	if st, ok := e.CacheStats(); !ok || st.Hits == 0 {
+		b.Fatal("cache never hit; the benchmark measured nothing")
+	}
+}
+
 // BenchmarkToolAnalysis isolates the per-loop cost of each comparator.
 func BenchmarkToolAnalysis(b *testing.B) {
 	st := suite()

@@ -18,11 +18,16 @@
 package graph2par
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
 	"graph2par/internal/auggraph"
+	"graph2par/internal/cache"
 	"graph2par/internal/cast"
 	"graph2par/internal/cparse"
 	"graph2par/internal/dataset"
@@ -54,6 +59,14 @@ type EngineConfig struct {
 	// < 1 mean runtime.GOMAXPROCS(0). The optimizer loop itself is
 	// inherently sequential and unaffected.
 	Workers int
+	// CacheSize enables the content-addressed analysis cache: up to this
+	// many loop reports are kept in a sharded LRU keyed by the loop's
+	// normalized source, its translation-unit content, the graph options
+	// and the model fingerprint, so re-analyzing identical input skips
+	// the aug-AST build, HGT inference and tool cross-checks entirely
+	// while staying byte-for-byte identical to an uncached run. 0 (the
+	// zero value) disables caching.
+	CacheSize int
 }
 
 // Engine is a ready-to-use Graph2Par analyzer.
@@ -68,6 +81,13 @@ type Engine struct {
 	gopts   auggraph.Options
 	tools   []tools.Tool
 	workers int
+
+	// cache is the optional content-addressed report cache (nil when
+	// disabled); fingerprint identifies the loaded weights + vocabulary +
+	// graph options and is folded into every cache key, so a cache can
+	// never serve results computed by a different model.
+	cache       *cache.Cache[LoopReport]
+	fingerprint string
 }
 
 // ToolVerdict is one comparator tool's opinion on a loop.
@@ -115,6 +135,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 			return nil, fmt.Errorf("graph2par: loading model: %w", err)
 		}
 		e.model, e.vocab, e.gopts = model, vocab, gopts
+		e.SetCacheSize(cfg.CacheSize)
 		return e, nil
 	}
 	if cfg.TrainScale <= 0 {
@@ -137,6 +158,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	e.model = train.TrainHGT(set, opts)
 	e.vocab = set.Vocab
 	e.gopts = opts.Graph
+	e.SetCacheSize(cfg.CacheSize)
 	return e, nil
 }
 
@@ -150,6 +172,95 @@ func (e *Engine) Save(path string) error {
 // Analyze* methods.
 func (e *Engine) SetWorkers(n int) { e.workers = parallel.Workers(n) }
 
+// Workers returns the current analysis worker-pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// SetCacheSize replaces the analysis cache with a fresh one of the given
+// entry capacity (≤ 0 disables caching). The model fingerprint is
+// computed here, once, from the weights, vocabulary and graph options. It
+// must not be called concurrently with Analyze* methods.
+func (e *Engine) SetCacheSize(n int) {
+	if n <= 0 {
+		e.cache = nil
+		return
+	}
+	e.cache = cache.New[LoopReport](n)
+	e.fingerprint = modelFingerprint(e.model, e.vocab, e.gopts)
+}
+
+// CacheStats returns a snapshot of the analysis-cache counters; ok is
+// false when caching is disabled.
+func (e *Engine) CacheStats() (st cache.Stats, ok bool) {
+	if e.cache == nil {
+		return cache.Stats{}, false
+	}
+	return e.cache.Stats(), true
+}
+
+// modelFingerprint hashes everything the analysis result depends on
+// besides the input source: hyperparameters, every weight matrix, the
+// vocabulary tables and the graph options. Folding it into each cache key
+// makes invalidation structural — a different (retrained, reloaded,
+// differently configured) model can never hit entries of another.
+func modelFingerprint(m *hgt.Model, v *auggraph.Vocab, gopts auggraph.Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "cfg:%+v|graph:%t%t%t%t|", m.Cfg, gopts.CFG, gopts.Lexical, gopts.Reverse, gopts.Normalize)
+	buf := make([]byte, 8)
+	for _, p := range m.Params.All() {
+		fmt.Fprintf(h, "%s:%dx%d:", p.Name, p.W.Rows, p.W.Cols)
+		for _, w := range p.W.Data {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(w))
+			h.Write(buf)
+		}
+	}
+	for _, table := range [][]string{v.KindNames(), v.AttrNames(), v.TypeNames()} {
+		for _, s := range table {
+			h.Write([]byte(s))
+			h.Write([]byte{0})
+		}
+		h.Write([]byte{1})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// sourceCacheKey condenses one translation unit's content for cache-key
+// purposes. The "file:" prefix keeps it disjoint from the no-context
+// marker used by AnalyzeLoop snippets.
+func sourceCacheKey(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return "file:" + hex.EncodeToString(sum[:])
+}
+
+// snippetCacheKey marks loops analyzed without an enclosing file: their
+// tool verdicts differ from the with-file case, so the two must never
+// share cache entries.
+const snippetCacheKey = "snippet"
+
+// loopCacheKey derives the content-addressed key for one loop: model
+// fingerprint (which covers graph options) + translation-unit content +
+// source position + normalized loop source. The byte offset (not just the
+// line) disambiguates textually identical loops whose dynamic tool
+// verdicts could differ with program point — including two identical
+// sibling loops sharing one source line.
+func (e *Engine) loopCacheKey(loop cast.Stmt, fileKey string) string {
+	h := sha256.New()
+	pos := loop.Pos()
+	fmt.Fprintf(h, "%s\x00%s\x00%d:%d\x00%s", e.fingerprint, fileKey, pos.Offset, pos.Line, cast.Print(loop))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cloneReport returns a copy whose slices are detached from r, so cached
+// reports are immune to caller mutation.
+func cloneReport(r LoopReport) LoopReport {
+	if r.Categories != nil {
+		r.Categories = append([]pragma.Category(nil), r.Categories...)
+	}
+	if r.Tools != nil {
+		r.Tools = append([]ToolVerdict(nil), r.Tools...)
+	}
+	return r
+}
+
 // AnalyzeSource parses a C translation unit and reports on every loop.
 // Loops are analyzed concurrently over the engine's worker pool; the
 // returned reports are sorted by source line regardless of worker count,
@@ -159,7 +270,11 @@ func (e *Engine) AnalyzeSource(src string) ([]LoopReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.analyzeFileLoops(file), nil
+	fileKey := ""
+	if e.cache != nil {
+		fileKey = sourceCacheKey(src)
+	}
+	return e.analyzeFileLoops(file, fileKey), nil
 }
 
 // collectLoops harvests a parsed file's loops and its defined-function
@@ -186,11 +301,11 @@ func collectLoops(file *cast.File) (map[string]*cast.FuncDecl, []cast.Stmt) {
 
 // analyzeFileLoops fans loop analysis of one parsed file out over the
 // worker pool, preserving line-sorted output.
-func (e *Engine) analyzeFileLoops(file *cast.File) []LoopReport {
+func (e *Engine) analyzeFileLoops(file *cast.File, fileKey string) []LoopReport {
 	funcs, loops := collectLoops(file)
 	reports := make([]LoopReport, len(loops))
 	parallel.ForEach(e.workers, len(loops), func(i int) {
-		reports[i] = e.analyzeLoop(loops[i], file, funcs)
+		reports[i] = e.analyzeLoop(loops[i], file, funcs, fileKey)
 	})
 	sort.SliceStable(reports, func(i, j int) bool { return reports[i].Line < reports[j].Line })
 	return reports
@@ -222,8 +337,9 @@ func (e *Engine) AnalyzeFiles(sources map[string]string) (map[string][]LoopRepor
 	// Stage 2: flatten loops of every parsed file into one work list so
 	// a file with many loops keeps every worker busy.
 	type fileCtx struct {
-		file  *cast.File
-		funcs map[string]*cast.FuncDecl
+		file    *cast.File
+		funcs   map[string]*cast.FuncDecl
+		fileKey string
 	}
 	type workItem struct {
 		fileIdx int
@@ -237,6 +353,9 @@ func (e *Engine) AnalyzeFiles(sources map[string]string) (map[string][]LoopRepor
 		}
 		funcs, loops := collectLoops(file)
 		ctxs[i] = fileCtx{file: file, funcs: funcs}
+		if e.cache != nil {
+			ctxs[i].fileKey = sourceCacheKey(sources[names[i]])
+		}
 		for _, loop := range loops {
 			work = append(work, workItem{fileIdx: i, loop: loop})
 		}
@@ -247,7 +366,7 @@ func (e *Engine) AnalyzeFiles(sources map[string]string) (map[string][]LoopRepor
 	loopReports := make([]LoopReport, len(work))
 	parallel.ForEach(e.workers, len(work), func(i int) {
 		ctx := ctxs[work[i].fileIdx]
-		loopReports[i] = e.analyzeLoop(work[i].loop, ctx.file, ctx.funcs)
+		loopReports[i] = e.analyzeLoop(work[i].loop, ctx.file, ctx.funcs, ctx.fileKey)
 	})
 
 	// Stage 4: regroup per file and sort by line.
@@ -290,11 +409,25 @@ func (e *Engine) AnalyzeLoop(loopSrc string) (*LoopReport, error) {
 	default:
 		return nil, fmt.Errorf("graph2par: not a loop statement")
 	}
-	r := e.analyzeLoop(st, nil, nil)
+	r := e.analyzeLoop(st, nil, nil, snippetCacheKey)
 	return &r, nil
 }
 
-func (e *Engine) analyzeLoop(loop cast.Stmt, file *cast.File, funcs map[string]*cast.FuncDecl) LoopReport {
+// analyzeLoop runs the full per-loop pipeline, consulting the analysis
+// cache first when one is configured. fileKey identifies the enclosing
+// translation unit's content ("" only when caching is off); cached
+// results are byte-for-byte identical to a fresh computation because the
+// key covers every input the pipeline reads: the model (fingerprint), the
+// graph options, the file content (which determines funcs and the dynamic
+// tool behaviour), and the loop's position and normalized source.
+func (e *Engine) analyzeLoop(loop cast.Stmt, file *cast.File, funcs map[string]*cast.FuncDecl, fileKey string) LoopReport {
+	var key string
+	if e.cache != nil {
+		key = e.loopCacheKey(loop, fileKey)
+		if r, ok := e.cache.Get(key); ok {
+			return cloneReport(r)
+		}
+	}
 	gopts := e.gopts
 	gopts.Funcs = funcs
 	g := auggraph.Build(loop, gopts)
@@ -324,6 +457,11 @@ func (e *Engine) analyzeLoop(loop cast.Stmt, file *cast.File, funcs map[string]*
 			Parallel:    v.Processable && v.Parallel,
 			Reason:      v.Reason,
 		})
+	}
+	if e.cache != nil {
+		// Store a detached copy: the caller owns the returned report and
+		// may mutate its slices.
+		e.cache.Put(key, cloneReport(report))
 	}
 	return report
 }

@@ -79,28 +79,25 @@ func privatizableVars(body cast.Stmt, iv string) []string {
 
 // buildSuggestion renders a concrete OpenMP directive from the structural
 // analysis: real reduction operators/variables and real private lists,
-// falling back to the category templates when no names are known.
+// falling back to the category templates when no names are known. The
+// construct words (including `simd` and the `target teams distribute`
+// prefix) come from pragma.Construct so they always precede the clauses.
 func buildSuggestion(loop cast.Stmt, cats []pragma.Category) string {
 	body := loopBody(loop)
 	if body == nil {
-		return "#pragma omp parallel for"
+		return pragma.Construct(cats)
 	}
 	iv := ""
 	if f, ok := loop.(*cast.For); ok {
 		iv = inductionVarName(f)
 	}
 	var b strings.Builder
-	b.WriteString("#pragma omp parallel for")
+	b.WriteString(pragma.Construct(cats))
 	for _, r := range findReds(body, iv) {
 		b.WriteString(" reduction(" + r.Op + ":" + r.Var + ")")
 	}
 	if priv := privatizableVars(body, iv); len(priv) > 0 {
 		b.WriteString(" private(" + strings.Join(priv, ", ") + ")")
-	}
-	for _, c := range cats {
-		if c == pragma.SIMD {
-			b.WriteString(" simd")
-		}
 	}
 	return b.String()
 }

@@ -79,6 +79,12 @@ func (v *Vocab) TypeID(typ string) int { return v.Types[typ] }
 // KindNames returns the kinds in ID order.
 func (v *Vocab) KindNames() []string { return v.kindList }
 
+// AttrNames returns the attributes in ID order.
+func (v *Vocab) AttrNames() []string { return v.attrList }
+
+// TypeNames returns the type attributes in ID order.
+func (v *Vocab) TypeNames() []string { return v.typeList }
+
 // RestoreLists rebuilds the internal ID-ordered tables from serialized
 // checkpoint data; the maps must already be populated consistently.
 func (v *Vocab) RestoreLists(kinds, attrs, types []string) {

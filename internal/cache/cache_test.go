@@ -1,0 +1,124 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestShardLRUOrder pins the exact LRU semantics on one shard (the unit
+// the sharded cache approximates over): recently-got entries survive,
+// cold entries are evicted in order.
+func TestShardLRUOrder(t *testing.T) {
+	s := newShard[int](2)
+	s.put("a", 1)
+	s.put("b", 2)
+	if _, ok := s.get("a"); !ok { // promote a: order now a, b
+		t.Fatal("a should be cached")
+	}
+	s.put("c", 3) // evicts b, the cold end
+	if _, ok := s.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := s.get("a"); !ok || v != 1 {
+		t.Error("a should have survived (it was recently used)")
+	}
+	if v, ok := s.get("c"); !ok || v != 3 {
+		t.Error("c should be cached")
+	}
+	if s.evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.evictions)
+	}
+}
+
+func TestShardPutUpdatesInPlace(t *testing.T) {
+	s := newShard[int](2)
+	s.put("k", 1)
+	s.put("k", 2)
+	if s.order.Len() != 1 {
+		t.Fatalf("update grew the shard to %d entries", s.order.Len())
+	}
+	if v, _ := s.get("k"); v != 2 {
+		t.Errorf("got %d, want the updated value 2", v)
+	}
+}
+
+func TestCacheBasics(t *testing.T) {
+	c := New[string](64)
+	if _, ok := c.Get("missing"); ok {
+		t.Error("empty cache should miss")
+	}
+	c.Put("x", "1")
+	if v, ok := c.Get("x"); !ok || v != "1" {
+		t.Errorf("Get(x) = %q, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Capacity != 64 || st.Entries != 1 || st.Hits != 1 || st.Misses != 1 || st.Evictions != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheEvictionBounded(t *testing.T) {
+	const capacity = 32
+	c := New[int](capacity)
+	n := 10 * capacity
+	for i := 0; i < n; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), i)
+	}
+	// Sharding rounds the bound up to a multiple of the shard count.
+	bound := capacity + numShards
+	if got := c.Len(); got > bound {
+		t.Errorf("entries = %d, want ≤ %d", got, bound)
+	}
+	st := c.Stats()
+	if st.Entries != c.Len() {
+		t.Errorf("Stats.Entries %d != Len %d", st.Entries, c.Len())
+	}
+	if int(st.Evictions) < n-bound {
+		t.Errorf("evictions = %d, want ≥ %d", st.Evictions, n-bound)
+	}
+}
+
+func TestCacheTinyCapacity(t *testing.T) {
+	c := New[int](1)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if got := c.Len(); got != 1 {
+		t.Errorf("capacity-1 cache holds %d entries", got)
+	}
+	if New[int](-5).Stats().Capacity != 1 {
+		t.Error("non-positive capacity should clamp to 1")
+	}
+}
+
+// TestCacheConcurrent hammers every shard from many goroutines — run
+// under -race this is the concurrency-safety check. Values are derived
+// from their key so torn reads would be visible as mismatches.
+func TestCacheConcurrent(t *testing.T) {
+	c := New[int](128)
+	const goroutines, ops = 16, 2000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				k := fmt.Sprintf("key-%d", (g*31+i)%400)
+				if v, ok := c.Get(k); ok && v != len(k)*1000 {
+					t.Errorf("key %s: got %d, want %d", k, v, len(k)*1000)
+					return
+				}
+				c.Put(k, len(k)*1000)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != goroutines*ops {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, goroutines*ops)
+	}
+	if st.Entries > 128+numShards {
+		t.Errorf("entries %d beyond bound", st.Entries)
+	}
+}

@@ -236,8 +236,8 @@ func (m *Model) Forward(g *nn.Graph, enc *auggraph.Encoded, train bool) *nn.Node
 			scoreParts = append(scoreParts, score)
 			msgParts = append(msgParts, msg)
 		}
-		scores := concatRows(g, scoreParts)
-		msgs := concatRows(g, msgParts)
+		scores := g.ConcatRows(scoreParts...)
+		msgs := g.ConcatRows(msgParts...)
 
 		alpha := g.SegmentSoftmax(scores, allDst, n) // softmax over N(t)
 		weighted := g.HeadScale(msgs, alpha, cfg.Heads)
@@ -278,36 +278,6 @@ func (m *Model) perKind(g *nn.Graph, h *nn.Node, byKind [][]int, linears []*nn.L
 	if out == nil {
 		panic("hgt: no nodes")
 	}
-	return out
-}
-
-// concatRows stacks parts vertically.
-func concatRows(g *nn.Graph, parts []*nn.Node) *nn.Node {
-	if len(parts) == 1 {
-		return parts[0]
-	}
-	total := 0
-	cols := parts[0].Val.Cols
-	offsets := make([]int, len(parts))
-	for i, p := range parts {
-		offsets[i] = total
-		total += p.Val.Rows
-	}
-	// Build via scatter-add of each part into its row band.
-	var out *nn.Node
-	for i, p := range parts {
-		idx := make([]int, p.Val.Rows)
-		for r := range idx {
-			idx[r] = offsets[i] + r
-		}
-		sc := g.ScatterRowsAdd(p, idx, total)
-		if out == nil {
-			out = sc
-		} else {
-			out = g.Add(out, sc)
-		}
-	}
-	_ = cols
 	return out
 }
 

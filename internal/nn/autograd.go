@@ -309,6 +309,49 @@ func (g *Graph) ConcatCols(a, b *Node) *Node {
 	return out
 }
 
+// ConcatRows stacks parts vertically into a (Σ rows)×d matrix, in
+// argument order. The forward pass is one row-band copy per part and the
+// backward pass slices the upstream gradient back into each part's band —
+// O(total×d) once, with no intermediate scatter matrices (the win over
+// emulating concatenation with ScatterRowsAdd + Add chains).
+func (g *Graph) ConcatRows(parts ...*Node) *Node {
+	if len(parts) == 0 {
+		panic("nn: ConcatRows needs at least one part")
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	d := parts[0].Val.Cols
+	total := 0
+	needsGrad := false
+	for _, p := range parts {
+		if p.Val.Cols != d {
+			panic(fmt.Sprintf("nn: ConcatRows col mismatch %d vs %d", p.Val.Cols, d))
+		}
+		total += p.Val.Rows
+		needsGrad = needsGrad || p.needsGrad
+	}
+	out := g.newLike(total, d, needsGrad)
+	off := 0
+	for _, p := range parts {
+		copy(out.Val.Data[off:off+len(p.Val.Data)], p.Val.Data)
+		off += len(p.Val.Data)
+	}
+	out.back = func() {
+		off := 0
+		for _, p := range parts {
+			if p.needsGrad {
+				band := out.Grad.Data[off : off+len(p.Val.Data)]
+				for i, v := range band {
+					p.Grad.Data[i] += v
+				}
+			}
+			off += len(p.Val.Data)
+		}
+	}
+	return out
+}
+
 // MeanRows averages all rows into a single 1×d row (global pooling).
 func (g *Graph) MeanRows(a *Node) *Node {
 	out := g.newLike(1, a.Val.Cols, a.needsGrad)

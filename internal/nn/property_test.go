@@ -114,6 +114,87 @@ func TestQuickSegmentSoftmaxNormalized(t *testing.T) {
 	}
 }
 
+// Property: ConcatRows equals the scatter-add emulation it replaced, in
+// both the forward value and the gradients it routes to every part.
+func TestQuickConcatRowsMatchesScatter(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed | 1)
+		d := 1 + rng.Intn(6)
+		nParts := 2 + rng.Intn(4)
+		params := make([]*Param, nParts)
+		for i := range params {
+			params[i] = NewParam("p", 1+rng.Intn(5), d, rng)
+		}
+
+		// run builds loss = Σ (concat ⊙ weights) for either concat
+		// implementation, backprops, and snapshots the part gradients.
+		run := func(concat func(g *Graph, parts []*Node) *Node) (*tensor.Matrix, [][]float64) {
+			for _, p := range params {
+				p.ZeroGrad()
+			}
+			g := NewGraph()
+			parts := make([]*Node, nParts)
+			for i, p := range params {
+				parts[i] = g.Param(p)
+			}
+			out := concat(g, parts)
+			// weight each element deterministically so gradient routing
+			// errors (wrong band, wrong order) are visible
+			w := tensor.New(out.Val.Rows, out.Val.Cols)
+			for i := range w.Data {
+				w.Data[i] = float64(i%7) - 3
+			}
+			g.Backward(g.SumAll(g.Mul(out, g.Constant(w))))
+			grads := make([][]float64, nParts)
+			for i, p := range params {
+				grads[i] = append([]float64(nil), p.G.Data...)
+			}
+			return out.Val.Clone(), grads
+		}
+
+		gotVal, gotGrads := run(func(g *Graph, parts []*Node) *Node {
+			return g.ConcatRows(parts...)
+		})
+		wantVal, wantGrads := run(func(g *Graph, parts []*Node) *Node {
+			total := 0
+			for _, p := range parts {
+				total += p.Val.Rows
+			}
+			var out *Node
+			off := 0
+			for _, p := range parts {
+				idx := make([]int, p.Val.Rows)
+				for r := range idx {
+					idx[r] = off + r
+				}
+				off += p.Val.Rows
+				sc := g.ScatterRowsAdd(p, idx, total)
+				if out == nil {
+					out = sc
+				} else {
+					out = g.Add(out, sc)
+				}
+			}
+			return out
+		})
+
+		if !tensor.Equal(gotVal, wantVal, 1e-12) {
+			return false
+		}
+		for i := range gotGrads {
+			for j := range gotGrads[i] {
+				if math.Abs(gotGrads[i][j]-wantGrads[i][j]) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: LayerNorm output rows have ~zero mean and ~unit variance under
 // identity gain/zero bias.
 func TestQuickLayerNormMoments(t *testing.T) {

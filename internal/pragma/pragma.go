@@ -210,29 +210,52 @@ func parseParenList(toks []string) (items []string, consumed int) {
 	return items, len(toks)
 }
 
+func hasCat(cats []Category, want Category) bool {
+	for _, c := range cats {
+		if c == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Construct renders the OpenMP directive name (no clauses) for a set of
+// predicted categories. Directive words must all precede the first clause,
+// so Target selects the combined `target teams distribute parallel for`
+// construct and SIMD extends the construct name to `... parallel for simd`;
+// clauses appended to the result stay valid OpenMP.
+func Construct(cats []Category) string {
+	var b strings.Builder
+	b.WriteString("#pragma omp ")
+	if hasCat(cats, Target) {
+		b.WriteString("target teams distribute ")
+	}
+	b.WriteString("parallel for")
+	if hasCat(cats, SIMD) {
+		b.WriteString(" simd")
+	}
+	return b.String()
+}
+
 // FormatSuggestion renders a suggested pragma for a predicted set of
-// categories, mirroring the suggestion strings of section 6.4.
+// categories, mirroring the suggestion strings of section 6.4. The
+// directive construct always comes first (see Construct), followed by the
+// reduction and private clauses.
 func FormatSuggestion(parallel bool, cats []Category, reductionOp, reductionVar string) string {
 	if !parallel {
 		return ""
 	}
 	var b strings.Builder
-	b.WriteString("#pragma omp parallel for")
-	for _, c := range cats {
-		switch c {
-		case Reduction:
-			if reductionOp != "" && reductionVar != "" {
-				b.WriteString(" reduction(" + reductionOp + ":" + reductionVar + ")")
-			} else {
-				b.WriteString(" reduction(+:<var>)")
-			}
-		case Private:
-			b.WriteString(" private(<vars>)")
-		case SIMD:
-			b.WriteString(" simd")
-		case Target:
-			b.WriteString(" target")
+	b.WriteString(Construct(cats))
+	if hasCat(cats, Reduction) {
+		if reductionOp != "" && reductionVar != "" {
+			b.WriteString(" reduction(" + reductionOp + ":" + reductionVar + ")")
+		} else {
+			b.WriteString(" reduction(+:<var>)")
 		}
+	}
+	if hasCat(cats, Private) {
+		b.WriteString(" private(<vars>)")
 	}
 	return b.String()
 }

@@ -121,3 +121,96 @@ func TestFormatSuggestion(t *testing.T) {
 		t.Error("non-parallel suggestion should be empty")
 	}
 }
+
+// allCategoryCombos enumerates every subset of the four categories in the
+// canonical private < reduction < simd < target order.
+func allCategoryCombos() [][]Category {
+	all := []Category{Private, Reduction, SIMD, Target}
+	var combos [][]Category
+	for mask := 0; mask < 1<<len(all); mask++ {
+		var cats []Category
+		for i, c := range all {
+			if mask&(1<<i) != 0 {
+				cats = append(cats, c)
+			}
+		}
+		combos = append(combos, cats)
+	}
+	return combos
+}
+
+// TestFormatSuggestionDirectiveOrder checks, for every category
+// combination, that the emitted directive is structurally valid OpenMP:
+// construct words (`target teams distribute`, `parallel for`, `simd`)
+// strictly precede the first clause, and in particular `target` never
+// trails the worksharing construct.
+func TestFormatSuggestionDirectiveOrder(t *testing.T) {
+	for _, cats := range allCategoryCombos() {
+		s := FormatSuggestion(true, cats, "+", "sum")
+		if !strings.HasPrefix(s, "#pragma omp ") {
+			t.Fatalf("cats %v: bad prefix %q", cats, s)
+		}
+		words := strings.Fields(strings.TrimPrefix(s, "#pragma omp "))
+
+		// Locate the end of the construct: the first word carrying a
+		// parenthesized argument list is a clause.
+		firstClause := len(words)
+		for i, w := range words {
+			if strings.Contains(w, "(") {
+				firstClause = i
+				break
+			}
+		}
+		construct := words[:firstClause]
+		wantConstruct := []string{"parallel", "for"}
+		if hasCat(cats, Target) {
+			wantConstruct = append([]string{"target", "teams", "distribute"}, wantConstruct...)
+		}
+		if hasCat(cats, SIMD) {
+			wantConstruct = append(wantConstruct, "simd")
+		}
+		if !reflect.DeepEqual(construct, wantConstruct) {
+			t.Errorf("cats %v: construct = %v, want %v (full: %q)", cats, construct, wantConstruct, s)
+		}
+		// No construct keyword may reappear in clause position.
+		for _, w := range words[firstClause:] {
+			switch w {
+			case "target", "teams", "distribute", "simd", "parallel", "for":
+				t.Errorf("cats %v: construct word %q after clauses: %q", cats, w, s)
+			}
+		}
+		// The regression that motivated this fix: `target` after
+		// `parallel for`.
+		if i := strings.Index(s, "parallel for"); i >= 0 {
+			if strings.Contains(s[i:], " target") {
+				t.Errorf("cats %v: target trails the worksharing construct: %q", cats, s)
+			}
+		}
+	}
+}
+
+// TestFormatSuggestionParseRoundTrip feeds every suggestion back through
+// Parse and requires the category set to survive unchanged — so every
+// suggestion the engine prints is a directive our own parser recognizes.
+func TestFormatSuggestionParseRoundTrip(t *testing.T) {
+	for _, cats := range allCategoryCombos() {
+		s := FormatSuggestion(true, cats, "+", "sum")
+		in := Parse(s)
+		if !in.IsOMP || !in.ParallelFor {
+			t.Errorf("cats %v: %q did not parse as an OMP worksharing directive", cats, s)
+		}
+		// Parse reports categories in canonical order, as does
+		// allCategoryCombos.
+		want := cats
+		if want == nil {
+			want = []Category{}
+		}
+		got := in.Categories
+		if got == nil {
+			got = []Category{}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("cats %v: round-trip categories = %v (suggestion %q)", want, got, s)
+		}
+	}
+}

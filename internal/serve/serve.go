@@ -1,0 +1,261 @@
+// Package serve implements the graph2serve HTTP JSON API over a shared
+// graph2par.Engine: one long-running warm model serves concurrent analyze
+// requests, with the engine's content-addressed cache giving repeat
+// queries sub-millisecond latency.
+//
+// Endpoints:
+//
+//	POST /analyze        {"source": "...", "dot": false} → reports for one translation unit
+//	POST /analyze/batch  {"files": {"a.c": "..."}}       → per-file reports, mirroring Engine.AnalyzeFiles
+//	GET  /healthz        liveness probe
+//	GET  /stats          cache, worker and request counters
+//
+// The handlers only call the engine's concurrent-safe Analyze* methods,
+// so one Server may sit behind any number of in-flight requests.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"graph2par"
+)
+
+// maxBodyBytes bounds request bodies (source code is small; this mostly
+// guards the decoder against junk).
+const maxBodyBytes = 16 << 20
+
+// Server carries the shared engine and request counters.
+type Server struct {
+	engine  *graph2par.Engine
+	started time.Time
+
+	analyzeReqs atomic.Uint64
+	batchReqs   atomic.Uint64
+	errorReqs   atomic.Uint64
+}
+
+// New wraps an engine for serving.
+func New(engine *graph2par.Engine) *Server {
+	return &Server{engine: engine, started: time.Now()}
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/analyze/batch", s.handleBatch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// analyzeRequest is the POST /analyze body.
+type analyzeRequest struct {
+	// Source is one C translation unit.
+	Source string `json:"source"`
+	// DOT includes each loop's Graphviz rendering in the response
+	// (omitted by default: it dominates response size).
+	DOT bool `json:"dot"`
+}
+
+// analyzeResponse is the POST /analyze result.
+type analyzeResponse struct {
+	Loops   int                    `json:"loops"`
+	Reports []graph2par.LoopReport `json:"reports"`
+}
+
+// batchRequest is the POST /analyze/batch body.
+type batchRequest struct {
+	Files map[string]string `json:"files"`
+	DOT   bool              `json:"dot"`
+}
+
+// batchResponse is the POST /analyze/batch result. Files that fail to
+// parse are absent from Results and described in ParseErrors.
+type batchResponse struct {
+	Results     map[string][]graph2par.LoopReport `json:"results"`
+	ParseErrors string                            `json:"parseErrors,omitempty"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	if code >= 400 {
+		s.errorReqs.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// decodeInto strictly decodes the request body, translating the failure
+// modes into one client-readable message.
+func decodeInto(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("malformed request body: %v", err)
+	}
+	return nil
+}
+
+func methodNotAllowed(w http.ResponseWriter, s *Server) {
+	s.writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed"})
+}
+
+// stripDOT blanks the bulky DOT field unless the client asked for it.
+func stripDOT(reports []graph2par.LoopReport, keep bool) []graph2par.LoopReport {
+	if keep {
+		return reports
+	}
+	out := make([]graph2par.LoopReport, len(reports))
+	copy(out, reports)
+	for i := range out {
+		out[i].DOT = ""
+	}
+	return out
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, s)
+		return
+	}
+	s.analyzeReqs.Add(1)
+	var req analyzeRequest
+	if err := decodeInto(r, &req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if req.Source == "" {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing \"source\""})
+		return
+	}
+	reports, err := s.engine.AnalyzeSource(req.Source)
+	if err != nil {
+		s.writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, analyzeResponse{
+		Loops:   len(reports),
+		Reports: stripDOT(reports, req.DOT),
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, s)
+		return
+	}
+	s.batchReqs.Add(1)
+	var req batchRequest
+	if err := decodeInto(r, &req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if len(req.Files) == 0 {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing \"files\""})
+		return
+	}
+	results, err := s.engine.AnalyzeFiles(req.Files)
+	if err != nil && len(results) == 0 {
+		// Every file failed to parse: same contract as /analyze.
+		s.writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		return
+	}
+	resp := batchResponse{Results: make(map[string][]graph2par.LoopReport, len(results))}
+	for name, reports := range results {
+		resp.Results[name] = stripDOT(reports, req.DOT)
+	}
+	if err != nil {
+		// Partial failure: parsable files were analyzed, the rest are
+		// reported per file in one deterministic message.
+		resp.ParseErrors = err.Error()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		methodNotAllowed(w, s)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statsResponse is the GET /stats body.
+type statsResponse struct {
+	UptimeSeconds float64    `json:"uptimeSeconds"`
+	Workers       int        `json:"workers"`
+	Requests      reqStats   `json:"requests"`
+	Cache         cacheStats `json:"cache"`
+}
+
+type reqStats struct {
+	Analyze uint64 `json:"analyze"`
+	Batch   uint64 `json:"batch"`
+	Errors  uint64 `json:"errors"`
+}
+
+type cacheStats struct {
+	Enabled   bool   `json:"enabled"`
+	Capacity  int    `json:"capacity,omitempty"`
+	Entries   int    `json:"entries"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, s)
+		return
+	}
+	resp := statsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Workers:       s.engine.Workers(),
+		Requests: reqStats{
+			Analyze: s.analyzeReqs.Load(),
+			Batch:   s.batchReqs.Load(),
+			Errors:  s.errorReqs.Load(),
+		},
+	}
+	if st, ok := s.engine.CacheStats(); ok {
+		resp.Cache = cacheStats{
+			Enabled: true, Capacity: st.Capacity, Entries: st.Entries,
+			Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// ListenAndServe runs srv until ctx is canceled (e.g. by SIGINT/SIGTERM
+// via signal.NotifyContext), then drains in-flight requests for up to
+// grace. It returns nil on a clean shutdown.
+func ListenAndServe(ctx context.Context, srv *http.Server, grace time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err // bind failure or unexpected server stop
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,306 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"graph2par"
+)
+
+var (
+	testEngine     *graph2par.Engine
+	testEngineOnce sync.Once
+	testEngineErr  error
+)
+
+// engine trains one small cached engine shared by the whole handler
+// suite (training dominates the suite's runtime; do it once, at the
+// smallest scale that still yields a working model — the handler tests
+// check HTTP semantics and HTTP-vs-direct agreement, not accuracy).
+func engine(t *testing.T) *graph2par.Engine {
+	t.Helper()
+	testEngineOnce.Do(func() {
+		testEngine, testEngineErr = graph2par.NewEngine(graph2par.EngineConfig{
+			TrainScale: 0.008, Epochs: 2, Seed: 11, Quiet: true, CacheSize: 512,
+		})
+	})
+	if testEngineErr != nil {
+		t.Fatal(testEngineErr)
+	}
+	return testEngine
+}
+
+func server(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(engine(t)).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+const program = `
+int main() {
+    int a[64], b[64];
+    int i, s = 0;
+    for (i = 0; i < 64; i++) b[i] = i;
+    for (i = 0; i < 64; i++) a[i] = b[i] * 2;
+    for (i = 1; i < 64; i++) a[i] = a[i-1] + 1;
+    for (i = 0; i < 64; i++) s += a[i];
+    return s;
+}
+`
+
+// postJSON marshals body, posts it, and decodes the JSON response into
+// out, returning the status code.
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestAnalyzeEndpoint(t *testing.T) {
+	ts := server(t)
+	var resp analyzeResponse
+	if code := postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: program}, &resp); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if resp.Loops != 4 || len(resp.Reports) != 4 {
+		t.Fatalf("loops = %d, reports = %d, want 4", resp.Loops, len(resp.Reports))
+	}
+	// The response must match a direct engine call (minus DOT, which is
+	// opt-in over the wire).
+	direct, err := engine(t).AnalyzeSource(program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct {
+		direct[i].DOT = ""
+	}
+	if !reflect.DeepEqual(resp.Reports, direct) {
+		t.Error("HTTP reports differ from direct AnalyzeSource")
+	}
+	for _, r := range resp.Reports {
+		if r.DOT != "" {
+			t.Error("DOT should be omitted unless requested")
+		}
+	}
+
+	var withDot analyzeResponse
+	postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: program, DOT: true}, &withDot)
+	if len(withDot.Reports) == 0 || withDot.Reports[0].DOT == "" {
+		t.Error("dot:true should include the Graphviz rendering")
+	}
+}
+
+func TestAnalyzeRejectsBadInput(t *testing.T) {
+	ts := server(t)
+
+	// malformed JSON
+	resp, err := http.Post(ts.URL+"/analyze", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status = %d, want 400", resp.StatusCode)
+	}
+
+	// missing source
+	var e errorResponse
+	if code := postJSON(t, ts.URL+"/analyze", analyzeRequest{}, &e); code != http.StatusBadRequest {
+		t.Errorf("empty source: status = %d, want 400", code)
+	}
+
+	// unknown fields are rejected, catching client typos
+	resp2, err := http.Post(ts.URL+"/analyze", "application/json", strings.NewReader(`{"sorce": "x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status = %d, want 400", resp2.StatusCode)
+	}
+
+	// C that does not parse
+	if code := postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: "int main() { for (i=0 i<10; i++) ; }"}, &e); code != http.StatusUnprocessableEntity {
+		t.Errorf("unparsable C: status = %d, want 422", code)
+	}
+	if e.Error == "" {
+		t.Error("error body should describe the parse failure")
+	}
+
+	// wrong method
+	if code := getJSON(t, ts.URL+"/analyze", nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /analyze: status = %d, want 405", code)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	ts := server(t)
+	files := map[string]string{"a.c": program, "b.c": program}
+	var resp batchResponse
+	if code := postJSON(t, ts.URL+"/analyze/batch", batchRequest{Files: files}, &resp); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(resp.Results) != 2 || resp.ParseErrors != "" {
+		t.Fatalf("results = %d files, parseErrors = %q", len(resp.Results), resp.ParseErrors)
+	}
+	if !reflect.DeepEqual(resp.Results["a.c"], resp.Results["b.c"]) {
+		t.Error("identical files should produce identical reports")
+	}
+
+	// Partial failure: the broken file is reported, the good one analyzed.
+	files["broken.c"] = "int main() { for (i=0 i<10; i++) ; }"
+	var partial batchResponse
+	if code := postJSON(t, ts.URL+"/analyze/batch", batchRequest{Files: files}, &partial); code != http.StatusOK {
+		t.Fatalf("partial batch: status = %d", code)
+	}
+	if !strings.Contains(partial.ParseErrors, "broken.c") {
+		t.Errorf("parseErrors should name the failing file: %q", partial.ParseErrors)
+	}
+	if _, ok := partial.Results["broken.c"]; ok {
+		t.Error("unparsable file should be omitted from results")
+	}
+	if len(partial.Results) != 2 {
+		t.Errorf("parsable files analyzed = %d, want 2", len(partial.Results))
+	}
+
+	// Every file unparsable: same 422 contract as /analyze.
+	var allBad errorResponse
+	if code := postJSON(t, ts.URL+"/analyze/batch",
+		batchRequest{Files: map[string]string{"x.c": "not C at all {"}}, &allBad); code != http.StatusUnprocessableEntity {
+		t.Errorf("all files failing: status = %d, want 422", code)
+	}
+	if allBad.Error == "" {
+		t.Error("all-failed batch should describe the parse errors")
+	}
+
+	// empty / malformed
+	var e errorResponse
+	if code := postJSON(t, ts.URL+"/analyze/batch", batchRequest{}, &e); code != http.StatusBadRequest {
+		t.Errorf("empty files: status = %d, want 400", code)
+	}
+	if code := getJSON(t, ts.URL+"/analyze/batch", nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /analyze/batch: status = %d, want 405", code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := server(t)
+	var body map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &body); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if body["status"] != "ok" {
+		t.Errorf("body = %v", body)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := server(t)
+	// Two identical requests: the second is served from the cache.
+	postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: program}, nil)
+	postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: program}, nil)
+
+	var st statsResponse
+	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if st.Workers < 1 {
+		t.Errorf("workers = %d", st.Workers)
+	}
+	if st.Requests.Analyze < 2 {
+		t.Errorf("analyze requests = %d, want ≥ 2", st.Requests.Analyze)
+	}
+	if !st.Cache.Enabled {
+		t.Fatal("cache should be enabled on the test engine")
+	}
+	if st.Cache.Hits == 0 {
+		t.Error("repeat query should produce cache hits")
+	}
+	if code := postJSON(t, ts.URL+"/stats", struct{}{}, nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /stats: status = %d, want 405", code)
+	}
+}
+
+// TestConcurrentAnalyze posts the same and different sources from many
+// goroutines at once — under -race this is the serving path's concurrency
+// check, and every response must equal the sequential answer.
+func TestConcurrentAnalyze(t *testing.T) {
+	ts := server(t)
+	var want analyzeResponse
+	if code := postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: program}, &want); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	errs := make(chan string, goroutines*4)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				var got analyzeResponse
+				raw, _ := json.Marshal(analyzeRequest{Source: program})
+				resp, err := http.Post(ts.URL+"/analyze", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				err = json.NewDecoder(resp.Body).Decode(&got)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- "bad status"
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					errs <- "concurrent response differs from sequential answer"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+}

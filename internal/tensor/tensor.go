@@ -83,12 +83,28 @@ func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
-// Intn returns a uniform int in [0, n).
+// Intn returns a uniform int in [0, n). A plain `Uint64() % n` over-weights
+// the low residues whenever n does not divide 2^64, so the non-power-of-two
+// path rejects draws from the short top band and retries; the expected
+// retry count is n/2^64 per call, i.e. effectively zero.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("tensor: Intn with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	u := uint64(n)
+	if u&(u-1) == 0 {
+		return int(r.Uint64() & (u - 1))
+	}
+	// limit+1 is the largest multiple of n representable in a uint64;
+	// draws above limit fall in the partial band [limit+1, 2^64) whose
+	// residues would otherwise occur one extra time each.
+	rem := (math.MaxUint64%u + 1) % u
+	limit := math.MaxUint64 - rem
+	for {
+		if v := r.Uint64(); v <= limit {
+			return int(v % u)
+		}
+	}
 }
 
 // Norm returns a standard normal sample.

@@ -137,6 +137,50 @@ func TestCloneIndependence(t *testing.T) {
 	}
 }
 
+func TestIntnRangeAndDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for _, n := range []int{1, 2, 3, 5, 7, 8, 100, 1 << 20, (1 << 20) + 3} {
+		for i := 0; i < 200; i++ {
+			v := a.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+			if w := b.Intn(n); w != v {
+				t.Fatalf("Intn(%d) not deterministic: %d vs %d", n, v, w)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on Intn(0)")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+// TestIntnUniformity is the modulo-bias regression: with rejection
+// sampling, every residue class of a non-power-of-two n is hit with equal
+// probability. 60k draws over n=6 keep each bucket within a few sigma of
+// the expected count.
+func TestIntnUniformity(t *testing.T) {
+	r := NewRNG(2024)
+	const n, draws = 6, 60000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	// ~5 sigma for a binomial bucket: 5*sqrt(draws*(1/n)*(1-1/n)) ≈ 456.
+	for c, got := range counts {
+		if math.Abs(float64(got)-want) > 460 {
+			t.Errorf("bucket %d: %d draws, want ~%.0f", c, got, want)
+		}
+	}
+}
+
 func TestSplitIndependence(t *testing.T) {
 	r := NewRNG(1)
 	s1 := r.Split()

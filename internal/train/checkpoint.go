@@ -1,12 +1,30 @@
 package train
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"os"
 
 	"graph2par/internal/auggraph"
 	"graph2par/internal/hgt"
+)
+
+// Checkpoint files carry a fixed-size header in front of the gob payload
+// so a truncated, corrupted or foreign file fails with a clear error
+// instead of an opaque gob decode error or a silent shape mismatch:
+//
+//	bytes 0..7   magic "G2PCKPT\n"
+//	bytes 8..11  format version (uint32 LE)
+//	bytes 12..19 payload length (uint64 LE)
+//	bytes 20..23 payload CRC-32 (IEEE, uint32 LE)
+//	bytes 24..   gob-encoded Checkpoint
+const (
+	ckptMagic   = "G2PCKPT\n"
+	ckptVersion = 1
+	ckptHdrLen  = 24
 )
 
 // Checkpoint is a serializable trained Graph2Par model: configuration,
@@ -46,24 +64,59 @@ func SaveCheckpoint(path string, model *hgt.Model, vocab *auggraph.Vocab, opts a
 		})
 	}
 	ck.Kinds, ck.Attrs, ck.Types = vocabTables(vocab)
+
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(ck); err != nil {
+		return fmt.Errorf("train: encoding checkpoint: %w", err)
+	}
+	hdr := make([]byte, ckptHdrLen)
+	copy(hdr, ckptMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], ckptVersion)
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[20:], crc32.ChecksumIEEE(payload.Bytes()))
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return gob.NewEncoder(f).Encode(ck)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(payload.Bytes()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
-// LoadCheckpoint restores a model, its vocabulary and graph options.
+// LoadCheckpoint restores a model, its vocabulary and graph options. It
+// verifies the header magic, format version, payload length and checksum
+// before decoding, so damaged or foreign files are rejected with a
+// descriptive error.
 func LoadCheckpoint(path string) (*hgt.Model, *auggraph.Vocab, auggraph.Options, error) {
-	f, err := os.Open(path)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, auggraph.Options{}, err
 	}
-	defer f.Close()
+	if len(raw) < ckptHdrLen || string(raw[:len(ckptMagic)]) != ckptMagic {
+		return nil, nil, auggraph.Options{}, fmt.Errorf("train: %s is not a graph2par checkpoint (bad magic)", path)
+	}
+	if v := binary.LittleEndian.Uint32(raw[8:]); v != ckptVersion {
+		return nil, nil, auggraph.Options{}, fmt.Errorf("train: %s has checkpoint format version %d, this build reads version %d", path, v, ckptVersion)
+	}
+	payload := raw[ckptHdrLen:]
+	if want := binary.LittleEndian.Uint64(raw[12:]); uint64(len(payload)) != want {
+		if uint64(len(payload)) < want {
+			return nil, nil, auggraph.Options{}, fmt.Errorf("train: %s is truncated: %d of %d payload bytes", path, len(payload), want)
+		}
+		return nil, nil, auggraph.Options{}, fmt.Errorf("train: %s payload length mismatch: have %d bytes, header declares %d", path, len(payload), want)
+	}
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.LittleEndian.Uint32(raw[20:]) {
+		return nil, nil, auggraph.Options{}, fmt.Errorf("train: %s is corrupt: payload checksum mismatch", path)
+	}
 	var ck Checkpoint
-	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
-		return nil, nil, auggraph.Options{}, err
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ck); err != nil {
+		return nil, nil, auggraph.Options{}, fmt.Errorf("train: %s: decoding checkpoint: %w", path, err)
 	}
 	model := hgt.New(ck.Config)
 	params := model.Params.All()
@@ -84,19 +137,7 @@ func LoadCheckpoint(path string) (*hgt.Model, *auggraph.Vocab, auggraph.Options,
 }
 
 func vocabTables(v *auggraph.Vocab) (kinds, attrs, types []string) {
-	kinds = make([]string, v.NumKinds())
-	for k, id := range v.Kinds {
-		kinds[id] = k
-	}
-	attrs = make([]string, v.NumAttrs())
-	for k, id := range v.Attrs {
-		attrs[id] = k
-	}
-	types = make([]string, v.NumTypes())
-	for k, id := range v.Types {
-		types[id] = k
-	}
-	return kinds, attrs, types
+	return v.KindNames(), v.AttrNames(), v.TypeNames()
 }
 
 func rebuildVocab(kinds, attrs, types []string) *auggraph.Vocab {

@@ -1,0 +1,107 @@
+package train
+
+import (
+	"encoding/binary"
+	"os"
+	"strings"
+	"testing"
+
+	"graph2par/internal/auggraph"
+	"graph2par/internal/hgt"
+)
+
+// tinyCheckpoint saves an untrained miniature model and returns its path
+// and raw bytes — enough to exercise every header/integrity path without
+// the cost of training.
+func tinyCheckpoint(t *testing.T) (string, []byte) {
+	t.Helper()
+	cfg := hgt.Config{
+		Hidden: 8, Heads: 2, Layers: 1, Classes: 2,
+		NumKinds: 3, NumAttrs: 3, NumTypes: 3,
+		EdgeTypes: int(auggraph.NumEdgeTypes), Seed: 5,
+	}
+	path := t.TempDir() + "/tiny.ckpt"
+	if err := SaveCheckpoint(path, hgt.New(cfg), auggraph.NewVocab(), auggraph.Default()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, raw
+}
+
+func expectLoadError(t *testing.T, path, wantSubstr string) {
+	t.Helper()
+	_, _, _, err := LoadCheckpoint(path)
+	if err == nil {
+		t.Fatalf("LoadCheckpoint(%s) should fail", path)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Errorf("error %q should mention %q", err, wantSubstr)
+	}
+}
+
+func TestCheckpointHeaderRoundTrip(t *testing.T) {
+	path, raw := tinyCheckpoint(t)
+	if string(raw[:len(ckptMagic)]) != ckptMagic {
+		t.Fatalf("file does not start with magic: %q", raw[:ckptHdrLen])
+	}
+	if _, _, _, err := LoadCheckpoint(path); err != nil {
+		t.Fatalf("fresh checkpoint should load: %v", err)
+	}
+}
+
+func TestLoadCheckpointTruncated(t *testing.T) {
+	path, raw := tinyCheckpoint(t)
+	for _, keep := range []int{0, ckptHdrLen - 1, ckptHdrLen, ckptHdrLen + len(raw[ckptHdrLen:])/2, len(raw) - 1} {
+		trunc := t.TempDir() + "/trunc.ckpt"
+		if err := os.WriteFile(trunc, raw[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := LoadCheckpoint(trunc); err == nil {
+			t.Errorf("checkpoint truncated to %d of %d bytes should fail", keep, len(raw))
+		}
+	}
+	_ = path
+}
+
+func TestLoadCheckpointTrailingGarbage(t *testing.T) {
+	_, raw := tinyCheckpoint(t)
+	path := t.TempDir() + "/long.ckpt"
+	if err := os.WriteFile(path, append(append([]byte(nil), raw...), "extra junk"...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The diagnosis must not claim truncation — the file is too long.
+	expectLoadError(t, path, "length mismatch")
+}
+
+func TestLoadCheckpointBitFlip(t *testing.T) {
+	_, raw := tinyCheckpoint(t)
+	flipped := append([]byte(nil), raw...)
+	flipped[ckptHdrLen+len(flipped[ckptHdrLen:])/2] ^= 0x40
+	path := t.TempDir() + "/flip.ckpt"
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expectLoadError(t, path, "checksum")
+}
+
+func TestLoadCheckpointForeignFile(t *testing.T) {
+	path := t.TempDir() + "/foreign.ckpt"
+	if err := os.WriteFile(path, []byte("#!/bin/sh\necho definitely not a checkpoint\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expectLoadError(t, path, "not a graph2par checkpoint")
+}
+
+func TestLoadCheckpointVersionMismatch(t *testing.T) {
+	_, raw := tinyCheckpoint(t)
+	future := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(future[8:], ckptVersion+7)
+	path := t.TempDir() + "/future.ckpt"
+	if err := os.WriteFile(path, future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expectLoadError(t, path, "version")
+}
