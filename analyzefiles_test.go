@@ -311,6 +311,121 @@ func TestAnalyzeFilesCachedDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// batchedEngine returns a copy of the shared test engine with the given
+// inference batch bound (1 = unbatched, the pre-batching pipeline).
+func batchedEngine(t *testing.T, workers, batch int) *Engine {
+	t.Helper()
+	e := *engine(t)
+	e.SetWorkers(workers)
+	e.SetBatchSize(batch)
+	return &e
+}
+
+// TestAnalyzeFilesBatchedByteIdentical is the acceptance check for
+// batched inference: the size-bucketed PredictBatch pipeline must produce
+// byte-identical reports to the unbatched per-loop pipeline, across batch
+// bounds that exercise partial batches, single-graph batches and batches
+// spanning many files.
+func TestAnalyzeFilesBatchedByteIdentical(t *testing.T) {
+	files := corpusFiles(8)
+	unbatched, err := batchedEngine(t, 4, 1).AnalyzeFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{2, 3, 16, 1024} {
+		got, err := batchedEngine(t, 4, batch).AnalyzeFiles(files)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(unbatched, got) {
+			t.Errorf("BatchSize=%d: batched reports differ from unbatched", batch)
+		}
+	}
+	// The zero value must resolve to DefaultBatchSize, not to "off".
+	if e := batchedEngine(t, 4, 0); e.BatchSize() != DefaultBatchSize {
+		t.Errorf("BatchSize() = %d after SetBatchSize(0), want %d", e.BatchSize(), DefaultBatchSize)
+	}
+}
+
+// TestAnalyzeSourceBatchedMatchesUnbatched pins the single-file API to the
+// same invariant.
+func TestAnalyzeSourceBatchedMatchesUnbatched(t *testing.T) {
+	src := corpusFiles(1)["file_00.c"]
+	unbatched, err := batchedEngine(t, 2, 1).AnalyzeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := batchedEngine(t, 2, 4).AnalyzeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(unbatched, batched) {
+		t.Error("batched AnalyzeSource differs from unbatched")
+	}
+}
+
+// TestAnalyzeFilesBatchedCachedByteIdentical composes the two hot-path
+// optimizations: with both the analysis cache and batching on, the cold
+// pass (misses flow through PredictBatch) and the warm pass (all hits,
+// no inference at all) must match the plain engine byte for byte, and the
+// cache counters must show the same one-Get-per-loop, one-Put-per-miss
+// trajectory as the unbatched cache path.
+func TestAnalyzeFilesBatchedCachedByteIdentical(t *testing.T) {
+	files := corpusFiles(6)
+	plain, err := batchedEngine(t, 4, 1).AnalyzeFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := batchedEngine(t, 4, 4)
+	e.SetCacheSize(1024)
+	cold, err := e.AnalyzeFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := e.AnalyzeFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, cold) {
+		t.Error("cold batched+cached run differs from unbatched uncached run")
+	}
+	if !reflect.DeepEqual(plain, warm) {
+		t.Error("warm batched+cached run differs from unbatched uncached run")
+	}
+	totalLoops := 0
+	for name := range plain {
+		totalLoops += len(plain[name])
+	}
+	st, ok := e.CacheStats()
+	if !ok {
+		t.Fatal("cache should be enabled")
+	}
+	if st.Misses != uint64(totalLoops) || st.Hits != uint64(totalLoops) {
+		t.Errorf("cache counters misses=%d hits=%d, want %d each", st.Misses, st.Hits, totalLoops)
+	}
+}
+
+// TestAnalyzeFilesBatchedDeterministicAcrossWorkers races the batched
+// pipeline (under -race in CI): batches dispatched over 8 workers must
+// reproduce the serial unbatched output exactly, pass after pass.
+func TestAnalyzeFilesBatchedDeterministicAcrossWorkers(t *testing.T) {
+	files := corpusFiles(8)
+	serial, err := batchedEngine(t, 1, 1).AnalyzeFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := batchedEngine(t, 8, 3)
+	for pass := 0; pass < 2; pass++ {
+		got, err := e.AnalyzeFiles(files)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("pass %d: batched concurrent run differs from serial unbatched run", pass)
+		}
+	}
+}
+
 func TestAnalyzeFilesEmptyInput(t *testing.T) {
 	out, err := withWorkers(t, 4).AnalyzeFiles(nil)
 	if err != nil {

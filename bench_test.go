@@ -219,13 +219,21 @@ func analysisEngine(b *testing.B) *Engine {
 	return benchEngine
 }
 
-// benchmarkAnalyzeFiles measures one full batched analysis pass — parse,
-// aug-AST build, HGT inference, tool cross-checks — over a 16-file corpus
-// with the given worker-pool size.
-func benchmarkAnalyzeFiles(b *testing.B, workers int) {
+// benchCorpusSize is the corpus the AnalyzeFiles benchmark family shares:
+// all four variants (Serial/Parallel/Cached/Batched) analyze the same 32
+// files so their ns/op are directly comparable — these four are the rows
+// of BENCH_pr3.json and the regression gate in CI.
+const benchCorpusSize = 32
+
+// benchmarkAnalyzeFiles measures one full corpus analysis pass — parse,
+// aug-AST build, HGT inference, tool cross-checks — over the shared
+// 32-file corpus with the given worker-pool and inference-batch bounds
+// (batch 1 = one forward pass per loop, the pre-batching pipeline).
+func benchmarkAnalyzeFiles(b *testing.B, workers, batch int) {
 	e := *analysisEngine(b)
 	e.SetWorkers(workers)
-	files := corpusFiles(16)
+	e.SetBatchSize(batch)
+	files := corpusFiles(benchCorpusSize)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out, err := e.AnalyzeFiles(files)
@@ -238,26 +246,35 @@ func benchmarkAnalyzeFiles(b *testing.B, workers int) {
 	}
 }
 
-// BenchmarkAnalyzeFilesSerial is the Workers=1 baseline.
-func BenchmarkAnalyzeFilesSerial(b *testing.B) { benchmarkAnalyzeFiles(b, 1) }
+// BenchmarkAnalyzeFilesSerial is the Workers=1, unbatched baseline.
+func BenchmarkAnalyzeFilesSerial(b *testing.B) { benchmarkAnalyzeFiles(b, 1, 1) }
 
-// BenchmarkAnalyzeFilesParallel runs the same corpus with a full
-// GOMAXPROCS pool; on a multi-core runner the ratio of the two benchmarks
-// is the measured speedup of the concurrent pipeline.
+// BenchmarkAnalyzeFilesParallel runs the same corpus unbatched with a full
+// GOMAXPROCS pool; the ratio to Serial is the measured speedup of the
+// concurrent per-loop pipeline.
 func BenchmarkAnalyzeFilesParallel(b *testing.B) {
-	benchmarkAnalyzeFiles(b, runtime.GOMAXPROCS(0))
+	benchmarkAnalyzeFiles(b, runtime.GOMAXPROCS(0), 1)
+}
+
+// BenchmarkAnalyzeFilesBatched runs the same corpus and the same
+// GOMAXPROCS pool with size-bucketed batched inference (the default
+// DefaultBatchSize bound): the ratio to Parallel is the measured win of
+// amortizing per-graph op dispatch across shared forward passes.
+func BenchmarkAnalyzeFilesBatched(b *testing.B) {
+	benchmarkAnalyzeFiles(b, runtime.GOMAXPROCS(0), DefaultBatchSize)
 }
 
 // BenchmarkAnalyzeFilesCached is BenchmarkAnalyzeFilesSerial with the
-// content-addressed analysis cache enabled and warmed: the same 16-file
+// content-addressed analysis cache enabled and warmed: the same 32-file
 // corpus, the same single worker, but every loop served from the cache —
 // the repeat-query hot path of a long-running graph2serve instance. The
 // ratio to BenchmarkAnalyzeFilesSerial is the measured cache win.
 func BenchmarkAnalyzeFilesCached(b *testing.B) {
 	e := *analysisEngine(b)
 	e.SetWorkers(1)
+	e.SetBatchSize(1)
 	e.SetCacheSize(1 << 14)
-	files := corpusFiles(16)
+	files := corpusFiles(benchCorpusSize)
 	if _, err := e.AnalyzeFiles(files); err != nil { // warm the cache
 		b.Fatal(err)
 	}

@@ -1,0 +1,236 @@
+// Command benchjson turns `go test -bench` output into a machine-readable
+// JSON summary and optionally gates on a committed baseline, failing when
+// a named benchmark regressed beyond a tolerance. It is the benchmark
+// half of CI: the bench job pipes the AnalyzeFiles benchmark family
+// through it to produce BENCH_pr3.json (the uploaded trajectory artifact)
+// and to enforce that batched inference never quietly loses the speed it
+// was added for.
+//
+// Usage:
+//
+//	go test -bench AnalyzeFiles -benchtime 3x -run '^$' . \
+//	  | benchjson -out BENCH_pr3.json \
+//	      -baseline BENCH_baseline.json -gate BenchmarkAnalyzeFilesBatched -max-regress 20 \
+//	      -gate-ratio BenchmarkAnalyzeFilesBatched/BenchmarkAnalyzeFilesParallel -max-ratio 1.10
+//
+// The baseline gate compares ns/op of -gate in the fresh run against the
+// baseline file and exits nonzero when current > baseline ×
+// (1 + max-regress/100); a gate benchmark missing from the baseline is a
+// warning, not a failure, so a new benchmark can land together with its
+// first baseline. The ratio gate compares two benchmarks of the same
+// run (machine-independent) and exits nonzero when
+// ns/op(numerator) > ns/op(denominator) × max-ratio.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	N       int     `json:"n"` // iterations the timing averages over
+	NsPerOp float64 `json:"nsPerOp"`
+}
+
+// Summary is the JSON document benchjson reads and writes.
+type Summary struct {
+	Goos       string            `json:"goos,omitempty"`
+	Goarch     string            `json:"goarch,omitempty"`
+	Pkg        string            `json:"pkg,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// benchLine matches e.g. "BenchmarkAnalyzeFilesSerial-8   3   123456 ns/op";
+// the -8 GOMAXPROCS suffix is stripped so keys are stable across runners.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// parse reads `go test -bench` text output into a Summary.
+func parse(r io.Reader) (*Summary, error) {
+	s := &Summary{Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			s.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			s.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			s.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			s.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			n, err := strconv.Atoi(m[2])
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad iteration count in %q: %v", line, err)
+			}
+			ns, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad ns/op in %q: %v", line, err)
+			}
+			s.Benchmarks[m[1]] = Result{N: n, NsPerOp: ns}
+		}
+	}
+	return s, sc.Err()
+}
+
+// gate compares the gated benchmark against the baseline; it returns an
+// error when the regression tolerance is exceeded, and a human-readable
+// verdict line otherwise.
+func gate(current, baseline *Summary, name string, maxRegressPct float64) (string, error) {
+	cur, ok := current.Benchmarks[name]
+	if !ok {
+		return "", fmt.Errorf("benchjson: gate benchmark %s missing from current run", name)
+	}
+	base, ok := baseline.Benchmarks[name]
+	if !ok {
+		return fmt.Sprintf("benchjson: %s has no committed baseline yet; gate skipped", name), nil
+	}
+	limit := base.NsPerOp * (1 + maxRegressPct/100)
+	delta := (cur.NsPerOp - base.NsPerOp) / base.NsPerOp * 100
+	if cur.NsPerOp > limit {
+		return "", fmt.Errorf("benchjson: %s regressed %.1f%% (%.0f ns/op vs baseline %.0f, tolerance %.0f%%)",
+			name, delta, cur.NsPerOp, base.NsPerOp, maxRegressPct)
+	}
+	return fmt.Sprintf("benchjson: %s within tolerance: %.0f ns/op vs baseline %.0f (%+.1f%%, tolerance %.0f%%)",
+		name, cur.NsPerOp, base.NsPerOp, delta, maxRegressPct), nil
+}
+
+// gateRatio enforces a within-run relation between two benchmarks:
+// ns/op of num must not exceed ns/op of den × maxRatio. Unlike the
+// baseline gate it compares measurements from the same process on the
+// same machine, so it stays meaningful across runner-hardware changes —
+// CI uses it to assert that batched inference keeps beating the
+// unbatched parallel pipeline (within noise tolerance).
+func gateRatio(current *Summary, spec string, maxRatio float64) (string, error) {
+	num, den, ok := strings.Cut(spec, "/")
+	if !ok {
+		return "", fmt.Errorf("benchjson: -gate-ratio wants NUMERATOR/DENOMINATOR, got %q", spec)
+	}
+	cn, ok := current.Benchmarks[num]
+	if !ok {
+		return "", fmt.Errorf("benchjson: ratio benchmark %s missing from current run", num)
+	}
+	cd, ok := current.Benchmarks[den]
+	if !ok {
+		return "", fmt.Errorf("benchjson: ratio benchmark %s missing from current run", den)
+	}
+	ratio := cn.NsPerOp / cd.NsPerOp
+	if ratio > maxRatio {
+		return "", fmt.Errorf("benchjson: %s/%s ratio %.3f exceeds %.3f (%.0f vs %.0f ns/op)",
+			num, den, ratio, maxRatio, cn.NsPerOp, cd.NsPerOp)
+	}
+	return fmt.Sprintf("benchjson: %s/%s ratio %.3f within %.3f (%.0f vs %.0f ns/op)",
+		num, den, ratio, maxRatio, cn.NsPerOp, cd.NsPerOp), nil
+}
+
+// load reads a Summary JSON file.
+func load(path string) (*Summary, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Summary
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("benchjson: parsing %s: %v", path, err)
+	}
+	return &s, nil
+}
+
+// write serializes a Summary with stable key order (json.Marshal sorts
+// map keys) and a trailing newline so the artifact diffs cleanly.
+func write(path string, s *Summary) error {
+	raw, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark output file (default: stdin)")
+	out := flag.String("out", "", "write the parsed summary as JSON to this file")
+	baselinePath := flag.String("baseline", "", "committed baseline JSON to gate against")
+	gateName := flag.String("gate", "", "benchmark name to gate (requires -baseline)")
+	maxRegress := flag.Float64("max-regress", 20, "allowed ns/op regression over the baseline, in percent")
+	ratioSpec := flag.String("gate-ratio", "", "within-run gate NUMERATOR/DENOMINATOR: fail when ns/op(num) > ns/op(den) × -max-ratio")
+	maxRatio := flag.Float64("max-ratio", 1, "allowed ns/op ratio for -gate-ratio")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	summary, err := parse(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(summary.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(summary.Benchmarks))
+	for name := range summary.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := summary.Benchmarks[name]
+		fmt.Printf("%-40s %12.0f ns/op  (n=%d)\n", name, b.NsPerOp, b.N)
+	}
+
+	if *out != "" {
+		if err := write(*out, summary); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	if *gateName != "" {
+		if *baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -gate requires -baseline")
+			os.Exit(1)
+		}
+		baseline, err := load(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		verdict, err := gate(summary, baseline, *gateName, *maxRegress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(verdict)
+	}
+	if *ratioSpec != "" {
+		verdict, err := gateRatio(summary, *ratioSpec, *maxRatio)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(verdict)
+	}
+}

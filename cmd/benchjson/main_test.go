@@ -1,0 +1,116 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: graph2par
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAnalyzeFilesSerial   	       3	 262319703 ns/op
+BenchmarkAnalyzeFilesParallel-8	       3	 282402152 ns/op
+BenchmarkAnalyzeFilesBatched  	       3	 262529111 ns/op
+BenchmarkAnalyzeFilesCached   	       3	   1279871.5 ns/op
+PASS
+ok  	graph2par	12.738s
+`
+
+func TestParse(t *testing.T) {
+	s, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Goos != "linux" || s.Goarch != "amd64" || s.Pkg != "graph2par" {
+		t.Errorf("metadata = %q/%q/%q", s.Goos, s.Goarch, s.Pkg)
+	}
+	if len(s.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(s.Benchmarks))
+	}
+	// The -8 GOMAXPROCS suffix must be stripped so keys are stable.
+	got, ok := s.Benchmarks["BenchmarkAnalyzeFilesParallel"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if got.N != 3 || got.NsPerOp != 282402152 {
+		t.Errorf("Parallel = %+v", got)
+	}
+	if frac := s.Benchmarks["BenchmarkAnalyzeFilesCached"].NsPerOp; frac != 1279871.5 {
+		t.Errorf("fractional ns/op parsed as %v", frac)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	s, err := parse(strings.NewReader("unrelated line\nBenchmarkX notanumber ns/op\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Benchmarks) != 0 {
+		t.Errorf("noise parsed as benchmarks: %v", s.Benchmarks)
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := &Summary{Benchmarks: map[string]Result{
+		"BenchmarkAnalyzeFilesBatched": {N: 3, NsPerOp: 100_000},
+	}}
+	run := func(ns float64) *Summary {
+		return &Summary{Benchmarks: map[string]Result{
+			"BenchmarkAnalyzeFilesBatched": {N: 3, NsPerOp: ns},
+		}}
+	}
+
+	// Within tolerance: +19% passes at 20%.
+	if _, err := gate(run(119_000), base, "BenchmarkAnalyzeFilesBatched", 20); err != nil {
+		t.Errorf("19%% regression should pass at 20%% tolerance: %v", err)
+	}
+	// Faster than baseline passes trivially.
+	if _, err := gate(run(50_000), base, "BenchmarkAnalyzeFilesBatched", 20); err != nil {
+		t.Errorf("speedup should pass: %v", err)
+	}
+	// Beyond tolerance fails.
+	if _, err := gate(run(121_000), base, "BenchmarkAnalyzeFilesBatched", 20); err == nil {
+		t.Error("21% regression should fail at 20% tolerance")
+	}
+	// Gate benchmark missing from the current run is an error.
+	if _, err := gate(&Summary{Benchmarks: map[string]Result{}}, base, "BenchmarkAnalyzeFilesBatched", 20); err == nil {
+		t.Error("missing current measurement should fail")
+	}
+	// Missing from the baseline is a warning, not a failure, so a new
+	// benchmark can land with its first baseline.
+	msg, err := gate(run(100), &Summary{Benchmarks: map[string]Result{}}, "BenchmarkAnalyzeFilesBatched", 20)
+	if err != nil {
+		t.Errorf("missing baseline should be skipped: %v", err)
+	}
+	if !strings.Contains(msg, "skipped") {
+		t.Errorf("skip verdict should say so: %q", msg)
+	}
+}
+
+func TestGateRatio(t *testing.T) {
+	run := &Summary{Benchmarks: map[string]Result{
+		"BenchmarkAnalyzeFilesBatched":  {N: 3, NsPerOp: 90_000},
+		"BenchmarkAnalyzeFilesParallel": {N: 3, NsPerOp: 100_000},
+	}}
+	spec := "BenchmarkAnalyzeFilesBatched/BenchmarkAnalyzeFilesParallel"
+
+	// 0.9 ratio passes at 1.0 and at 1.1.
+	for _, max := range []float64{1.0, 1.1} {
+		if _, err := gateRatio(run, spec, max); err != nil {
+			t.Errorf("ratio 0.9 should pass at %.1f: %v", max, err)
+		}
+	}
+	// Batched slower than allowed fails.
+	run.Benchmarks["BenchmarkAnalyzeFilesBatched"] = Result{N: 3, NsPerOp: 120_000}
+	if _, err := gateRatio(run, spec, 1.1); err == nil {
+		t.Error("ratio 1.2 should fail at 1.1")
+	}
+	// Malformed spec and missing benchmarks are errors.
+	if _, err := gateRatio(run, "NoSlash", 1); err == nil {
+		t.Error("spec without a slash should fail")
+	}
+	if _, err := gateRatio(run, "BenchmarkMissing/BenchmarkAnalyzeFilesParallel", 1); err == nil {
+		t.Error("missing numerator should fail")
+	}
+}

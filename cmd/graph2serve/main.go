@@ -6,7 +6,7 @@
 // Usage:
 //
 //	graph2serve [-addr :8080] [-model ckpt] [-scale 0.02] [-epochs 6]
-//	            [-workers N] [-cache 4096]
+//	            [-workers N] [-cache 4096] [-batch 16] [-batch-window 2ms]
 //
 // Endpoints:
 //
@@ -41,6 +41,9 @@ func main() {
 	seed := flag.Uint64("seed", 1234, "training seed (from-scratch only)")
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 4096, "analysis cache capacity in loop reports (0 disables)")
+	batchSize := flag.Int("batch", 0, "inference batch size: loops per HGT forward pass (0 = default, 1 disables)")
+	batchWindow := flag.Duration("batch-window", 0, "micro-batch window: coalesce concurrent /analyze requests arriving within this duration into shared forward passes (0 disables)")
+	maxBatch := flag.Int("max-batch", 0, "max requests coalesced per micro-batch window (0 = default)")
 	quiet := flag.Bool("quiet", false, "suppress the training progress line")
 	flag.Parse()
 
@@ -51,6 +54,7 @@ func main() {
 		Seed:       *seed,
 		Workers:    *workers,
 		CacheSize:  *cacheSize,
+		BatchSize:  *batchSize,
 		Quiet:      *quiet,
 	})
 	if err != nil {
@@ -61,12 +65,23 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	server := serve.NewWithConfig(engine, serve.ServeConfig{
+		BatchWindow: *batchWindow,
+		MaxBatch:    *maxBatch,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.New(engine).Handler(),
+		Handler:           server.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Printf("graph2serve: listening on %s (workers=%d, cache=%d)\n", *addr, engine.Workers(), *cacheSize)
+	// A graceful drain must answer requests parked in an open micro-batch
+	// window immediately, not after the window expires. Close (rather than
+	// the one-shot Flush) also downgrades requests that slip in after the
+	// flush to the direct engine path, so none can park in a new window
+	// that nothing would dispatch before the drain deadline.
+	srv.RegisterOnShutdown(server.Close)
+	fmt.Printf("graph2serve: listening on %s (workers=%d, batch=%d, cache=%d, batch-window=%s)\n",
+		*addr, engine.Workers(), engine.BatchSize(), *cacheSize, *batchWindow)
 	if err := serve.ListenAndServe(ctx, srv, 10*time.Second); err != nil {
 		fmt.Fprintln(os.Stderr, "graph2serve:", err)
 		os.Exit(1)

@@ -67,7 +67,21 @@ type EngineConfig struct {
 	// while staying byte-for-byte identical to an uncached run. 0 (the
 	// zero value) disables caching.
 	CacheSize int
+	// BatchSize bounds how many loop graphs share one HGT forward pass:
+	// Analyze* methods group cache-missing loops into size-bucketed
+	// batches of at most this many graphs and score each batch with
+	// hgt.Model.PredictBatch, amortizing per-graph op dispatch without
+	// changing a single output bit. 0 (the zero value) means
+	// DefaultBatchSize; 1 disables batching (one forward pass per loop,
+	// the pre-batching behaviour).
+	BatchSize int
 }
+
+// DefaultBatchSize is the inference batch bound used when
+// EngineConfig.BatchSize is left zero: large enough to amortize op
+// dispatch, small enough that a typical corpus still splits into more
+// batches than workers.
+const DefaultBatchSize = 16
 
 // Engine is a ready-to-use Graph2Par analyzer.
 //
@@ -81,6 +95,7 @@ type Engine struct {
 	gopts   auggraph.Options
 	tools   []tools.Tool
 	workers int
+	batch   int
 
 	// cache is the optional content-addressed report cache (nil when
 	// disabled); fingerprint identifies the loaded weights + vocabulary +
@@ -129,6 +144,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		tools:   []tools.Tool{autopar.New(), pluto.New(), discopop.New()},
 		workers: parallel.Workers(cfg.Workers),
 	}
+	e.SetBatchSize(cfg.BatchSize)
 	if cfg.ModelPath != "" {
 		model, vocab, gopts, err := train.LoadCheckpoint(cfg.ModelPath)
 		if err != nil {
@@ -174,6 +190,21 @@ func (e *Engine) SetWorkers(n int) { e.workers = parallel.Workers(n) }
 
 // Workers returns the current analysis worker-pool bound.
 func (e *Engine) Workers() int { return e.workers }
+
+// SetBatchSize re-bounds the inference batch (0 means DefaultBatchSize,
+// 1 disables batching; see EngineConfig.BatchSize). It must not be called
+// concurrently with Analyze* methods.
+func (e *Engine) SetBatchSize(n int) {
+	switch {
+	case n <= 0:
+		e.batch = DefaultBatchSize
+	default:
+		e.batch = n
+	}
+}
+
+// BatchSize returns the current inference batch bound (1 = unbatched).
+func (e *Engine) BatchSize() int { return e.batch }
 
 // SetCacheSize replaces the analysis cache with a fresh one of the given
 // entry capacity (≤ 0 disables caching). The model fingerprint is
@@ -303,11 +334,115 @@ func collectLoops(file *cast.File) (map[string]*cast.FuncDecl, []cast.Stmt) {
 // worker pool, preserving line-sorted output.
 func (e *Engine) analyzeFileLoops(file *cast.File, fileKey string) []LoopReport {
 	funcs, loops := collectLoops(file)
-	reports := make([]LoopReport, len(loops))
-	parallel.ForEach(e.workers, len(loops), func(i int) {
-		reports[i] = e.analyzeLoop(loops[i], file, funcs, fileKey)
-	})
+	jobs := make([]loopJob, len(loops))
+	for i, loop := range loops {
+		jobs[i] = loopJob{loop: loop, file: file, funcs: funcs, fileKey: fileKey}
+	}
+	reports := e.analyzeJobs(jobs)
 	sort.SliceStable(reports, func(i, j int) bool { return reports[i].Line < reports[j].Line })
+	return reports
+}
+
+// loopJob bundles one loop with the file context its analysis needs.
+type loopJob struct {
+	loop    cast.Stmt
+	file    *cast.File
+	funcs   map[string]*cast.FuncDecl
+	fileKey string
+}
+
+// analyzeJobs analyzes jobs[i] into slot i of the result, spreading work
+// over the engine's worker pool. With batching disabled (batch ≤ 1) each
+// loop runs the whole per-loop pipeline on its own worker; otherwise
+// inference is lifted out of the per-loop path: every cache-missing loop's
+// aug-AST is built concurrently, the misses are grouped into size-bucketed
+// batches of at most e.batch graphs, each batch is scored in one
+// PredictBatch forward pass, and the remaining per-loop work (pragma
+// synthesis, tool cross-checks, cache fill) fans back out. Both paths
+// produce byte-identical reports — PredictBatch is bit-identical to
+// Predict — and identical cache-counter trajectories (one Get per loop,
+// one Put per miss).
+func (e *Engine) analyzeJobs(jobs []loopJob) []LoopReport {
+	reports := make([]LoopReport, len(jobs))
+	if len(jobs) == 0 {
+		return reports
+	}
+	if e.batch <= 1 {
+		parallel.ForEach(e.workers, len(jobs), func(i int) {
+			reports[i] = e.analyzeLoop(jobs[i])
+		})
+		return reports
+	}
+
+	// Stage A: cache probe + aug-AST construction, one worker per loop.
+	type prepared struct {
+		key string
+		g   *auggraph.Graph
+		enc *auggraph.Encoded
+		hit bool
+	}
+	preps := make([]prepared, len(jobs))
+	parallel.ForEach(e.workers, len(jobs), func(i int) {
+		if e.cache != nil {
+			preps[i].key = e.loopCacheKey(jobs[i].loop, jobs[i].fileKey)
+			if r, ok := e.cache.Get(preps[i].key); ok {
+				reports[i] = cloneReport(r)
+				preps[i].hit = true
+				return
+			}
+		}
+		preps[i].g, preps[i].enc = e.buildGraph(jobs[i])
+	})
+
+	// Stage B: size-bucketed batched inference. Sorting misses by node
+	// count groups similar-sized graphs so each forward pass does evenly
+	// sized row blocks; the stable sort keeps the bucketing deterministic.
+	var miss []int
+	for i := range preps {
+		if !preps[i].hit {
+			miss = append(miss, i)
+		}
+	}
+	sort.SliceStable(miss, func(a, b int) bool {
+		return len(preps[miss[a]].enc.KindIDs) < len(preps[miss[b]].enc.KindIDs)
+	})
+	preds := make([]int, len(jobs))
+	probs := make([][]float64, len(jobs))
+	// Chunk bound: at most e.batch graphs per forward pass, but never so
+	// few batches that workers idle — a small workload (one file's worth
+	// of loops) still spreads across the pool instead of serializing into
+	// a single pass. Chunking never affects output: PredictBatch is
+	// bit-identical per graph for any batch composition.
+	chunk := (len(miss) + e.workers - 1) / e.workers
+	if chunk > e.batch {
+		chunk = e.batch
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	numBatches := (len(miss) + chunk - 1) / chunk
+	parallel.ForEach(e.workers, numBatches, func(bi int) {
+		lo := bi * chunk
+		hi := lo + chunk
+		if hi > len(miss) {
+			hi = len(miss)
+		}
+		idx := miss[lo:hi]
+		encs := make([]*auggraph.Encoded, len(idx))
+		for k, i := range idx {
+			encs[k] = preps[i].enc
+		}
+		ps, prb := e.model.PredictBatch(encs)
+		for k, i := range idx {
+			preds[i], probs[i] = ps[k], prb[k]
+		}
+	})
+
+	// Stage C: per-loop report assembly, tool cross-checks and cache fill.
+	parallel.ForEach(e.workers, len(miss), func(k int) {
+		i := miss[k]
+		reports[i] = e.finishLoop(jobs[i], preps[i].g, preps[i].key, preds[i], probs[i])
+	})
 	return reports
 }
 
@@ -336,38 +471,28 @@ func (e *Engine) AnalyzeFiles(sources map[string]string) (map[string][]LoopRepor
 
 	// Stage 2: flatten loops of every parsed file into one work list so
 	// a file with many loops keeps every worker busy.
-	type fileCtx struct {
-		file    *cast.File
-		funcs   map[string]*cast.FuncDecl
-		fileKey string
-	}
-	type workItem struct {
-		fileIdx int
-		loop    cast.Stmt
-	}
-	ctxs := make([]fileCtx, len(names))
-	var work []workItem
+	var jobs []loopJob
+	var jobFile []int // job index → file index, for the per-file regroup
 	for i, file := range files {
 		if file == nil {
 			continue
 		}
 		funcs, loops := collectLoops(file)
-		ctxs[i] = fileCtx{file: file, funcs: funcs}
+		fileKey := ""
 		if e.cache != nil {
-			ctxs[i].fileKey = sourceCacheKey(sources[names[i]])
+			fileKey = sourceCacheKey(sources[names[i]])
 		}
 		for _, loop := range loops {
-			work = append(work, workItem{fileIdx: i, loop: loop})
+			jobs = append(jobs, loopJob{loop: loop, file: file, funcs: funcs, fileKey: fileKey})
+			jobFile = append(jobFile, i)
 		}
 	}
 
-	// Stage 3: analyze every loop of every file concurrently, writing to
-	// its own slot so output order is scheduling-independent.
-	loopReports := make([]LoopReport, len(work))
-	parallel.ForEach(e.workers, len(work), func(i int) {
-		ctx := ctxs[work[i].fileIdx]
-		loopReports[i] = e.analyzeLoop(work[i].loop, ctx.file, ctx.funcs, ctx.fileKey)
-	})
+	// Stage 3: analyze every loop of every file over the worker pool —
+	// size-bucketed batched inference when batching is enabled, one
+	// forward pass per loop otherwise. Each report lands in its own slot
+	// so output order is scheduling-independent either way.
+	loopReports := e.analyzeJobs(jobs)
 
 	// Stage 4: regroup per file and sort by line.
 	out := make(map[string][]LoopReport, len(names))
@@ -376,8 +501,8 @@ func (e *Engine) AnalyzeFiles(sources map[string]string) (map[string][]LoopRepor
 			out[names[i]] = []LoopReport{}
 		}
 	}
-	for i, item := range work {
-		name := names[item.fileIdx]
+	for i := range jobs {
+		name := names[jobFile[i]]
 		out[name] = append(out[name], loopReports[i])
 	}
 	for name := range out {
@@ -409,31 +534,45 @@ func (e *Engine) AnalyzeLoop(loopSrc string) (*LoopReport, error) {
 	default:
 		return nil, fmt.Errorf("graph2par: not a loop statement")
 	}
-	r := e.analyzeLoop(st, nil, nil, snippetCacheKey)
+	r := e.analyzeLoop(loopJob{loop: st, fileKey: snippetCacheKey})
 	return &r, nil
 }
 
-// analyzeLoop runs the full per-loop pipeline, consulting the analysis
-// cache first when one is configured. fileKey identifies the enclosing
-// translation unit's content ("" only when caching is off); cached
-// results are byte-for-byte identical to a fresh computation because the
-// key covers every input the pipeline reads: the model (fingerprint), the
-// graph options, the file content (which determines funcs and the dynamic
-// tool behaviour), and the loop's position and normalized source.
-func (e *Engine) analyzeLoop(loop cast.Stmt, file *cast.File, funcs map[string]*cast.FuncDecl, fileKey string) LoopReport {
+// analyzeLoop runs the full per-loop pipeline for one job, consulting the
+// analysis cache first when one is configured. job.fileKey identifies the
+// enclosing translation unit's content ("" only when caching is off);
+// cached results are byte-for-byte identical to a fresh computation
+// because the key covers every input the pipeline reads: the model
+// (fingerprint), the graph options, the file content (which determines
+// funcs and the dynamic tool behaviour), and the loop's position and
+// normalized source.
+func (e *Engine) analyzeLoop(job loopJob) LoopReport {
 	var key string
 	if e.cache != nil {
-		key = e.loopCacheKey(loop, fileKey)
+		key = e.loopCacheKey(job.loop, job.fileKey)
 		if r, ok := e.cache.Get(key); ok {
 			return cloneReport(r)
 		}
 	}
-	gopts := e.gopts
-	gopts.Funcs = funcs
-	g := auggraph.Build(loop, gopts)
-	enc := e.vocab.Encode(g)
+	g, enc := e.buildGraph(job)
 	pred, probs := e.model.Predict(enc)
+	return e.finishLoop(job, g, key, pred, probs)
+}
 
+// buildGraph constructs and encodes the loop's aug-AST — the inference
+// input half of the pipeline, shared by the per-loop and batched paths.
+func (e *Engine) buildGraph(job loopJob) (*auggraph.Graph, *auggraph.Encoded) {
+	gopts := e.gopts
+	gopts.Funcs = job.funcs
+	g := auggraph.Build(job.loop, gopts)
+	return g, e.vocab.Encode(g)
+}
+
+// finishLoop turns a scored loop into its report: pragma synthesis, tool
+// cross-checks, graph rendering, and the cache fill. key is the loop's
+// cache key ("" when caching is off).
+func (e *Engine) finishLoop(job loopJob, g *auggraph.Graph, key string, pred int, probs []float64) LoopReport {
+	loop, file := job.loop, job.file
 	report := LoopReport{
 		Line:       loop.Pos().Line,
 		Source:     cast.Print(loop),

@@ -68,3 +68,59 @@ func TestPredictConcurrentMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+// TestPredictBatchConcurrentMatchesSerial races batched inference on a
+// shared model: overlapping PredictBatch calls (with overlapping batch
+// contents) must reproduce the serial per-graph results bit for bit.
+func TestPredictBatchConcurrentMatchesSerial(t *testing.T) {
+	v := auggraph.NewVocab()
+	srcs := []string{
+		"for (i = 0; i < n; i++) s += a[i];",
+		"for (i = 0; i < n; i++) a[i] = b[i] * 2;",
+		"for (i = 1; i < n; i++) a[i] = a[i-1] + 1;",
+		"for (i = 0; i < n; i++) { t = b[i]; a[i] = t * t; }",
+	}
+	encs := make([]*auggraph.Encoded, len(srcs))
+	for i, src := range srcs {
+		encs[i] = buildEncoded(t, src, v)
+	}
+	m := New(smallConfig(v))
+
+	serialPred := make([]int, len(encs))
+	serialProbs := make([][]float64, len(encs))
+	for i, enc := range encs {
+		serialPred[i], serialProbs[i] = m.Predict(enc)
+	}
+
+	const rounds = 6
+	var wg sync.WaitGroup
+	errs := make(chan string, rounds)
+	for r := 0; r < rounds; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			// Rotate the batch so concurrent calls overlap on content
+			// but differ in composition.
+			batch := append(append([]*auggraph.Encoded{}, encs[r%len(encs):]...), encs[:r%len(encs)]...)
+			preds, probs := m.PredictBatch(batch)
+			for i := range batch {
+				want := (i + r%len(encs)) % len(encs)
+				if preds[i] != serialPred[want] {
+					errs <- "concurrent batched pred differs from serial"
+					return
+				}
+				for j := range probs[i] {
+					if probs[i][j] != serialProbs[want][j] {
+						errs <- "concurrent batched prob drifted"
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

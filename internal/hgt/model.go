@@ -143,7 +143,12 @@ func clampID(id, n int) int {
 	return id
 }
 
-// Forward computes class logits (1×Classes) for one encoded aug-AST.
+// Forward computes class logits (1×Classes) for one encoded aug-AST. A
+// graph with at least one typed edge runs as a one-element ForwardBatch
+// (a single implementation keeps the Predict/PredictBatch bit-identity
+// invariant structural rather than maintained by hand); a graph with no
+// typed edges has no attention structure and takes the per-node fallback
+// below.
 //
 // With train=false it is safe to call concurrently (each call must use its
 // own Graph); with train=true it consumes the shared model RNG for dropout
@@ -154,6 +159,9 @@ func (m *Model) Forward(g *nn.Graph, enc *auggraph.Encoded, train bool) *nn.Node
 		panic("hgt: empty graph")
 	}
 	cfg := m.Cfg
+	if typedEdges(enc, cfg.EdgeTypes) > 0 {
+		return m.ForwardBatch(g, []*auggraph.Encoded{enc}, train)
+	}
 
 	kinds := make([]int, n)
 	attrs := make([]int, n)
@@ -174,78 +182,16 @@ func (m *Model) Forward(g *nn.Graph, enc *auggraph.Encoded, train bool) *nn.Node
 	h = m.inProj.Apply(g, h)
 	h = g.Dropout(h, cfg.Dropout, m.rng, train)
 
-	// Group nodes by kind once (deterministic order).
 	byKind := make([][]int, cfg.NumKinds)
 	for i, k := range kinds {
 		byKind[k] = append(byKind[k], i)
 	}
-	// Group edges by type once.
-	byEdgeType := make([][]auggraph.Edge, cfg.EdgeTypes)
-	for _, e := range enc.Edges {
-		t := int(e.Type)
-		if t < 0 || t >= cfg.EdgeTypes {
-			continue
-		}
-		byEdgeType[t] = append(byEdgeType[t], e)
-	}
-	totalEdges := 0
-	for _, es := range byEdgeType {
-		totalEdges += len(es)
-	}
-
-	scale := 1 / math.Sqrt(float64(cfg.Hidden/cfg.Heads))
 
 	for _, lp := range m.layers {
-		// Per-kind K/Q/V projections, assembled into N×d matrices.
-		projK := m.perKind(g, h, byKind, lp.key, n)
-		projQ := m.perKind(g, h, byKind, lp.query, n)
+		// No structure: each layer degenerates to a per-node transform of
+		// the Value projection.
 		projV := m.perKind(g, h, byKind, lp.value, n)
-
-		if totalEdges == 0 {
-			// no structure: fall back to a per-node transform
-			agg := projV
-			upd := m.perKind(g, g.GELU(agg), byKind, lp.aLinear, n)
-			h = lp.norm.Apply(g, g.Add(upd, h))
-			continue
-		}
-
-		// Edge-level attention scores and messages, per edge type.
-		var allSrc, allDst []int
-		var scoreParts, msgParts []*nn.Node
-		for r := 0; r < cfg.EdgeTypes; r++ {
-			es := byEdgeType[r]
-			if len(es) == 0 {
-				continue
-			}
-			src := make([]int, len(es))
-			dst := make([]int, len(es))
-			for i, e := range es {
-				src[i] = e.Src
-				dst[i] = e.Dst
-			}
-			kSrc := g.GatherRows(projK, src)              // E_r × d
-			kMix := g.MatMul(kSrc, g.Param(lp.wAtt[r]))   // W_ATT^r
-			qDst := g.GatherRows(projQ, dst)              // E_r × d
-			score := g.RowDotHeads(kMix, qDst, cfg.Heads) // E_r × H
-			muV := lp.mu[r].W.Data[0]
-			score = g.Scale(score, scale*muV)
-			vSrc := g.GatherRows(projV, src)
-			msg := g.MatMul(vSrc, g.Param(lp.wMsg[r])) // W_MSG^r
-			allSrc = append(allSrc, src...)
-			allDst = append(allDst, dst...)
-			scoreParts = append(scoreParts, score)
-			msgParts = append(msgParts, msg)
-		}
-		scores := g.ConcatRows(scoreParts...)
-		msgs := g.ConcatRows(msgParts...)
-
-		alpha := g.SegmentSoftmax(scores, allDst, n) // softmax over N(t)
-		weighted := g.HeadScale(msgs, alpha, cfg.Heads)
-		agg := g.ScatterRowsAdd(weighted, allDst, n) // Σ_{s∈N(t)}
-
-		// Target-specific aggregation with residual (formula 5).
-		upd := m.perKind(g, g.GELU(agg), byKind, lp.aLinear, n)
-		upd = g.Dropout(upd, cfg.Dropout, m.rng, train)
+		upd := m.perKind(g, g.GELU(projV), byKind, lp.aLinear, n)
 		h = lp.norm.Apply(g, g.Add(upd, h))
 	}
 
@@ -258,43 +204,222 @@ func (m *Model) Forward(g *nn.Graph, enc *auggraph.Encoded, train bool) *nn.Node
 	return m.headB.Apply(g, hidden)
 }
 
+// typedEdges counts the edges of enc whose type is a valid model edge
+// type; edges outside [0, EdgeTypes) are skipped by the forward pass, so
+// only this count decides between the attention path and the structural
+// fallback.
+func typedEdges(enc *auggraph.Encoded, edgeTypes int) int {
+	n := 0
+	for _, e := range enc.Edges {
+		if t := int(e.Type); t >= 0 && t < edgeTypes {
+			n++
+		}
+	}
+	return n
+}
+
+// ForwardBatch computes class logits (B×Classes) for a batch of encoded
+// aug-ASTs in one forward pass over their disjoint union: node features of
+// all graphs are stacked into one matrix, edge lists are offset so the
+// adjacency stays block-diagonal, attention segments never cross graph
+// boundaries, and the readout pools each graph's own row segment. Because
+// every op in the stack computes output rows independently (or accumulates
+// per attention segment in list order), row b of the result is
+// bit-identical to Forward on encs[b] alone — batching changes dispatch
+// cost, never the answer.
+//
+// Every graph must be non-empty and have at least one typed edge; graphs
+// without edges take a structurally different fallback inside Forward and
+// cannot share a batch (PredictBatch routes them there automatically).
+// Like Forward, train=false calls are safe for concurrent use.
+func (m *Model) ForwardBatch(g *nn.Graph, encs []*auggraph.Encoded, train bool) *nn.Node {
+	if len(encs) == 0 {
+		panic("hgt: empty batch")
+	}
+	cfg := m.Cfg
+
+	// Disjoint-union assembly: graph b's node i becomes batch row
+	// offs[b]+i, so per-graph node order (and therefore every accumulation
+	// order downstream) is preserved.
+	offs := make([]int, len(encs))
+	total := 0
+	for b, enc := range encs {
+		if len(enc.KindIDs) == 0 {
+			panic("hgt: empty graph")
+		}
+		if typedEdges(enc, cfg.EdgeTypes) == 0 {
+			panic("hgt: ForwardBatch requires every graph to have a typed edge (use Forward)")
+		}
+		offs[b] = total
+		total += len(enc.KindIDs)
+	}
+	kinds := make([]int, total)
+	attrs := make([]int, total)
+	types := make([]int, total)
+	orders := make([]int, total)
+	seg := make([]int, total) // batch row → graph index
+	roots := make([]int, len(encs))
+	for b, enc := range encs {
+		for i := range enc.KindIDs {
+			r := offs[b] + i
+			kinds[r] = clampID(enc.KindIDs[i], cfg.NumKinds)
+			attrs[r] = clampID(enc.AttrIDs[i], cfg.NumAttrs)
+			types[r] = clampID(enc.TypeIDs[i], cfg.NumTypes)
+			orders[r] = clampID(enc.Orders[i], auggraph.MaxOrder+1)
+			seg[r] = b
+		}
+		roots[b] = offs[b] + encs[b].Root
+	}
+
+	h := g.Add(
+		g.Add(m.kindEmb.Lookup(g, kinds), m.attrEmb.Lookup(g, attrs)),
+		g.Add(m.typeEmb.Lookup(g, types), m.orderEmb.Lookup(g, orders)),
+	)
+	h = m.inProj.Apply(g, h)
+	h = g.Dropout(h, cfg.Dropout, m.rng, train)
+
+	// Group the union's nodes by kind and its offset edges by type. The
+	// edge order within one type is (graph, per-graph edge order), so each
+	// target node's incoming edges keep the relative order they have in a
+	// single-graph pass — the invariant the segment softmax and scatter
+	// accumulations need for bit-identical results.
+	byKind := make([][]int, cfg.NumKinds)
+	for r, k := range kinds {
+		byKind[k] = append(byKind[k], r)
+	}
+	byEdgeType := make([][]auggraph.Edge, cfg.EdgeTypes)
+	for b, enc := range encs {
+		for _, e := range enc.Edges {
+			t := int(e.Type)
+			if t < 0 || t >= cfg.EdgeTypes {
+				continue
+			}
+			byEdgeType[t] = append(byEdgeType[t], auggraph.Edge{
+				Src: e.Src + offs[b], Dst: e.Dst + offs[b], Type: e.Type,
+			})
+		}
+	}
+
+	scale := 1 / math.Sqrt(float64(cfg.Hidden/cfg.Heads))
+
+	for _, lp := range m.layers {
+		projK := m.perKind(g, h, byKind, lp.key, total)
+		projQ := m.perKind(g, h, byKind, lp.query, total)
+		projV := m.perKind(g, h, byKind, lp.value, total)
+
+		var allDst []int
+		var scoreParts, msgParts []*nn.Node
+		for r := 0; r < cfg.EdgeTypes; r++ {
+			es := byEdgeType[r]
+			if len(es) == 0 {
+				continue
+			}
+			src := make([]int, len(es))
+			dst := make([]int, len(es))
+			for i, e := range es {
+				src[i] = e.Src
+				dst[i] = e.Dst
+			}
+			kSrc := g.GatherRows(projK, src)
+			kMix := g.MatMul(kSrc, g.Param(lp.wAtt[r]))
+			qDst := g.GatherRows(projQ, dst)
+			score := g.RowDotHeads(kMix, qDst, cfg.Heads)
+			muV := lp.mu[r].W.Data[0]
+			score = g.Scale(score, scale*muV)
+			vSrc := g.GatherRows(projV, src)
+			msg := g.MatMul(vSrc, g.Param(lp.wMsg[r]))
+			allDst = append(allDst, dst...)
+			scoreParts = append(scoreParts, score)
+			msgParts = append(msgParts, msg)
+		}
+		scores := g.ConcatRows(scoreParts...)
+		msgs := g.ConcatRows(msgParts...)
+
+		alpha := g.SegmentSoftmax(scores, allDst, total)
+		weighted := g.HeadScale(msgs, alpha, cfg.Heads)
+		agg := g.ScatterRowsAdd(weighted, allDst, total)
+
+		upd := m.perKind(g, g.GELU(agg), byKind, lp.aLinear, total)
+		upd = g.Dropout(upd, cfg.Dropout, m.rng, train)
+		h = lp.norm.Apply(g, g.Add(upd, h))
+	}
+
+	// Batched readout: per-graph mean over each graph's own row segment,
+	// concatenated with that graph's loop-root row.
+	mean := g.SegmentMeanRows(h, seg, len(encs))
+	root := g.GatherRows(h, roots)
+	pooled := g.ConcatCols(mean, root)
+	hidden := g.GELU(m.headA.Apply(g, pooled))
+	hidden = g.Dropout(hidden, cfg.Dropout, m.rng, train)
+	return m.headB.Apply(g, hidden)
+}
+
 // perKind applies the kind-specific linear to each node group and
-// reassembles an N×d matrix.
+// reassembles an N×d matrix. The groups partition the rows, so the
+// projections are placed directly with AssembleRows — one O(N×d) pass no
+// matter how many kinds are present, which keeps wide inference batches
+// (whose kind union is large) from paying a per-kind matrix chain.
 func (m *Model) perKind(g *nn.Graph, h *nn.Node, byKind [][]int, linears []*nn.Linear, n int) *nn.Node {
-	var out *nn.Node
+	var parts []*nn.Node
+	var idxs [][]int
 	for k, idx := range byKind {
 		if len(idx) == 0 {
 			continue
 		}
 		sub := g.GatherRows(h, idx)
-		proj := linears[k].Apply(g, sub)
-		scattered := g.ScatterRowsAdd(proj, idx, n)
-		if out == nil {
-			out = scattered
-		} else {
-			out = g.Add(out, scattered)
-		}
+		parts = append(parts, linears[k].Apply(g, sub))
+		idxs = append(idxs, idx)
 	}
-	if out == nil {
+	if len(parts) == 0 {
 		panic("hgt: no nodes")
 	}
-	return out
+	return g.AssembleRows(parts, idxs, n)
 }
 
 // Predict returns the argmax class and class probabilities for one graph.
 // It is safe for concurrent use (see the Model doc).
 func (m *Model) Predict(enc *auggraph.Encoded) (int, []float64) {
-	g := nn.NewGraph()
+	g := nn.NewInferenceGraph()
 	logits := m.Forward(g, enc, false)
 	probs := logits.Val.Clone()
 	tensor.SoftmaxRows(probs)
-	best, bestP := 0, probs.Data[0]
-	for j := 1; j < probs.Cols; j++ {
-		if probs.Data[j] > bestP {
-			best, bestP = j, probs.Data[j]
+	return tensor.ArgMaxRows(probs)[0], probs.Data
+}
+
+// PredictBatch returns the argmax class and class probabilities for every
+// graph of the batch, scored in one ForwardBatch pass. The results are
+// bit-identical to calling Predict per graph — the batched forward only
+// amortizes per-graph op dispatch — so callers may freely mix batched and
+// single-graph inference (the invariant the engine's analysis cache and
+// the serving micro-batcher rely on). Graphs without typed edges take
+// Forward's structural fallback and are scored individually. Safe for
+// concurrent use, like Predict.
+func (m *Model) PredictBatch(encs []*auggraph.Encoded) ([]int, [][]float64) {
+	preds := make([]int, len(encs))
+	probs := make([][]float64, len(encs))
+	var batch []*auggraph.Encoded
+	var batchIdx []int
+	for i, enc := range encs {
+		if typedEdges(enc, m.Cfg.EdgeTypes) == 0 {
+			preds[i], probs[i] = m.Predict(enc)
+			continue
 		}
+		batch = append(batch, enc)
+		batchIdx = append(batchIdx, i)
 	}
-	return best, probs.Data
+	if len(batch) == 0 {
+		return preds, probs
+	}
+	g := nn.NewInferenceGraph()
+	logits := m.ForwardBatch(g, batch, false)
+	p := logits.Val.Clone()
+	tensor.SoftmaxRows(p)
+	arg := tensor.ArgMaxRows(p)
+	for k, i := range batchIdx {
+		preds[i] = arg[k]
+		probs[i] = append([]float64(nil), p.Row(k)...)
+	}
+	return preds, probs
 }
 
 // Loss computes the cross-entropy loss node for one labeled graph.

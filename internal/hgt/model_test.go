@@ -167,6 +167,141 @@ func TestSingleNodeGraph(t *testing.T) {
 	}
 }
 
+// batchSources is a mix of loop shapes (do-all, recurrence, reduction,
+// while, privatizable temp, call) exercising different node counts, kinds
+// and edge types in one batch.
+var batchSources = []string{
+	"for (i = 0; i < n; i++) s += a[i];",
+	"for (i = 0; i < n; i++) a[i] = b[i] * 2;",
+	"for (i = 1; i < n; i++) a[i] = a[i-1] + 1;",
+	"while (i < n) { s += a[i]; i++; }",
+	"for (i = 0; i < n; i++) { t = b[i]; a[i] = t * t; }",
+	"for (j = 0; j < m; j++) c[j] = sqrt(b[j]);",
+	"for (i = 0; i < n; i++) for (j = 0; j < m; j++) c[i] += a[i] * b[j];",
+}
+
+// TestPredictBatchBitIdenticalToPredict is the batched-inference
+// acceptance check at the model layer: for batches of every size up to
+// the full mixed corpus, PredictBatch must reproduce Predict's class and
+// probabilities bit for bit, in every batch position.
+func TestPredictBatchBitIdenticalToPredict(t *testing.T) {
+	v := auggraph.NewVocab()
+	encs := make([]*auggraph.Encoded, len(batchSources))
+	for i, src := range batchSources {
+		encs[i] = buildEncoded(t, src, v)
+	}
+	m := New(smallConfig(v))
+
+	wantPred := make([]int, len(encs))
+	wantProbs := make([][]float64, len(encs))
+	for i, enc := range encs {
+		wantPred[i], wantProbs[i] = m.Predict(enc)
+	}
+
+	for size := 1; size <= len(encs); size++ {
+		preds, probs := m.PredictBatch(encs[:size])
+		for i := 0; i < size; i++ {
+			if preds[i] != wantPred[i] {
+				t.Fatalf("batch size %d, graph %d: pred %d != %d", size, i, preds[i], wantPred[i])
+			}
+			for j := range wantProbs[i] {
+				if probs[i][j] != wantProbs[i][j] {
+					t.Fatalf("batch size %d, graph %d: prob[%d] %v != %v (batched inference drifted)",
+						size, i, j, probs[i][j], wantProbs[i][j])
+				}
+			}
+		}
+	}
+
+	// Reversed order: position in the batch must not matter.
+	rev := make([]*auggraph.Encoded, len(encs))
+	for i := range encs {
+		rev[i] = encs[len(encs)-1-i]
+	}
+	preds, probs := m.PredictBatch(rev)
+	for i := range rev {
+		want := len(encs) - 1 - i
+		if preds[i] != wantPred[want] {
+			t.Fatalf("reversed batch, graph %d: pred mismatch", i)
+		}
+		for j := range wantProbs[want] {
+			if probs[i][j] != wantProbs[want][j] {
+				t.Fatalf("reversed batch, graph %d: prob drift", i)
+			}
+		}
+	}
+}
+
+// TestPredictBatchHandlesEdgelessGraphs pins the fallback routing: a
+// one-node graph (no edges) inside a batch must take Forward's structural
+// fallback and still match its individual prediction exactly.
+func TestPredictBatchHandlesEdgelessGraphs(t *testing.T) {
+	v := auggraph.NewVocab()
+	full := buildEncoded(t, "for (i = 0; i < n; i++) s += a[i];", v)
+	lone := &auggraph.Encoded{
+		KindIDs: full.KindIDs[:1], AttrIDs: full.AttrIDs[:1],
+		TypeIDs: full.TypeIDs[:1], Orders: full.Orders[:1],
+		Edges: nil, Root: 0,
+	}
+	m := New(smallConfig(v))
+
+	wantLonePred, wantLoneProbs := m.Predict(lone)
+	wantFullPred, wantFullProbs := m.Predict(full)
+
+	preds, probs := m.PredictBatch([]*auggraph.Encoded{full, lone, full})
+	for i, want := range []struct {
+		pred  int
+		probs []float64
+	}{{wantFullPred, wantFullProbs}, {wantLonePred, wantLoneProbs}, {wantFullPred, wantFullProbs}} {
+		if preds[i] != want.pred {
+			t.Errorf("graph %d: pred %d != %d", i, preds[i], want.pred)
+		}
+		for j := range want.probs {
+			if probs[i][j] != want.probs[j] {
+				t.Errorf("graph %d: prob[%d] %v != %v", i, j, probs[i][j], want.probs[j])
+			}
+		}
+	}
+
+	// An all-edgeless batch must work too (everything routes to Forward).
+	preds, _ = m.PredictBatch([]*auggraph.Encoded{lone, lone})
+	if preds[0] != wantLonePred || preds[1] != wantLonePred {
+		t.Error("all-edgeless batch misrouted")
+	}
+
+	// Empty batch: no work, no panic.
+	preds, probs = m.PredictBatch(nil)
+	if len(preds) != 0 || len(probs) != 0 {
+		t.Error("empty batch should return empty results")
+	}
+}
+
+// TestPredictBatchDuplicateGraphs checks that the same encoding may appear
+// several times in one batch (the serving micro-batcher coalesces
+// identical concurrent requests) and each copy scores identically.
+func TestPredictBatchDuplicateGraphs(t *testing.T) {
+	v := auggraph.NewVocab()
+	enc := buildEncoded(t, "for (i = 0; i < n; i++) a[i] = b[i] + c[i];", v)
+	m := New(smallConfig(v))
+	wantPred, wantProbs := m.Predict(enc)
+	preds, probs := m.PredictBatch([]*auggraph.Encoded{enc, enc, enc, enc})
+	for i := range preds {
+		if preds[i] != wantPred {
+			t.Errorf("copy %d: pred %d != %d", i, preds[i], wantPred)
+		}
+		for j := range wantProbs {
+			if probs[i][j] != wantProbs[j] {
+				t.Errorf("copy %d: prob[%d] drifted", i, j)
+			}
+		}
+	}
+	// Returned probability slices must be detached from each other.
+	probs[0][0] = 42
+	if probs[1][0] == 42 {
+		t.Error("batch probability rows share backing storage")
+	}
+}
+
 func TestParamCountScale(t *testing.T) {
 	v := auggraph.NewVocab()
 	buildEncoded(t, "for (i = 0; i < n; i++) s += a[i];", v)

@@ -23,11 +23,20 @@ type Node struct {
 
 // Graph is the autodiff tape for one forward pass.
 type Graph struct {
-	nodes []*Node
+	nodes     []*Node
+	inference bool
 }
 
 // NewGraph starts a fresh tape.
 func NewGraph() *Graph { return &Graph{} }
+
+// NewInferenceGraph starts a tape that tracks no gradients: parameters
+// join it as constants, so no op allocates (or zeroes) a gradient matrix
+// and Backward is a no-op. Forward values are computed exactly as on a
+// training tape — this only drops the bookkeeping, which roughly halves
+// the allocation volume of a forward pass. It is the tape Predict and
+// PredictBatch run on.
+func NewInferenceGraph() *Graph { return &Graph{inference: true} }
 
 func (g *Graph) add(n *Node) *Node {
 	g.nodes = append(g.nodes, n)
@@ -39,8 +48,12 @@ func (g *Graph) Constant(m *tensor.Matrix) *Node {
 	return g.add(&Node{Val: m})
 }
 
-// Param introduces a trainable parameter; gradients accumulate into p.G.
+// Param introduces a trainable parameter; gradients accumulate into p.G
+// (on an inference tape the parameter joins as a constant instead).
 func (g *Graph) Param(p *Param) *Node {
+	if g.inference {
+		return g.add(&Node{Val: p.W})
+	}
 	return g.add(&Node{Val: p.W, Grad: p.G, needsGrad: true})
 }
 
@@ -352,6 +365,60 @@ func (g *Graph) ConcatRows(parts ...*Node) *Node {
 	return out
 }
 
+// AssembleRows builds an n×d matrix by placing each part's rows at the
+// positions its index list names: out[idxs[p][i]] = parts[p] row i. The
+// index lists must be disjoint (each output row is written at most once;
+// unnamed rows stay zero). This is the reassembly half of grouped
+// projections — per-kind linears in the HGT gather rows by kind, project,
+// and put the results back — at O(total×d) for any number of groups,
+// where the ScatterRowsAdd + Add chain it replaces paid O(groups×n×d) in
+// zeroed intermediates. That difference is what makes wide inference
+// batches scale: a batch's kind union is much larger than any single
+// graph's.
+func (g *Graph) AssembleRows(parts []*Node, idxs [][]int, n int) *Node {
+	if len(parts) == 0 {
+		panic("nn: AssembleRows needs at least one part")
+	}
+	if len(parts) != len(idxs) {
+		panic("nn: AssembleRows parts/index count mismatch")
+	}
+	d := parts[0].Val.Cols
+	needsGrad := false
+	for p, part := range parts {
+		if part.Val.Cols != d {
+			panic(fmt.Sprintf("nn: AssembleRows col mismatch %d vs %d", part.Val.Cols, d))
+		}
+		if part.Val.Rows != len(idxs[p]) {
+			panic("nn: AssembleRows row/index length mismatch")
+		}
+		needsGrad = needsGrad || part.needsGrad
+	}
+	out := g.newLike(n, d, needsGrad)
+	written := make([]bool, n)
+	for p, part := range parts {
+		for i, dst := range idxs[p] {
+			if written[dst] {
+				panic(fmt.Sprintf("nn: AssembleRows row %d written twice", dst))
+			}
+			written[dst] = true
+			copy(out.Val.Data[dst*d:(dst+1)*d], part.Val.Data[i*d:(i+1)*d])
+		}
+	}
+	out.back = func() {
+		for p, part := range parts {
+			if !part.needsGrad {
+				continue
+			}
+			for i, dst := range idxs[p] {
+				for j := 0; j < d; j++ {
+					part.Grad.Data[i*d+j] += out.Grad.Data[dst*d+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
 // MeanRows averages all rows into a single 1×d row (global pooling).
 func (g *Graph) MeanRows(a *Node) *Node {
 	out := g.newLike(1, a.Val.Cols, a.needsGrad)
@@ -370,6 +437,50 @@ func (g *Graph) MeanRows(a *Node) *Node {
 				for j := 0; j < a.Val.Cols; j++ {
 					a.Grad.Data[i*a.Val.Cols+j] += out.Grad.Data[j] / n
 				}
+			}
+		}
+	}
+	return out
+}
+
+// SegmentMeanRows averages rows per segment: seg[i] assigns row i of a to
+// one of n output rows, and out[s] is the mean of a's rows with seg[i]==s.
+// It is the batched counterpart of MeanRows for block-diagonal graph
+// batches: rows of one graph occupy a contiguous ascending run, so the
+// per-segment accumulation order (and therefore the floating-point result)
+// is exactly that of MeanRows over the graph alone. Segments with no rows
+// produce a zero row.
+func (g *Graph) SegmentMeanRows(a *Node, seg []int, n int) *Node {
+	if len(seg) != a.Val.Rows {
+		panic("nn: SegmentMeanRows segment count mismatch")
+	}
+	d := a.Val.Cols
+	out := g.newLike(n, d, a.needsGrad)
+	count := make([]float64, n)
+	for i, s := range seg {
+		if s < 0 || s >= n {
+			panic(fmt.Sprintf("nn: SegmentMeanRows segment %d out of range [0,%d)", s, n))
+		}
+		count[s]++
+		for j := 0; j < d; j++ {
+			out.Val.Data[s*d+j] += a.Val.Data[i*d+j]
+		}
+	}
+	for s := 0; s < n; s++ {
+		if count[s] == 0 {
+			continue
+		}
+		for j := 0; j < d; j++ {
+			out.Val.Data[s*d+j] /= count[s]
+		}
+	}
+	out.back = func() {
+		if !a.needsGrad {
+			return
+		}
+		for i, s := range seg {
+			for j := 0; j < d; j++ {
+				a.Grad.Data[i*d+j] += out.Grad.Data[s*d+j] / count[s]
 			}
 		}
 	}

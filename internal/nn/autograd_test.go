@@ -168,6 +168,58 @@ func TestGradMeanRowsConcat(t *testing.T) {
 	})
 }
 
+func TestGradSegmentMeanRows(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	w := NewParam("w", 6, 4, rng)
+	seg := []int{0, 0, 1, 1, 1, 2}
+	checkGrad(t, "segmentmeanrows", []*Param{w}, func(g *Graph) *Node {
+		out := g.SegmentMeanRows(g.Param(w), seg, 3)
+		return g.SumAll(g.Mul(out, out))
+	})
+}
+
+// TestSegmentMeanRowsMatchesMeanRows pins the batching invariant: the
+// mean of one contiguous segment must be bit-identical to MeanRows over
+// those rows alone, for every segment of a block-diagonal layout.
+func TestSegmentMeanRowsMatchesMeanRows(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	x := tensor.New(7, 5).Gaussian(rng, 1)
+	seg := []int{0, 0, 0, 1, 2, 2, 2}
+	bounds := [][2]int{{0, 3}, {3, 4}, {4, 7}}
+
+	g := NewGraph()
+	batched := g.SegmentMeanRows(g.Constant(x), seg, 3)
+	for s, b := range bounds {
+		sub := tensor.New(b[1]-b[0], 5)
+		copy(sub.Data, x.Data[b[0]*5:b[1]*5])
+		g2 := NewGraph()
+		single := g2.MeanRows(g2.Constant(sub))
+		for j := 0; j < 5; j++ {
+			if batched.Val.At(s, j) != single.Val.At(0, j) {
+				t.Fatalf("segment %d col %d: %v != %v (batched readout drifted from MeanRows)",
+					s, j, batched.Val.At(s, j), single.Val.At(0, j))
+			}
+		}
+	}
+}
+
+func TestSegmentMeanRowsPanics(t *testing.T) {
+	x := tensor.New(2, 2)
+	for name, fn := range map[string]func(){
+		"length mismatch": func() { NewGraph().SegmentMeanRows(NewGraph().Constant(x), []int{0}, 1) },
+		"segment range":   func() { g := NewGraph(); g.SegmentMeanRows(g.Constant(x), []int{0, 5}, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
 func TestGradEmbeddingLookup(t *testing.T) {
 	rng := tensor.NewRNG(9)
 	var ps ParamSet
@@ -268,5 +320,45 @@ func TestRNGDeterminism(t *testing.T) {
 	}
 	if len(seen) != 10 {
 		t.Errorf("Perm not a permutation: %v", perm)
+	}
+}
+
+func TestGradAssembleRows(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	a := NewParam("a", 2, 3, rng)
+	b := NewParam("b", 3, 3, rng)
+	// Interleaved disjoint placement covering rows [0,5).
+	idxs := [][]int{{4, 0}, {1, 3, 2}}
+	checkGrad(t, "assemblerows", []*Param{a, b}, func(g *Graph) *Node {
+		out := g.AssembleRows([]*Node{g.Param(a), g.Param(b)}, idxs, 5)
+		return g.SumAll(g.Mul(out, out))
+	})
+}
+
+func TestAssembleRowsPanics(t *testing.T) {
+	x := tensor.New(2, 2)
+	for name, fn := range map[string]func(){
+		"no parts": func() { NewGraph().AssembleRows(nil, nil, 2) },
+		"count mismatch": func() {
+			g := NewGraph()
+			g.AssembleRows([]*Node{g.Constant(x)}, [][]int{{0, 1}, {2}}, 3)
+		},
+		"row/index length": func() {
+			g := NewGraph()
+			g.AssembleRows([]*Node{g.Constant(x)}, [][]int{{0}}, 2)
+		},
+		"duplicate row": func() {
+			g := NewGraph()
+			g.AssembleRows([]*Node{g.Constant(x)}, [][]int{{1, 1}}, 2)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
 	}
 }

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graph2par"
+)
+
+// microBatcher coalesces concurrent POST /analyze requests into shared
+// engine calls: the first request of a quiet period opens a batch window,
+// requests arriving within BatchWindow join it, and when the window
+// closes (or the batch hits MaxBatch first) the whole group is analyzed
+// with one Engine.AnalyzeFiles pass — so the loops of independent clients
+// share size-bucketed HGT forward passes instead of each paying their own
+// dispatch. Responses are per-request and byte-identical to the direct
+// AnalyzeSource path (the engine's batched pipeline guarantees it), so
+// clients cannot tell whether they were coalesced — except by latency:
+// a request waits at most BatchWindow before its batch is dispatched.
+type microBatcher struct {
+	engine *graph2par.Engine
+	window time.Duration
+	max    int
+
+	mu      sync.Mutex
+	pending []*pendingAnalyze
+	timer   *time.Timer
+	closed  bool
+	// gen identifies the open window: it increments every time a window
+	// is detached, so a stale timer callback (its window already
+	// dispatched by a full batch or a flush) can recognize that the
+	// pending list it would grab belongs to a newer window and leave it
+	// to that window's own timer.
+	gen uint64
+
+	// batches and coalesced drive the /stats batching block: how many
+	// flushes happened and how many requests rode them (their ratio is
+	// the mean batch size — the number that tells an operator whether
+	// coalescing is actually happening).
+	batches   atomic.Uint64
+	coalesced atomic.Uint64
+}
+
+// pendingAnalyze is one parked /analyze request.
+type pendingAnalyze struct {
+	source string
+	done   chan analyzeResult
+}
+
+// analyzeResult carries a batch member's outcome back to its handler.
+type analyzeResult struct {
+	reports []graph2par.LoopReport
+	err     error
+}
+
+// newMicroBatcher builds a batcher; window must be > 0 and max ≥ 1.
+func newMicroBatcher(engine *graph2par.Engine, window time.Duration, max int) *microBatcher {
+	if max < 1 {
+		max = 1
+	}
+	return &microBatcher{engine: engine, window: window, max: max}
+}
+
+// analyze queues one source into the open batch window (opening one if
+// none is open) and blocks until its batch has been analyzed. After
+// close, requests fall through to the direct engine call.
+func (b *microBatcher) analyze(source string) ([]graph2par.LoopReport, error) {
+	p := &pendingAnalyze{source: source, done: make(chan analyzeResult, 1)}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return b.engine.AnalyzeSource(source)
+	}
+	b.pending = append(b.pending, p)
+	if len(b.pending) == 1 {
+		gen := b.gen
+		b.timer = time.AfterFunc(b.window, func() { b.flushExpired(gen) })
+	}
+	var full []*pendingAnalyze
+	if len(b.pending) >= b.max {
+		full = b.take()
+	}
+	b.mu.Unlock()
+	if full != nil {
+		b.run(full)
+	}
+	r := <-p.done
+	return r.reports, r.err
+}
+
+// take detaches the current batch and disarms its window timer. The
+// caller must hold b.mu.
+func (b *microBatcher) take() []*pendingAnalyze {
+	batch := b.pending
+	b.pending = nil
+	b.gen++
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+// flushExpired is the window-timer callback; gen names the window the
+// timer was armed for. If that window was already dispatched (full batch
+// or explicit flush won the race with the firing timer), the pending
+// list now belongs to a newer window and is left alone.
+func (b *microBatcher) flushExpired(gen uint64) {
+	b.mu.Lock()
+	if b.gen != gen {
+		b.mu.Unlock()
+		return
+	}
+	batch := b.take()
+	b.mu.Unlock()
+	b.run(batch)
+}
+
+// flush dispatches whatever the current window holds, immediately. It is
+// the shutdown hook: wiring it to http.Server.RegisterOnShutdown (as
+// cmd/graph2serve does) guarantees parked requests are analyzed and
+// answered during a graceful drain instead of waiting out their window.
+func (b *microBatcher) flush() {
+	b.mu.Lock()
+	batch := b.take()
+	b.mu.Unlock()
+	b.run(batch)
+}
+
+// close flushes the open window and routes all future requests directly
+// to the engine.
+func (b *microBatcher) close() {
+	b.mu.Lock()
+	b.closed = true
+	batch := b.take()
+	b.mu.Unlock()
+	b.run(batch)
+}
+
+// run analyzes one detached batch and distributes per-request results.
+func (b *microBatcher) run(batch []*pendingAnalyze) {
+	if len(batch) == 0 {
+		return
+	}
+	b.batches.Add(1)
+	b.coalesced.Add(uint64(len(batch)))
+	files := make(map[string]string, len(batch))
+	for i, p := range batch {
+		files[batchReqName(i)] = p.source
+	}
+	// Parse errors are reported per request below, so the combined error
+	// of AnalyzeFiles (which names these synthetic keys) is dropped.
+	out, _ := b.engine.AnalyzeFiles(files)
+	for i, p := range batch {
+		if reports, ok := out[batchReqName(i)]; ok {
+			p.done <- analyzeResult{reports: reports}
+			continue
+		}
+		// This member failed to parse. Re-run it alone: parsing fails
+		// fast and yields exactly the error the direct path would have
+		// produced, keeping the endpoint's contract unchanged.
+		reports, err := b.engine.AnalyzeSource(p.source)
+		p.done <- analyzeResult{reports: reports, err: err}
+	}
+}
+
+// batchReqName keys batch member i inside the synthetic AnalyzeFiles map.
+func batchReqName(i int) string { return fmt.Sprintf("req_%06d", i) }

@@ -1,14 +1,16 @@
 // Package serve implements the graph2serve HTTP JSON API over a shared
 // graph2par.Engine: one long-running warm model serves concurrent analyze
 // requests, with the engine's content-addressed cache giving repeat
-// queries sub-millisecond latency.
+// queries sub-millisecond latency and an optional micro-batcher
+// (ServeConfig.BatchWindow) coalescing concurrent /analyze requests into
+// shared batched-inference passes.
 //
 // Endpoints:
 //
 //	POST /analyze        {"source": "...", "dot": false} → reports for one translation unit
 //	POST /analyze/batch  {"files": {"a.c": "..."}}       → per-file reports, mirroring Engine.AnalyzeFiles
 //	GET  /healthz        liveness probe
-//	GET  /stats          cache, worker and request counters
+//	GET  /stats          cache, micro-batch, worker and request counters
 //
 // The handlers only call the engine's concurrent-safe Analyze* methods,
 // so one Server may sit behind any number of in-flight requests.
@@ -30,19 +32,72 @@ import (
 // guards the decoder against junk).
 const maxBodyBytes = 16 << 20
 
+// ServeConfig tunes the server's request handling.
+type ServeConfig struct {
+	// BatchWindow > 0 enables server-side micro-batching of POST
+	// /analyze: the first request of a quiet period opens a batch that
+	// collects concurrent requests for up to this duration (or until
+	// MaxBatch requests have joined), then the whole group shares one
+	// batched-inference engine pass. Responses are byte-identical to
+	// unbatched serving; the cost is up to BatchWindow of added latency
+	// per request, the win is coalesced forward passes under concurrent
+	// load. 0 (the zero value) disables micro-batching.
+	BatchWindow time.Duration
+	// MaxBatch caps how many requests one window may coalesce (a full
+	// batch dispatches immediately, without waiting out the window).
+	// 0 means DefaultMaxBatch.
+	MaxBatch int
+}
+
+// DefaultMaxBatch is the per-window request cap used when
+// ServeConfig.MaxBatch is left zero.
+const DefaultMaxBatch = 16
+
 // Server carries the shared engine and request counters.
 type Server struct {
 	engine  *graph2par.Engine
 	started time.Time
+	batcher *microBatcher // nil when micro-batching is disabled
 
 	analyzeReqs atomic.Uint64
 	batchReqs   atomic.Uint64
 	errorReqs   atomic.Uint64
 }
 
-// New wraps an engine for serving.
+// New wraps an engine for serving with micro-batching disabled.
 func New(engine *graph2par.Engine) *Server {
-	return &Server{engine: engine, started: time.Now()}
+	return NewWithConfig(engine, ServeConfig{})
+}
+
+// NewWithConfig wraps an engine for serving.
+func NewWithConfig(engine *graph2par.Engine, cfg ServeConfig) *Server {
+	s := &Server{engine: engine, started: time.Now()}
+	if cfg.BatchWindow > 0 {
+		max := cfg.MaxBatch
+		if max <= 0 {
+			max = DefaultMaxBatch
+		}
+		s.batcher = newMicroBatcher(engine, cfg.BatchWindow, max)
+	}
+	return s
+}
+
+// Flush dispatches the micro-batcher's open window immediately (no-op
+// when micro-batching is off). Register it with
+// http.Server.RegisterOnShutdown so a graceful drain answers parked
+// requests at once instead of waiting out their window.
+func (s *Server) Flush() {
+	if s.batcher != nil {
+		s.batcher.flush()
+	}
+}
+
+// Close flushes the open window and disables coalescing; subsequent
+// requests are served directly. The server remains usable.
+func (s *Server) Close() {
+	if s.batcher != nil {
+		s.batcher.close()
+	}
 }
 
 // Handler returns the routed HTTP handler.
@@ -140,7 +195,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing \"source\""})
 		return
 	}
-	reports, err := s.engine.AnalyzeSource(req.Source)
+	var reports []graph2par.LoopReport
+	var err error
+	if s.batcher != nil {
+		reports, err = s.batcher.analyze(req.Source)
+	} else {
+		reports, err = s.engine.AnalyzeSource(req.Source)
+	}
 	if err != nil {
 		s.writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
 		return
@@ -194,10 +255,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the GET /stats body.
 type statsResponse struct {
-	UptimeSeconds float64    `json:"uptimeSeconds"`
-	Workers       int        `json:"workers"`
-	Requests      reqStats   `json:"requests"`
-	Cache         cacheStats `json:"cache"`
+	UptimeSeconds float64       `json:"uptimeSeconds"`
+	Workers       int           `json:"workers"`
+	Requests      reqStats      `json:"requests"`
+	Cache         cacheStats    `json:"cache"`
+	Batching      batchingStats `json:"batching"`
+}
+
+// batchingStats reports whether request coalescing is actually happening:
+// batches is how many windows were dispatched, coalescedRequests how many
+// /analyze requests rode them, and meanBatchSize their ratio — 1.0 means
+// every window held a single request (no concurrency to coalesce), higher
+// means clients are genuinely sharing forward passes.
+type batchingStats struct {
+	Enabled           bool    `json:"enabled"`
+	WindowMillis      float64 `json:"windowMillis,omitempty"`
+	Batches           uint64  `json:"batches"`
+	CoalescedRequests uint64  `json:"coalescedRequests"`
+	MeanBatchSize     float64 `json:"meanBatchSize"`
 }
 
 type reqStats struct {
@@ -233,6 +308,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Cache = cacheStats{
 			Enabled: true, Capacity: st.Capacity, Entries: st.Entries,
 			Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
+		}
+	}
+	if s.batcher != nil {
+		batches := s.batcher.batches.Load()
+		coalesced := s.batcher.coalesced.Load()
+		mean := 0.0
+		if batches > 0 {
+			mean = float64(coalesced) / float64(batches)
+		}
+		resp.Batching = batchingStats{
+			Enabled:           true,
+			WindowMillis:      float64(s.batcher.window) / float64(time.Millisecond),
+			Batches:           batches,
+			CoalescedRequests: coalesced,
+			MeanBatchSize:     mean,
 		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)

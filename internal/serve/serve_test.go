@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"graph2par"
 )
@@ -302,5 +303,203 @@ func TestConcurrentAnalyze(t *testing.T) {
 	close(errs)
 	for msg := range errs {
 		t.Error(msg)
+	}
+}
+
+// batchingServer starts a server with micro-batching enabled and returns
+// both halves: the Server (so tests can reach the batcher) and the
+// httptest wrapper.
+func batchingServer(t *testing.T, window time.Duration, maxBatch int) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewWithConfig(engine(t), ServeConfig{BatchWindow: window, MaxBatch: maxBatch})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// waitPending polls until the batcher has parked exactly n requests.
+func waitPending(t *testing.T, s *Server, n int) {
+	t.Helper()
+	for i := 0; i < 500; i++ {
+		s.batcher.mu.Lock()
+		got := len(s.batcher.pending)
+		s.batcher.mu.Unlock()
+		if got == n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("batch window never reached %d parked requests", n)
+}
+
+// TestMicroBatchCoalescesConcurrentClients is the micro-batcher's core
+// -race check: four concurrent clients land in one batch window (the
+// window is long, the batch cap is 4, so the fourth arrival dispatches
+// the group), every client gets exactly the response the direct path
+// would have produced — non-interleaved, matching its own source — and
+// /stats records one batch of mean size 4.
+func TestMicroBatchCoalescesConcurrentClients(t *testing.T) {
+	_, ts := batchingServer(t, 10*time.Second, 4)
+
+	// Distinct sources with distinct loop counts so a swapped or torn
+	// response is unmissable.
+	sources := make([]string, 4)
+	wants := make([]analyzeResponse, 4)
+	for i := range sources {
+		var b strings.Builder
+		b.WriteString("int main() {\n    int a[64];\n    int i, s = 0;\n")
+		for l := 0; l <= i; l++ {
+			b.WriteString("    for (i = 0; i < 64; i++) s += a[i];\n")
+		}
+		b.WriteString("    return s;\n}\n")
+		sources[i] = b.String()
+		direct, err := engine(t).AnalyzeSource(sources[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = analyzeResponse{Loops: i + 1, Reports: stripDOT(direct, false)}
+	}
+
+	var wg sync.WaitGroup
+	got := make([]analyzeResponse, 4)
+	codes := make([]int, 4)
+	for i := range sources {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: sources[i]}, &got[i])
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range sources {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("client %d: status %d", i, codes[i])
+		}
+		if !reflect.DeepEqual(got[i], wants[i]) {
+			t.Errorf("client %d: coalesced response differs from direct AnalyzeSource", i)
+		}
+	}
+
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if !st.Batching.Enabled {
+		t.Fatal("batching should be enabled")
+	}
+	if st.Batching.Batches != 1 || st.Batching.CoalescedRequests != 4 {
+		t.Errorf("batches=%d coalesced=%d, want 1 and 4", st.Batching.Batches, st.Batching.CoalescedRequests)
+	}
+	if st.Batching.MeanBatchSize != 4 {
+		t.Errorf("meanBatchSize=%v, want 4", st.Batching.MeanBatchSize)
+	}
+}
+
+// TestMicroBatchPerRequestErrors checks error isolation inside one
+// coalesced batch: an unparsable member gets its own 422 with the parse
+// error the direct path would produce, while the parsable members of the
+// same window are answered normally.
+func TestMicroBatchPerRequestErrors(t *testing.T) {
+	_, ts := batchingServer(t, 10*time.Second, 3)
+
+	bad := "int main() { for (i=0 i<10; i++) ; }"
+	// The reference error comes straight from the engine: the direct
+	// serving path returns AnalyzeSource's error verbatim.
+	_, directErr := engine(t).AnalyzeSource(bad)
+	if directErr == nil {
+		t.Fatal("reference source should fail to parse")
+	}
+	wantErr := errorResponse{Error: directErr.Error()}
+
+	var wg sync.WaitGroup
+	var goodA, goodB analyzeResponse
+	var gotErr errorResponse
+	var codeA, codeB, codeBad int
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		codeA = postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: program}, &goodA)
+	}()
+	go func() {
+		defer wg.Done()
+		codeBad = postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: bad}, &gotErr)
+	}()
+	go func() {
+		defer wg.Done()
+		codeB = postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: program}, &goodB)
+	}()
+	wg.Wait()
+
+	if codeA != http.StatusOK || codeB != http.StatusOK {
+		t.Errorf("good members: codes %d, %d, want 200", codeA, codeB)
+	}
+	if codeBad != http.StatusUnprocessableEntity {
+		t.Errorf("bad member: code %d, want 422", codeBad)
+	}
+	if gotErr.Error != wantErr.Error {
+		t.Errorf("batched parse error %q differs from direct %q", gotErr.Error, wantErr.Error)
+	}
+	if goodA.Loops != 4 || !reflect.DeepEqual(goodA, goodB) {
+		t.Error("good members of a mixed batch got wrong reports")
+	}
+}
+
+// TestMicroBatchFlushOnShutdown pins the drain contract: requests parked
+// in an open window are answered immediately when Flush runs (as it does
+// via http.Server.RegisterOnShutdown in graph2serve), not after the
+// window expires.
+func TestMicroBatchFlushOnShutdown(t *testing.T) {
+	s, ts := batchingServer(t, 10*time.Minute, 100)
+
+	var wg sync.WaitGroup
+	got := make([]analyzeResponse, 2)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: program}, &got[i])
+		}(i)
+	}
+	waitPending(t, s, 2)
+	s.Flush()
+	wg.Wait() // would block ~10 minutes if the flush didn't dispatch
+
+	for i := range got {
+		if got[i].Loops != 4 {
+			t.Errorf("flushed request %d: loops=%d, want 4", i, got[i].Loops)
+		}
+	}
+
+	// Close flushes too and downgrades later requests to the direct path.
+	s.Close()
+	var after analyzeResponse
+	if code := postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: program}, &after); code != http.StatusOK {
+		t.Fatalf("post-Close request: status %d", code)
+	}
+	if after.Loops != 4 {
+		t.Errorf("post-Close request got %d loops, want 4", after.Loops)
+	}
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Batching.Batches != 1 || st.Batching.CoalescedRequests != 2 {
+		t.Errorf("post-Close stats: batches=%d coalesced=%d, want 1 and 2 (direct requests must not count)",
+			st.Batching.Batches, st.Batching.CoalescedRequests)
+	}
+}
+
+// TestMicroBatchWindowExpiry checks the timer path: a lone request is
+// dispatched when its window expires, without reaching the batch cap.
+func TestMicroBatchWindowExpiry(t *testing.T) {
+	_, ts := batchingServer(t, 20*time.Millisecond, 100)
+	var resp analyzeResponse
+	if code := postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: program}, &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Loops != 4 {
+		t.Errorf("loops=%d, want 4", resp.Loops)
+	}
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Batching.Batches != 1 || st.Batching.MeanBatchSize != 1 {
+		t.Errorf("lone request: batches=%d mean=%v, want 1 and 1", st.Batching.Batches, st.Batching.MeanBatchSize)
 	}
 }

@@ -280,6 +280,25 @@ func SoftmaxRows(m *Matrix) {
 	}
 }
 
+// ArgMaxRows returns the index of the largest element of each row, ties
+// broken toward the lower index. It is the class-selection kernel shared
+// by single-graph and batched prediction, so both paths pick classes with
+// exactly the same comparison order.
+func ArgMaxRows(m *Matrix) []int {
+	out := make([]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		best, bestV := 0, row[0]
+		for j := 1; j < len(row); j++ {
+			if row[j] > bestV {
+				best, bestV = j, row[j]
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
 // Frobenius returns the Frobenius norm of m.
 func (m *Matrix) Frobenius() float64 {
 	var s float64

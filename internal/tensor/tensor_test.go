@@ -189,3 +189,19 @@ func TestSplitIndependence(t *testing.T) {
 		t.Error("split streams should differ")
 	}
 }
+
+func TestArgMaxRows(t *testing.T) {
+	m := FromSlice(4, 3, []float64{
+		1, 3, 2,
+		5, 5, 4, // tie: lower index wins
+		-2, -1, -3,
+		0, 0, 0, // all equal: index 0
+	})
+	want := []int{1, 0, 1, 0}
+	got := ArgMaxRows(m)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d: argmax = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
