@@ -112,15 +112,28 @@ func gate(current, baseline *Summary, name string, maxRegressPct float64) (strin
 }
 
 // gateRatio enforces a within-run relation between two benchmarks:
-// ns/op of num must not exceed ns/op of den × maxRatio. Unlike the
+// ns/op of num must not exceed ns/op of den × the ratio bound. Unlike the
 // baseline gate it compares measurements from the same process on the
 // same machine, so it stays meaningful across runner-hardware changes —
-// CI uses it to assert that batched inference keeps beating the
-// unbatched parallel pipeline (within noise tolerance).
+// CI uses it to assert that batched inference keeps beating the unbatched
+// parallel pipeline and that data-parallel training keeps beating the
+// serial epoch loop (within noise tolerance).
+//
+// The spec is NUMERATOR/DENOMINATOR with an optional per-spec bound
+// appended as "<=X" (e.g. "BenchA/BenchB<=0.95"); without one, maxRatio
+// (the -max-ratio flag) applies. The flag is repeatable, so one invocation
+// can enforce several relations over the same run.
 func gateRatio(current *Summary, spec string, maxRatio float64) (string, error) {
+	if rel, bound, ok := strings.Cut(spec, "<="); ok {
+		v, err := strconv.ParseFloat(bound, 64)
+		if err != nil {
+			return "", fmt.Errorf("benchjson: bad ratio bound in %q: %v", spec, err)
+		}
+		spec, maxRatio = rel, v
+	}
 	num, den, ok := strings.Cut(spec, "/")
 	if !ok {
-		return "", fmt.Errorf("benchjson: -gate-ratio wants NUMERATOR/DENOMINATOR, got %q", spec)
+		return "", fmt.Errorf("benchjson: -gate-ratio wants NUMERATOR/DENOMINATOR[<=MAX], got %q", spec)
 	}
 	cn, ok := current.Benchmarks[num]
 	if !ok {
@@ -168,8 +181,9 @@ func main() {
 	baselinePath := flag.String("baseline", "", "committed baseline JSON to gate against")
 	gateName := flag.String("gate", "", "benchmark name to gate (requires -baseline)")
 	maxRegress := flag.Float64("max-regress", 20, "allowed ns/op regression over the baseline, in percent")
-	ratioSpec := flag.String("gate-ratio", "", "within-run gate NUMERATOR/DENOMINATOR: fail when ns/op(num) > ns/op(den) × -max-ratio")
-	maxRatio := flag.Float64("max-ratio", 1, "allowed ns/op ratio for -gate-ratio")
+	var ratioSpecs ratioList
+	flag.Var(&ratioSpecs, "gate-ratio", "within-run gate NUMERATOR/DENOMINATOR[<=MAX] (repeatable): fail when ns/op(num) > ns/op(den) × the bound")
+	maxRatio := flag.Float64("max-ratio", 1, "default ns/op ratio bound for -gate-ratio specs without an explicit <=MAX")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -225,12 +239,22 @@ func main() {
 		}
 		fmt.Println(verdict)
 	}
-	if *ratioSpec != "" {
-		verdict, err := gateRatio(summary, *ratioSpec, *maxRatio)
+	for _, spec := range ratioSpecs {
+		verdict, err := gateRatio(summary, spec, *maxRatio)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Println(verdict)
 	}
+}
+
+// ratioList collects repeated -gate-ratio flags.
+type ratioList []string
+
+func (r *ratioList) String() string { return strings.Join(*r, ",") }
+
+func (r *ratioList) Set(v string) error {
+	*r = append(*r, v)
+	return nil
 }

@@ -114,3 +114,25 @@ func TestGateRatio(t *testing.T) {
 		t.Error("missing numerator should fail")
 	}
 }
+
+// TestGateRatioInlineBound covers the "<=MAX" per-spec syntax: the inline
+// bound wins over the default, and a malformed bound is an error.
+func TestGateRatioInlineBound(t *testing.T) {
+	run := &Summary{Benchmarks: map[string]Result{
+		"BenchmarkTrainEpochParallel": {N: 3, NsPerOp: 80_000},
+		"BenchmarkTrainEpochSerial":   {N: 3, NsPerOp: 100_000},
+	}}
+	spec := "BenchmarkTrainEpochParallel/BenchmarkTrainEpochSerial"
+
+	// ratio 0.8: passes at inline <=0.9 even with a default bound of 0.1.
+	if _, err := gateRatio(run, spec+"<=0.9", 0.1); err != nil {
+		t.Errorf("inline bound should override default: %v", err)
+	}
+	// ...and fails at inline <=0.5 even with a permissive default.
+	if _, err := gateRatio(run, spec+"<=0.5", 10); err == nil {
+		t.Error("inline bound 0.5 should fail ratio 0.8")
+	}
+	if _, err := gateRatio(run, spec+"<=notanumber", 1); err == nil {
+		t.Error("malformed inline bound should fail")
+	}
+}

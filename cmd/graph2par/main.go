@@ -26,6 +26,7 @@ func main() {
 	epochs := flag.Int("epochs", 6, "training epochs")
 	seed := flag.Uint64("seed", 1234, "training seed")
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
+	trainWorkers := flag.Int("train-workers", 0, "data-parallel training workers (0 = GOMAXPROCS); any value trains bit-identically")
 	dotDir := flag.String("dot", "", "write one Graphviz .dot file per loop to this directory")
 	flag.Parse()
 
@@ -36,11 +37,12 @@ func main() {
 	}
 
 	engine, err := graph2par.NewEngine(graph2par.EngineConfig{
-		ModelPath:  *modelPath,
-		TrainScale: *scale,
-		Epochs:     *epochs,
-		Seed:       *seed,
-		Workers:    *workers,
+		ModelPath:    *modelPath,
+		TrainScale:   *scale,
+		Epochs:       *epochs,
+		Seed:         *seed,
+		Workers:      *workers,
+		TrainWorkers: *trainWorkers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graph2par:", err)

@@ -40,6 +40,7 @@ func main() {
 	epochs := flag.Int("epochs", 6, "training epochs (from-scratch only)")
 	seed := flag.Uint64("seed", 1234, "training seed (from-scratch only)")
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
+	trainWorkers := flag.Int("train-workers", 0, "data-parallel training workers for from-scratch training (0 = GOMAXPROCS); any value trains bit-identically")
 	cacheSize := flag.Int("cache", 4096, "analysis cache capacity in loop reports (0 disables)")
 	batchSize := flag.Int("batch", 0, "inference batch size: loops per HGT forward pass (0 = default, 1 disables)")
 	batchWindow := flag.Duration("batch-window", 0, "micro-batch window: coalesce concurrent /analyze requests arriving within this duration into shared forward passes (0 disables)")
@@ -48,14 +49,15 @@ func main() {
 	flag.Parse()
 
 	engine, err := graph2par.NewEngine(graph2par.EngineConfig{
-		ModelPath:  *modelPath,
-		TrainScale: *scale,
-		Epochs:     *epochs,
-		Seed:       *seed,
-		Workers:    *workers,
-		CacheSize:  *cacheSize,
-		BatchSize:  *batchSize,
-		Quiet:      *quiet,
+		ModelPath:    *modelPath,
+		TrainScale:   *scale,
+		Epochs:       *epochs,
+		Seed:         *seed,
+		Workers:      *workers,
+		TrainWorkers: *trainWorkers,
+		CacheSize:    *cacheSize,
+		BatchSize:    *batchSize,
+		Quiet:        *quiet,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graph2serve:", err)

@@ -56,9 +56,14 @@ type EngineConfig struct {
 	Quiet bool
 	// Workers bounds the worker pool used by AnalyzeSource, AnalyzeFiles
 	// and the graph-preparation sweep of from-scratch training. Values
-	// < 1 mean runtime.GOMAXPROCS(0). The optimizer loop itself is
-	// inherently sequential and unaffected.
+	// < 1 mean runtime.GOMAXPROCS(0).
 	Workers int
+	// TrainWorkers bounds the data-parallel gradient workers of
+	// from-scratch training (< 1 → GOMAXPROCS). Training is bit-identical
+	// at every worker count (see train.Options.Workers), so this knob
+	// trades wall-clock for cores without changing the model by a single
+	// byte.
+	TrainWorkers int
 	// CacheSize enables the content-addressed analysis cache: up to this
 	// many loop reports are kept in a sharded LRU keyed by the loop's
 	// normalized source, its translation-unit content, the graph options
@@ -170,6 +175,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	opts := train.DefaultOptions()
 	opts.Epochs = cfg.Epochs
 	opts.Seed = cfg.Seed
+	opts.Workers = cfg.TrainWorkers
 	set := train.PrepareGraphsN(cfg.Workers, corpus.Samples, opts.Graph, nil, train.ParallelLabel)
 	e.model = train.TrainHGT(set, opts)
 	e.vocab = set.Vocab

@@ -5,9 +5,7 @@ import (
 	"strings"
 
 	"graph2par/internal/auggraph"
-	"graph2par/internal/hgt"
 	"graph2par/internal/metrics"
-	"graph2par/internal/nn"
 	"graph2par/internal/train"
 )
 
@@ -47,47 +45,21 @@ func (st *Suite) Appendix() *AppendixResult {
 		res.MeanEdges = float64(edges) / float64(len(trainSet.Encoded))
 	}
 
-	cfg := hgt.DefaultConfig(trainSet.Vocab.NumKinds(), trainSet.Vocab.NumAttrs(), trainSet.Vocab.NumTypes())
-	cfg.Hidden = st.Opts.Hidden
-	cfg.Heads = st.Opts.Heads
-	cfg.Layers = st.Opts.Layers
-	cfg.Seed = st.Opts.Seed
-	model := hgt.New(cfg)
-	res.ParamCount = model.Params.NumParams()
-	opt := nn.NewAdam(st.Opts.LR)
-	rng := model.RNG()
-
-	bs := st.Opts.BatchSize
-	if bs < 1 {
-		bs = 1
-	}
-	for epoch := 0; epoch < st.Opts.Epochs; epoch++ {
-		perm := rng.Perm(len(trainSet.Encoded))
-		var total float64
-		pending := 0
-		model.Params.ZeroGrad()
-		for _, idx := range perm {
-			g := nn.NewGraph()
-			loss := model.Loss(g, trainSet.Encoded[idx], trainSet.Labels[idx], true)
-			g.Backward(loss)
-			total += loss.Val.Data[0]
-			if pending++; pending >= bs {
-				model.Params.ClipGrad(5)
-				opt.Step(&model.Params)
-				model.Params.ZeroGrad()
-				pending = 0
-			}
-		}
-		if pending > 0 {
-			model.Params.ClipGrad(5)
-			opt.Step(&model.Params)
-			model.Params.ZeroGrad()
-		}
-		res.EpochLoss = append(res.EpochLoss, total/float64(len(trainSet.Encoded)))
+	// The per-epoch trajectory comes straight from the shared trainer — the
+	// exact loop every other table trains with, rather than a hand-rolled
+	// copy that could drift. Early stopping is disabled structurally: a
+	// trajectory report must cover the full epoch budget over the full
+	// training set, whatever the suite's Options say.
+	opts := st.Opts
+	opts.ValFrac, opts.Patience = 0, 0
+	trainer := train.NewHGTTrainer(trainSet, opts)
+	res.ParamCount = trainer.Model.Params.NumParams()
+	for !trainer.Done() {
+		res.EpochLoss = append(res.EpochLoss, trainer.RunEpoch())
 
 		var c metrics.Confusion
 		for i, enc := range testSet.Encoded {
-			pred, _ := model.Predict(enc)
+			pred, _ := trainer.Model.Predict(enc)
 			c.Add(pred == 1, testSet.Labels[i] == 1)
 		}
 		res.EpochTestAcc = append(res.EpochTestAcc, c.Accuracy())

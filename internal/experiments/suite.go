@@ -36,7 +36,9 @@ type Suite struct {
 	Opts  train.Options
 
 	// Workers bounds the per-sample sweeps (tool verdicts, model
-	// inference); < 1 means GOMAXPROCS. Training stays sequential.
+	// inference); < 1 means GOMAXPROCS. Training parallelism is governed
+	// separately by Opts.Workers (NewSuite defaults it to this bound), and
+	// is bit-deterministic at any value.
 	Workers int
 
 	// lazily trained models for the parallelism task
@@ -70,6 +72,12 @@ func DefaultConfig() Config {
 func NewSuite(cfg Config) *Suite {
 	if cfg.TestFrac <= 0 || cfg.TestFrac >= 1 {
 		cfg.TestFrac = 0.25
+	}
+	if cfg.Training.Workers == 0 {
+		// Unless the caller pinned a training worker count, reuse the
+		// sweep bound; results are identical either way (bit-deterministic
+		// training), only wall-clock changes.
+		cfg.Training.Workers = cfg.Workers
 	}
 	corpus := dataset.Generate(dataset.Config{Scale: cfg.Scale, Seed: cfg.Seed})
 	tr, te := corpus.Split(cfg.TestFrac, cfg.Seed)

@@ -152,15 +152,22 @@ func clampID(id, n int) int {
 //
 // With train=false it is safe to call concurrently (each call must use its
 // own Graph); with train=true it consumes the shared model RNG for dropout
-// and must not overlap other Forward calls.
+// and must not overlap other Forward calls (training workers use LossRNG
+// with a per-example RNG instead).
 func (m *Model) Forward(g *nn.Graph, enc *auggraph.Encoded, train bool) *nn.Node {
+	return m.forward(g, enc, train, m.rng)
+}
+
+// forward is Forward with an explicit dropout RNG (only consumed when
+// train is true).
+func (m *Model) forward(g *nn.Graph, enc *auggraph.Encoded, train bool, rng *tensor.RNG) *nn.Node {
 	n := len(enc.KindIDs)
 	if n == 0 {
 		panic("hgt: empty graph")
 	}
 	cfg := m.Cfg
 	if typedEdges(enc, cfg.EdgeTypes) > 0 {
-		return m.ForwardBatch(g, []*auggraph.Encoded{enc}, train)
+		return m.forwardBatch(g, []*auggraph.Encoded{enc}, train, rng)
 	}
 
 	kinds := make([]int, n)
@@ -180,7 +187,7 @@ func (m *Model) Forward(g *nn.Graph, enc *auggraph.Encoded, train bool) *nn.Node
 		g.Add(m.typeEmb.Lookup(g, types), m.orderEmb.Lookup(g, orders)),
 	)
 	h = m.inProj.Apply(g, h)
-	h = g.Dropout(h, cfg.Dropout, m.rng, train)
+	h = g.Dropout(h, cfg.Dropout, rng, train)
 
 	byKind := make([][]int, cfg.NumKinds)
 	for i, k := range kinds {
@@ -200,7 +207,7 @@ func (m *Model) Forward(g *nn.Graph, enc *auggraph.Encoded, train bool) *nn.Node
 	root := g.GatherRows(h, []int{enc.Root})
 	pooled := g.ConcatCols(mean, root)
 	hidden := g.GELU(m.headA.Apply(g, pooled))
-	hidden = g.Dropout(hidden, cfg.Dropout, m.rng, train)
+	hidden = g.Dropout(hidden, cfg.Dropout, rng, train)
 	return m.headB.Apply(g, hidden)
 }
 
@@ -233,6 +240,11 @@ func typedEdges(enc *auggraph.Encoded, edgeTypes int) int {
 // cannot share a batch (PredictBatch routes them there automatically).
 // Like Forward, train=false calls are safe for concurrent use.
 func (m *Model) ForwardBatch(g *nn.Graph, encs []*auggraph.Encoded, train bool) *nn.Node {
+	return m.forwardBatch(g, encs, train, m.rng)
+}
+
+// forwardBatch is ForwardBatch with an explicit dropout RNG.
+func (m *Model) forwardBatch(g *nn.Graph, encs []*auggraph.Encoded, train bool, rng *tensor.RNG) *nn.Node {
 	if len(encs) == 0 {
 		panic("hgt: empty batch")
 	}
@@ -276,7 +288,7 @@ func (m *Model) ForwardBatch(g *nn.Graph, encs []*auggraph.Encoded, train bool) 
 		g.Add(m.typeEmb.Lookup(g, types), m.orderEmb.Lookup(g, orders)),
 	)
 	h = m.inProj.Apply(g, h)
-	h = g.Dropout(h, cfg.Dropout, m.rng, train)
+	h = g.Dropout(h, cfg.Dropout, rng, train)
 
 	// Group the union's nodes by kind and its offset edges by type. The
 	// edge order within one type is (graph, per-graph edge order), so each
@@ -340,7 +352,7 @@ func (m *Model) ForwardBatch(g *nn.Graph, encs []*auggraph.Encoded, train bool) 
 		agg := g.ScatterRowsAdd(weighted, allDst, total)
 
 		upd := m.perKind(g, g.GELU(agg), byKind, lp.aLinear, total)
-		upd = g.Dropout(upd, cfg.Dropout, m.rng, train)
+		upd = g.Dropout(upd, cfg.Dropout, rng, train)
 		h = lp.norm.Apply(g, g.Add(upd, h))
 	}
 
@@ -350,7 +362,7 @@ func (m *Model) ForwardBatch(g *nn.Graph, encs []*auggraph.Encoded, train bool) 
 	root := g.GatherRows(h, roots)
 	pooled := g.ConcatCols(mean, root)
 	hidden := g.GELU(m.headA.Apply(g, pooled))
-	hidden = g.Dropout(hidden, cfg.Dropout, m.rng, train)
+	hidden = g.Dropout(hidden, cfg.Dropout, rng, train)
 	return m.headB.Apply(g, hidden)
 }
 
@@ -425,6 +437,16 @@ func (m *Model) PredictBatch(encs []*auggraph.Encoded) ([]int, [][]float64) {
 // Loss computes the cross-entropy loss node for one labeled graph.
 func (m *Model) Loss(g *nn.Graph, enc *auggraph.Encoded, label int, train bool) *nn.Node {
 	logits := m.Forward(g, enc, train)
+	loss, _ := g.SoftmaxCrossEntropy(logits, []int{label})
+	return loss
+}
+
+// LossRNG is Loss in training mode with an explicit dropout RNG. It never
+// touches the shared model RNG, so concurrent calls on separate tapes with
+// separate RNGs are safe — the hook data-parallel training uses to give
+// every in-flight example its own deterministic dropout stream.
+func (m *Model) LossRNG(g *nn.Graph, enc *auggraph.Encoded, label int, rng *tensor.RNG) *nn.Node {
+	logits := m.forward(g, enc, true, rng)
 	loss, _ := g.SoftmaxCrossEntropy(logits, []int{label})
 	return loss
 }

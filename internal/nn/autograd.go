@@ -25,6 +25,15 @@ type Node struct {
 type Graph struct {
 	nodes     []*Node
 	inference bool
+
+	// local redirects parameter gradients into a worker-private LocalGrads
+	// (set by Scratch.NewGraph); nil means gradients accumulate into the
+	// shared Param.G as on a plain training tape.
+	local *LocalGrads
+	// arena recycles the tape's buffers across steps; owned tracks which
+	// buffers came from it so Free can return exactly those.
+	arena *Arena
+	owned [][]float64
 }
 
 // NewGraph starts a fresh tape.
@@ -48,21 +57,52 @@ func (g *Graph) Constant(m *tensor.Matrix) *Node {
 	return g.add(&Node{Val: m})
 }
 
-// Param introduces a trainable parameter; gradients accumulate into p.G
-// (on an inference tape the parameter joins as a constant instead).
+// Param introduces a trainable parameter; gradients accumulate into p.G —
+// or into the tape's LocalGrads on a worker tape (Scratch.NewGraph), so
+// concurrent examples never write the same matrix. On an inference tape the
+// parameter joins as a constant instead. Repeated Param calls for the same
+// parameter share one gradient destination either way.
 func (g *Graph) Param(p *Param) *Node {
 	if g.inference {
 		return g.add(&Node{Val: p.W})
 	}
+	if g.local != nil {
+		return g.add(&Node{Val: p.W, Grad: g.local.grad(p), needsGrad: true})
+	}
 	return g.add(&Node{Val: p.W, Grad: p.G, needsGrad: true})
 }
 
+// alloc returns a zeroed matrix, drawn from the tape's arena when one is
+// attached (and then reclaimed by Free).
+func (g *Graph) alloc(rows, cols int) *tensor.Matrix {
+	if g.arena == nil {
+		return tensor.New(rows, cols)
+	}
+	buf := g.arena.take(rows * cols)
+	g.owned = append(g.owned, buf)
+	return tensor.FromSlice(rows, cols, buf)
+}
+
 func (g *Graph) newLike(rows, cols int, needsGrad bool) *Node {
-	n := &Node{Val: tensor.New(rows, cols), needsGrad: needsGrad}
+	n := &Node{Val: g.alloc(rows, cols), needsGrad: needsGrad}
 	if needsGrad {
-		n.Grad = tensor.New(rows, cols)
+		n.Grad = g.alloc(rows, cols)
 	}
 	return g.add(n)
+}
+
+// Free returns every arena-drawn buffer of the tape for reuse and drops the
+// tape's nodes. Call it only after the loss value and the gradients (which
+// live in Param.G or the worker's LocalGrads, never in arena buffers) have
+// been consumed; the Graph must not be used afterwards.
+func (g *Graph) Free() {
+	if g.arena != nil {
+		for _, buf := range g.owned {
+			g.arena.reclaim(buf)
+		}
+	}
+	g.owned = nil
+	g.nodes = nil
 }
 
 // Backward runs reverse-mode differentiation from the scalar loss node.
@@ -110,7 +150,7 @@ func (g *Graph) MatMulBT(a, b *Node) *Node {
 	out.back = func() {
 		if a.needsGrad {
 			// dA = dOut·B
-			tmp := tensor.New(a.Val.Rows, a.Val.Cols)
+			tmp := g.alloc(a.Val.Rows, a.Val.Cols)
 			tensor.MatMulInto(tmp, out.Grad, b.Val)
 			tensor.AddInPlace(a.Grad, tmp)
 		}
@@ -635,7 +675,7 @@ func (g *Graph) HeadScale(msg, alpha *Node, heads int) *Node {
 func (g *Graph) SegmentSoftmax(scores *Node, seg []int, n int) *Node {
 	h := scores.Val.Cols
 	out := g.newLike(scores.Val.Rows, h, scores.needsGrad)
-	maxv := tensor.New(n, h)
+	maxv := g.alloc(n, h)
 	for i := range maxv.Data {
 		maxv.Data[i] = math.Inf(-1)
 	}
@@ -646,7 +686,7 @@ func (g *Graph) SegmentSoftmax(scores *Node, seg []int, n int) *Node {
 			}
 		}
 	}
-	sum := tensor.New(n, h)
+	sum := g.alloc(n, h)
 	for e, s := range seg {
 		for c := 0; c < h; c++ {
 			v := math.Exp(scores.Val.Data[e*h+c] - maxv.Data[s*h+c])
@@ -666,7 +706,7 @@ func (g *Graph) SegmentSoftmax(scores *Node, seg []int, n int) *Node {
 			return
 		}
 		// d/dx softmax: dx_e = y_e (g_e − Σ_k y_k g_k) per segment/head.
-		dot := tensor.New(n, h)
+		dot := g.alloc(n, h)
 		for e, s := range seg {
 			for c := 0; c < h; c++ {
 				dot.Data[s*h+c] += out.Val.Data[e*h+c] * out.Grad.Data[e*h+c]
@@ -716,7 +756,7 @@ func (g *Graph) LayerNorm(a, gain, bias *Node) *Node {
 	}
 	const eps = 1e-5
 	out := g.newLike(a.Val.Rows, d, true)
-	xhat := tensor.New(a.Val.Rows, d)
+	xhat := g.alloc(a.Val.Rows, d)
 	invStd := make([]float64, a.Val.Rows)
 	for i := 0; i < a.Val.Rows; i++ {
 		row := a.Val.Row(i)
@@ -739,6 +779,7 @@ func (g *Graph) LayerNorm(a, gain, bias *Node) *Node {
 		}
 	}
 	out.back = func() {
+		dxhat := make([]float64, d) // shared row scratch, overwritten per row
 		for i := 0; i < a.Val.Rows; i++ {
 			grow := out.Grad.Row(i)
 			// gradients to gain/bias
@@ -755,7 +796,6 @@ func (g *Graph) LayerNorm(a, gain, bias *Node) *Node {
 			}
 			// dxhat = g * gain; dx = invStd*(dxhat - mean(dxhat) - xhat*mean(dxhat*xhat))
 			var meanDx, meanDxXhat float64
-			dxhat := make([]float64, d)
 			for j := 0; j < d; j++ {
 				dxhat[j] = grow[j] * gain.Val.Data[j]
 				meanDx += dxhat[j]

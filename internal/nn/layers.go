@@ -13,6 +13,11 @@ type Param struct {
 	W    *tensor.Matrix
 	G    *tensor.Matrix
 	m, v *tensor.Matrix
+
+	// idx is the parameter's position in its ParamSet (set by Register,
+	// -1 until then); LocalGrads uses it to align worker-private gradient
+	// matrices with their parameters.
+	idx int
 }
 
 // NewParam allocates a parameter with Xavier initialization.
@@ -23,6 +28,7 @@ func NewParam(name string, rows, cols int, rng *tensor.RNG) *Param {
 		G:    tensor.New(rows, cols),
 		m:    tensor.New(rows, cols),
 		v:    tensor.New(rows, cols),
+		idx:  -1,
 	}
 }
 
@@ -34,6 +40,7 @@ func NewParamGaussian(name string, rows, cols int, std float64, rng *tensor.RNG)
 		G:    tensor.New(rows, cols),
 		m:    tensor.New(rows, cols),
 		v:    tensor.New(rows, cols),
+		idx:  -1,
 	}
 }
 
@@ -45,7 +52,23 @@ func NewParamZero(name string, rows, cols int) *Param {
 		G:    tensor.New(rows, cols),
 		m:    tensor.New(rows, cols),
 		v:    tensor.New(rows, cols),
+		idx:  -1,
 	}
+}
+
+// Moments returns copies of the parameter's Adam moment vectors (first,
+// second) for checkpointing optimizer state.
+func (p *Param) Moments() (m, v []float64) {
+	return append([]float64(nil), p.m.Data...), append([]float64(nil), p.v.Data...)
+}
+
+// SetMoments restores the Adam moment vectors from a checkpoint.
+func (p *Param) SetMoments(m, v []float64) {
+	if len(m) != len(p.m.Data) || len(v) != len(p.v.Data) {
+		panic(fmt.Sprintf("nn: moment size mismatch for %s: %d/%d vs %d", p.Name, len(m), len(v), len(p.m.Data)))
+	}
+	copy(p.m.Data, m)
+	copy(p.v.Data, v)
 }
 
 // NewParamOnes allocates a ones-initialized parameter (LN gains).
@@ -69,9 +92,16 @@ type ParamSet struct {
 }
 
 // Register adds parameters to the set and returns the first one (for
-// chaining convenience).
+// chaining convenience). A parameter belongs to exactly one set: its
+// registration index is what aligns worker-private LocalGrads with it.
 func (ps *ParamSet) Register(params ...*Param) *Param {
-	ps.params = append(ps.params, params...)
+	for _, p := range params {
+		if p.idx >= 0 {
+			panic(fmt.Sprintf("nn: param %s registered twice", p.Name))
+		}
+		p.idx = len(ps.params)
+		ps.params = append(ps.params, p)
+	}
 	return params[0]
 }
 
@@ -208,7 +238,20 @@ func NewAdam(lr float64) *Adam {
 	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
 }
 
+// Steps returns how many updates have been applied (the bias-correction
+// counter), for checkpointing.
+func (a *Adam) Steps() int { return a.step }
+
+// SetSteps restores the update counter from a checkpoint.
+func (a *Adam) SetSteps(n int) { a.step = n }
+
 // Step applies one update to every parameter from its accumulated gradient.
+// It is the "apply once" half of the accumulate-then-step contract of
+// data-parallel training: workers produce per-example LocalGrads, the
+// trainer folds them into Param.G with ParamSet.Accumulate in a fixed
+// order, and a single Step consumes the summed gradient — so the optimizer
+// trajectory is identical whether a minibatch was computed by one goroutine
+// or many.
 func (a *Adam) Step(ps *ParamSet) {
 	a.step++
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))

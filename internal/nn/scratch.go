@@ -1,0 +1,192 @@
+package nn
+
+import (
+	"sync"
+
+	"graph2par/internal/tensor"
+)
+
+// This file is the worker-side memory machinery of data-parallel training.
+//
+// The shared-gradient tape (Graph.Param accumulating into Param.G) is what
+// makes the serial training loop simple — and what makes it impossible to
+// parallelize deterministically: two concurrent backward passes would
+// interleave += operations on the same matrices in scheduler order. The
+// pieces here give every in-flight example its own gradient destination and
+// its own recycled tape memory:
+//
+//   - LocalGrads: a full set of param-shaped gradient matrices, aligned
+//     index-for-index with a ParamSet. A tape built over one (see
+//     Scratch.NewGraph) writes gradients there instead of into Param.G.
+//   - ParamSet.Accumulate: folds a LocalGrads into the shared gradients in
+//     registration order — the single, fixed reduction order that makes the
+//     result independent of which worker computed what.
+//   - Arena: an exact-size free list for the float64 buffers a tape
+//     allocates per op — the dominant allocation volume of a training
+//     step. Recurring shapes are served from the free list after their
+//     first appearance (small per-op bookkeeping like dropout masks and
+//     the node structs themselves still allocate).
+//   - Scratch / ScratchPool: one example's bundle of both, handed out per
+//     in-flight example and recycled across steps, so the pool stabilizes
+//     at as many bundles as the trainer keeps in flight at once (one
+//     minibatch's worth — gradients must all survive until the in-order
+//     reduction) regardless of step count.
+
+// LocalGrads is a private set of gradient matrices shaped like a ParamSet's
+// parameters. It lets one training example's backward pass run concurrently
+// with others: each example accumulates into its own LocalGrads, and the
+// trainer folds them into the shared Param.G afterwards in a fixed order.
+type LocalGrads struct {
+	ps    *ParamSet
+	grads []*tensor.Matrix
+}
+
+// NewLocalGrads allocates a zeroed gradient set aligned with ps.
+func (ps *ParamSet) NewLocalGrads() *LocalGrads {
+	lg := &LocalGrads{ps: ps, grads: make([]*tensor.Matrix, len(ps.params))}
+	for i, p := range ps.params {
+		lg.grads[i] = tensor.New(p.W.Rows, p.W.Cols)
+	}
+	return lg
+}
+
+// Zero clears every gradient in the set.
+func (lg *LocalGrads) Zero() {
+	for _, g := range lg.grads {
+		g.Zero()
+	}
+}
+
+// grad returns the local gradient matrix for p, which must be registered in
+// the ParamSet this set was built from.
+func (lg *LocalGrads) grad(p *Param) *tensor.Matrix {
+	if p.idx < 0 || p.idx >= len(lg.grads) || lg.ps.params[p.idx] != p {
+		panic("nn: LocalGrads used with a param from a different ParamSet")
+	}
+	return lg.grads[p.idx]
+}
+
+// Accumulate folds a LocalGrads into the shared gradients: G += local for
+// every parameter, in registration order. Callers that reduce several
+// LocalGrads must do so serially and in a fixed sequence (the training
+// loops use minibatch example order); together with the fixed per-set
+// parameter order that pins the floating-point reduction tree, so the
+// summed gradient is byte-identical for any worker count.
+func (ps *ParamSet) Accumulate(lg *LocalGrads) {
+	if lg.ps != ps {
+		panic("nn: Accumulate with a LocalGrads from a different ParamSet")
+	}
+	for i, p := range ps.params {
+		tensor.AddInPlace(p.G, lg.grads[i])
+	}
+}
+
+// Arena recycles the float64 buffers a tape allocates, keyed by exact
+// length. It is single-goroutine scratch memory: one Arena belongs to one
+// worker at a time (ScratchPool enforces this). Buffers handed back via
+// reclaim are zeroed, so take always returns memory indistinguishable from
+// a fresh allocation — recycling can never change a computed value.
+//
+// Retention is bounded: graph-shaped workloads allocate a different row
+// count per example, so an uncapped exact-size free list would accumulate
+// buffers for every distinct shape ever seen. Once arenaBudgetBytes of
+// buffers are parked, further reclaims fall through to the garbage
+// collector; the hottest (most recently recurring) sizes stay cached.
+type Arena struct {
+	free     map[int][][]float64
+	retained int // bytes currently parked across all free lists
+}
+
+// arenaBudgetBytes caps how much memory one Arena keeps parked — far above
+// one tape's working set at laptop scale, far below letting a size-diverse
+// corpus pin a buffer per shape forever.
+const arenaBudgetBytes = 32 << 20
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{free: map[int][][]float64{}} }
+
+// take returns a zeroed buffer of length n, reusing a reclaimed one when
+// available.
+func (a *Arena) take(n int) []float64 {
+	if l := a.free[n]; len(l) > 0 {
+		buf := l[len(l)-1]
+		a.free[n] = l[:len(l)-1]
+		a.retained -= 8 * n
+		return buf
+	}
+	return make([]float64, n)
+}
+
+// reclaim zeroes a buffer and returns it to the free list, unless the
+// retention budget is spent (then the buffer is left to the GC).
+func (a *Arena) reclaim(buf []float64) {
+	if a.retained+8*len(buf) > arenaBudgetBytes {
+		return
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	a.free[len(buf)] = append(a.free[len(buf)], buf)
+	a.retained += 8 * len(buf)
+}
+
+// Scratch bundles one worker's training-tape memory: a LocalGrads for the
+// gradients and an Arena for the tape's intermediate buffers.
+type Scratch struct {
+	Grads *LocalGrads
+	arena *Arena
+}
+
+// NewScratch builds a bundle for one worker over ps.
+func NewScratch(ps *ParamSet) *Scratch {
+	return &Scratch{Grads: ps.NewLocalGrads(), arena: NewArena()}
+}
+
+// NewGraph starts a training tape whose parameter gradients land in the
+// scratch's LocalGrads and whose intermediate buffers come from its arena.
+// Call Graph.Free once the loss value and gradients have been consumed to
+// return the tape's buffers for the next example.
+func (s *Scratch) NewGraph() *Graph {
+	return &Graph{local: s.Grads, arena: s.arena}
+}
+
+// ScratchPool hands out Scratch bundles to training workers. It is safe
+// for concurrent Get/Put; each bundle is owned by exactly one goroutine
+// between the two. Pool contents carry no example state (gradients are
+// zeroed on Put), so which worker receives which bundle cannot influence
+// any computed value.
+type ScratchPool struct {
+	ps   *ParamSet
+	mu   sync.Mutex
+	free []*Scratch
+}
+
+// NewScratchPool builds an empty pool over ps; bundles are created on
+// demand, so the pool ends up holding as many bundles as its caller keeps
+// checked out simultaneously (for the trainer: one per example of the
+// largest minibatch, since every example's gradients live until the
+// batch's in-order reduction).
+func NewScratchPool(ps *ParamSet) *ScratchPool {
+	return &ScratchPool{ps: ps}
+}
+
+// Get returns a bundle with zeroed gradients.
+func (sp *ScratchPool) Get() *Scratch {
+	sp.mu.Lock()
+	if n := len(sp.free); n > 0 {
+		s := sp.free[n-1]
+		sp.free = sp.free[:n-1]
+		sp.mu.Unlock()
+		return s
+	}
+	sp.mu.Unlock()
+	return NewScratch(sp.ps)
+}
+
+// Put zeroes the bundle's gradients and makes it available again.
+func (sp *ScratchPool) Put(s *Scratch) {
+	s.Grads.Zero()
+	sp.mu.Lock()
+	sp.free = append(sp.free, s)
+	sp.mu.Unlock()
+}

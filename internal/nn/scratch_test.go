@@ -1,0 +1,195 @@
+package nn
+
+import (
+	"testing"
+
+	"graph2par/internal/tensor"
+)
+
+// scratchNet builds a small but representative stack (embedding → linear →
+// layernorm → GELU → pooling → cross-entropy) and returns its params plus a
+// loss function over an arbitrary tape.
+func scratchNet() (*ParamSet, func(g *Graph, ids []int, label int) *Node) {
+	rng := tensor.NewRNG(404)
+	ps := &ParamSet{}
+	emb := NewEmbedding(ps, "emb", 12, 8, rng)
+	lin := NewLinear(ps, "lin", 8, 8, rng)
+	ln := NewLayerNorm(ps, "ln", 8)
+	head := NewLinear(ps, "head", 8, 2, rng)
+	loss := func(g *Graph, ids []int, label int) *Node {
+		h := emb.Lookup(g, ids)
+		h = ln.Apply(g, lin.Apply(g, h))
+		pooled := g.MeanRows(g.GELU(h))
+		logits := head.Apply(g, pooled)
+		l, _ := g.SoftmaxCrossEntropy(logits, []int{label})
+		return l
+	}
+	return ps, loss
+}
+
+// TestWorkerTapeGradsMatchSharedTape pins the core local-grad contract: a
+// backward pass on a Scratch tape produces, in its LocalGrads, exactly the
+// bytes a shared-gradient tape would have accumulated into Param.G.
+func TestWorkerTapeGradsMatchSharedTape(t *testing.T) {
+	ps, lossFn := scratchNet()
+	ids := []int{3, 1, 4, 1, 5}
+
+	ps.ZeroGrad()
+	g := NewGraph()
+	g.Backward(lossFn(g, ids, 1))
+	want := make([][]float64, len(ps.All()))
+	for i, p := range ps.All() {
+		want[i] = append([]float64(nil), p.G.Data...)
+	}
+
+	ps.ZeroGrad()
+	s := NewScratch(ps)
+	wg := s.NewGraph()
+	wg.Backward(lossFn(wg, ids, 1))
+	for i, p := range ps.All() {
+		local := s.Grads.grad(p)
+		for j := range want[i] {
+			if local.Data[j] != want[i][j] {
+				t.Fatalf("param %s grad[%d]: local %v vs shared %v", p.Name, j, local.Data[j], want[i][j])
+			}
+		}
+		for _, v := range p.G.Data {
+			if v != 0 {
+				t.Fatalf("param %s: worker tape leaked into shared G", p.Name)
+			}
+		}
+	}
+}
+
+// TestArenaReuseBitStable runs the same example repeatedly through one
+// Scratch, freeing the tape between steps: every pass must produce the same
+// loss and gradients even though steps ≥ 2 run entirely on recycled
+// buffers.
+func TestArenaReuseBitStable(t *testing.T) {
+	ps, lossFn := scratchNet()
+	s := NewScratch(ps)
+	ids := []int{2, 7, 2}
+
+	var wantLoss float64
+	var want [][]float64
+	for step := 0; step < 4; step++ {
+		g := s.NewGraph()
+		loss := lossFn(g, ids, 0)
+		g.Backward(loss)
+		lv := loss.Val.Data[0]
+		if step == 0 {
+			wantLoss = lv
+			for _, p := range ps.All() {
+				want = append(want, append([]float64(nil), s.Grads.grad(p).Data...))
+			}
+		} else {
+			if lv != wantLoss {
+				t.Fatalf("step %d: loss %v != first-step loss %v on recycled buffers", step, lv, wantLoss)
+			}
+			for i, p := range ps.All() {
+				for j, v := range s.Grads.grad(p).Data {
+					if v != want[i][j] {
+						t.Fatalf("step %d: param %s grad changed on recycled buffers", step, p.Name)
+					}
+				}
+			}
+		}
+		g.Free()
+		s.Grads.Zero()
+	}
+}
+
+// TestAccumulateFixedOrder checks that folding per-example LocalGrads via
+// ParamSet.Accumulate equals an explicit example-order sum of the same
+// per-example gradients, byte for byte. Reducing fully-computed per-example
+// gradients in a fixed order — rather than letting every backward op
+// interleave into a shared matrix — is the reduction tree that makes
+// training worker-count independent.
+func TestAccumulateFixedOrder(t *testing.T) {
+	ps, lossFn := scratchNet()
+	batch := [][]int{{1, 2, 3}, {4, 5}, {6, 7, 8, 9}}
+	labels := []int{0, 1, 1}
+
+	// Reference: each example's gradient on its own zeroed shared tape,
+	// snapshotted, then summed in example order.
+	perExample := make([][][]float64, len(batch))
+	for i, ids := range batch {
+		ps.ZeroGrad()
+		g := NewGraph()
+		g.Backward(lossFn(g, ids, labels[i]))
+		for _, p := range ps.All() {
+			perExample[i] = append(perExample[i], append([]float64(nil), p.G.Data...))
+		}
+	}
+	want := make([][]float64, len(ps.All()))
+	for pi, p := range ps.All() {
+		want[pi] = make([]float64, len(p.G.Data))
+		for i := range batch {
+			for j, v := range perExample[i][pi] {
+				want[pi][j] += v
+			}
+		}
+	}
+
+	// Worker path: per-example LocalGrads, reduced in example order.
+	ps.ZeroGrad()
+	pool := NewScratchPool(ps)
+	scratches := make([]*Scratch, len(batch))
+	for i, ids := range batch {
+		s := pool.Get()
+		g := s.NewGraph()
+		g.Backward(lossFn(g, ids, labels[i]))
+		g.Free()
+		scratches[i] = s
+	}
+	for _, s := range scratches {
+		ps.Accumulate(s.Grads)
+		pool.Put(s)
+	}
+	for i, p := range ps.All() {
+		for j, v := range p.G.Data {
+			if v != want[i][j] {
+				t.Fatalf("param %s grad[%d]: accumulated %v vs reference %v", p.Name, j, v, want[i][j])
+			}
+		}
+	}
+}
+
+// TestScratchPoolRecycles confirms Put hands bundles back to Get with
+// zeroed gradients.
+func TestScratchPoolRecycles(t *testing.T) {
+	ps, lossFn := scratchNet()
+	pool := NewScratchPool(ps)
+	s := pool.Get()
+	g := s.NewGraph()
+	g.Backward(lossFn(g, []int{1, 2}, 1))
+	g.Free()
+	pool.Put(s)
+	s2 := pool.Get()
+	if s2 != s {
+		t.Fatal("pool did not recycle the bundle")
+	}
+	for _, p := range ps.All() {
+		for _, v := range s2.Grads.grad(p).Data {
+			if v != 0 {
+				t.Fatal("recycled bundle carries stale gradients")
+			}
+		}
+	}
+}
+
+// TestLocalGradsForeignParamPanics pins the misuse guard.
+func TestLocalGradsForeignParamPanics(t *testing.T) {
+	ps, _ := scratchNet()
+	lg := ps.NewLocalGrads()
+	other := &ParamSet{}
+	rng := tensor.NewRNG(1)
+	foreign := NewParam("foreign", 2, 2, rng)
+	other.Register(foreign)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for foreign param")
+		}
+	}()
+	lg.grad(foreign)
+}

@@ -162,8 +162,16 @@ func New(cfg Config) *Model {
 // RNG exposes the model RNG for reproducible shuffling.
 func (m *Model) RNG() *tensor.RNG { return m.rng }
 
-// Forward computes logits (1×Classes) for one token-ID sequence.
+// Forward computes logits (1×Classes) for one token-ID sequence. With
+// train=true it draws dropout masks from the shared model RNG and must not
+// overlap other Forward calls; training workers use LossRNG instead.
 func (m *Model) Forward(g *nn.Graph, ids []int, train bool) *nn.Node {
+	return m.forward(g, ids, train, m.rng)
+}
+
+// forward is Forward with an explicit dropout RNG (only consumed when
+// train is true).
+func (m *Model) forward(g *nn.Graph, ids []int, train bool, rng *tensor.RNG) *nn.Node {
 	cfg := m.Cfg
 	if len(ids) == 0 {
 		ids = []int{0}
@@ -183,7 +191,7 @@ func (m *Model) Forward(g *nn.Graph, ids []int, train bool) *nn.Node {
 		pos[i] = i
 	}
 	x := g.Add(m.tokEmb.Lookup(g, clamped), m.posEmb.Lookup(g, pos))
-	x = g.Dropout(x, cfg.Dropout, m.rng, train)
+	x = g.Dropout(x, cfg.Dropout, rng, train)
 
 	dh := cfg.Hidden / cfg.Heads
 	scale := 1 / math.Sqrt(float64(dh))
@@ -208,15 +216,15 @@ func (m *Model) Forward(g *nn.Graph, ids []int, train bool) *nn.Node {
 			}
 		}
 		att := b.wo.Apply(g, headsOut)
-		att = g.Dropout(att, cfg.Dropout, m.rng, train)
+		att = g.Dropout(att, cfg.Dropout, rng, train)
 		x = b.ln1.Apply(g, g.Add(x, att))
 		ff := b.ffn2.Apply(g, g.GELU(b.ffn1.Apply(g, x)))
-		ff = g.Dropout(ff, cfg.Dropout, m.rng, train)
+		ff = g.Dropout(ff, cfg.Dropout, rng, train)
 		x = b.ln2.Apply(g, g.Add(x, ff))
 	}
 	pooled := g.MeanRows(x)
 	hidden := g.GELU(m.headA.Apply(g, pooled))
-	hidden = g.Dropout(hidden, cfg.Dropout, m.rng, train)
+	hidden = g.Dropout(hidden, cfg.Dropout, rng, train)
 	return m.headB.Apply(g, hidden)
 }
 
@@ -238,6 +246,15 @@ func (m *Model) Predict(ids []int) (int, []float64) {
 // Loss builds the cross-entropy loss for one labeled sequence.
 func (m *Model) Loss(g *nn.Graph, ids []int, label int, train bool) *nn.Node {
 	logits := m.Forward(g, ids, train)
+	loss, _ := g.SoftmaxCrossEntropy(logits, []int{label})
+	return loss
+}
+
+// LossRNG is Loss in training mode with an explicit dropout RNG; it never
+// touches the shared model RNG, so concurrent calls on separate tapes with
+// separate RNGs are safe (see hgt.Model.LossRNG).
+func (m *Model) LossRNG(g *nn.Graph, ids []int, label int, rng *tensor.RNG) *nn.Node {
+	logits := m.forward(g, ids, true, rng)
 	loss, _ := g.SoftmaxCrossEntropy(logits, []int{label})
 	return loss
 }

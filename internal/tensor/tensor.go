@@ -7,6 +7,8 @@ package tensor
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 )
 
 // Matrix is a dense row-major matrix.
@@ -142,6 +144,26 @@ func (r *RNG) Perm(n int) []int {
 // Split derives an independent generator (for deterministic parallel use).
 func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }
 
+// RNGState is the serializable snapshot of a generator: restoring it
+// continues the stream exactly where the snapshot was taken, including the
+// buffered Box-Muller spare. Training checkpoints embed it so a resumed run
+// draws the same permutations and dropout seeds as an uninterrupted one.
+type RNGState struct {
+	State    uint64
+	Spare    float64
+	HasSpare bool
+}
+
+// Snapshot captures the generator's current state.
+func (r *RNG) Snapshot() RNGState {
+	return RNGState{State: r.state, Spare: r.spare, HasSpare: r.hasSpare}
+}
+
+// Restore rewinds the generator to a snapshot.
+func (r *RNG) Restore(st RNGState) {
+	r.state, r.spare, r.hasSpare = st.State, st.Spare, st.HasSpare
+}
+
 // Xavier fills m with Glorot-uniform values scaled by fan-in/fan-out.
 func (m *Matrix) Xavier(r *RNG) *Matrix {
 	limit := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
@@ -172,49 +194,128 @@ func MatMul(a, b *Matrix) *Matrix {
 	return out
 }
 
+// The three MatMul kernels below share two structural rules that make them
+// safe everywhere the repository relies on bit-identical floating-point
+// results (batch-vs-single inference, worker-count-independent training):
+//
+//   - every output element accumulates its terms over the shared dimension
+//     in ascending order, no matter how the loops around it are blocked;
+//   - parallelism only ever splits disjoint OUTPUT row ranges across
+//     goroutines, so no element is touched by two workers and no
+//     accumulation order depends on scheduling.
+//
+// Blocking is therefore a pure cache optimization: any block size and any
+// worker count produce the same bytes as the naive triple loop.
+
+// matMulRowBlock is the row-group size of the tiled kernels: one block of
+// output rows reuses each streamed b-row blockRows times, cutting main-memory
+// traffic on the larger operand by the same factor.
+const matMulRowBlock = 8
+
+// parThreshold is the minimum number of multiply-adds before a kernel fans
+// rows out across goroutines; below it the spawn cost dwarfs the work. One
+// worker per GOMAXPROCS slot, contiguous row ranges.
+//
+// The bound is deliberately high (a ~2M-flop product runs ~1ms serial)
+// because these kernels often execute INSIDE a worker pool — per-example
+// training tapes, the engine's per-batch inference workers — where nested
+// fan-out would oversubscribe cores. Per-example training matmuls and
+// typical size-bucketed inference unions (16 loop graphs × ~40 nodes at
+// hidden 48 ≈ 1.5M flops) stay under it; only genuinely large products,
+// where extra threads help more than they contend, cross it.
+const parThreshold = 2 << 20
+
+// parallelRows runs fn over [0, rows) split into contiguous ranges, in
+// parallel when the total work justifies it. fn must only write rows inside
+// its range. flops is the full kernel's multiply-add count.
+func parallelRows(rows int, flops int, fn func(lo, hi int)) {
+	w := runtime.GOMAXPROCS(0)
+	if w > rows {
+		w = rows
+	}
+	if w <= 1 || flops < parThreshold {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	chunk := (rows + w - 1) / w
+	for g := 0; g < w; g++ {
+		lo := g * chunk
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			if lo < hi {
+				fn(lo, hi)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
 // MatMulInto computes out = a·b into an existing matrix.
 func MatMulInto(out, a, b *Matrix) {
 	if out.Rows != a.Rows || out.Cols != b.Cols {
 		panic("tensor: matmul output shape mismatch")
 	}
 	n, k, m := a.Rows, a.Cols, b.Cols
-	for i := 0; i < n; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*m : (i+1)*m]
-		for x := range orow {
-			orow[x] = 0
-		}
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
+	parallelRows(n, n*k*m, func(lo, hi int) {
+		for i0 := lo; i0 < hi; i0 += matMulRowBlock {
+			i1 := i0 + matMulRowBlock
+			if i1 > hi {
+				i1 = hi
 			}
-			brow := b.Data[p*m : (p+1)*m]
-			for j := 0; j < m; j++ {
-				orow[j] += av * brow[j]
+			blk := out.Data[i0*m : i1*m]
+			for x := range blk {
+				blk[x] = 0
+			}
+			// p outer / i inner reuses each b-row across the whole row
+			// block; element (i,j) still accumulates over ascending p.
+			for p := 0; p < k; p++ {
+				brow := b.Data[p*m : (p+1)*m]
+				for i := i0; i < i1; i++ {
+					av := a.Data[i*k+p]
+					if av == 0 {
+						continue
+					}
+					orow := out.Data[i*m : (i+1)*m]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
 			}
 		}
-	}
+	})
 }
 
-// MatMulATInto computes out += aᵀ·b (used by backward passes).
+// MatMulATInto computes out += aᵀ·b (used by backward passes). Output rows
+// are columns of a; splitting them across workers keeps the accumulation
+// into each element serial and in ascending-row order, exactly as the
+// p-outer serial loop ordered it.
 func MatMulATInto(out, a, b *Matrix) {
 	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
 		panic("tensor: matmulAT shape mismatch")
 	}
-	for p := 0; p < a.Rows; p++ {
-		arow := a.Data[p*a.Cols : (p+1)*a.Cols]
-		brow := b.Data[p*b.Cols : (p+1)*b.Cols]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
+	n, k, m := a.Rows, a.Cols, b.Cols
+	parallelRows(k, n*k*m, func(lo, hi int) {
+		for p := 0; p < n; p++ {
+			arow := a.Data[p*k : (p+1)*k]
+			brow := b.Data[p*m : (p+1)*m]
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				orow := out.Data[i*m : (i+1)*m]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 }
 
 // MatMulBTInto computes out += a·bᵀ (used by backward passes).
@@ -222,18 +323,21 @@ func MatMulBTInto(out, a, b *Matrix) {
 	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
 		panic("tensor: matmulBT shape mismatch")
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
-			var s float64
-			for p, av := range arow {
-				s += av * brow[p]
+	n, k, m := a.Rows, a.Cols, b.Rows
+	parallelRows(n, n*k*m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*m : (i+1)*m]
+			for j := 0; j < m; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				var s float64
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				orow[j] += s
 			}
-			orow[j] += s
 		}
-	}
+	})
 }
 
 // AddInPlace computes a += b.

@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"math"
+	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -64,6 +65,149 @@ func TestQuickTransposedMatMulIdentities(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// naiveMatMul / naiveMatMulAT / naiveMatMulBT are straight-line reference
+// kernels: ascending-p accumulation per element, the order the tiled and
+// row-parallel production kernels promise to preserve bit for bit.
+func naiveMatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for p := 0; p < a.Cols; p++ {
+				av := a.At(i, p)
+				if av == 0 {
+					continue
+				}
+				s += av * b.At(p, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func naiveMatMulAT(out, a, b *Matrix) {
+	for i := 0; i < a.Cols; i++ {
+		for j := 0; j < b.Cols; j++ {
+			v := out.At(i, j)
+			for p := 0; p < a.Rows; p++ {
+				av := a.At(p, i)
+				if av == 0 {
+					continue
+				}
+				v += av * b.At(p, j)
+			}
+			out.Set(i, j, v)
+		}
+	}
+}
+
+func naiveMatMulBT(out, a, b *Matrix) {
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			var s float64
+			for p := 0; p < a.Cols; p++ {
+				s += a.At(i, p) * b.At(j, p)
+			}
+			out.Set(i, j, out.At(i, j)+s)
+		}
+	}
+}
+
+// bitEqual demands exact float64 equality — the invariant the training and
+// inference bit-identity guarantees are built on, stricter than Equal's eps.
+func bitEqual(a, b *Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMatMulKernelsBitIdenticalToReference pins the tiled kernels (and
+// their parallel row-split, forced on by raising GOMAXPROCS past the
+// parThreshold work bound) to the naive reference, bit for bit, across
+// shapes small, ragged and large enough to cross every block boundary.
+func TestMatMulKernelsBitIdenticalToReference(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	rng := NewRNG(2718)
+	shapes := [][3]int{
+		{1, 1, 1}, {3, 5, 7}, {8, 8, 8}, {9, 17, 33},
+		{matMulRowBlock + 3, 31, 29},
+		{192, 96, 160}, // ~2.9M flops: crosses parThreshold, takes the parallel path
+	}
+	for _, sh := range shapes {
+		n, k, m := sh[0], sh[1], sh[2]
+		a := New(n, k).Gaussian(rng, 1)
+		b := New(k, m).Gaussian(rng, 1)
+		a.Data[rng.Intn(len(a.Data))] = 0 // exercise the zero-skip
+		got := MatMul(a, b)
+		if !bitEqual(got, naiveMatMul(a, b)) {
+			t.Errorf("MatMul %dx%dx%d differs from reference", n, k, m)
+		}
+
+		// Accumulating variants start from a nonzero out to catch any
+		// zeroing the += kernels must not do.
+		seedOut := New(k, m).Gaussian(rng, 1)
+		x := New(n, m).Gaussian(rng, 1)
+		gotAT, wantAT := seedOut.Clone(), seedOut.Clone()
+		MatMulATInto(gotAT, a, x)
+		naiveMatMulAT(wantAT, a, x)
+		if !bitEqual(gotAT, wantAT) {
+			t.Errorf("MatMulATInto %dx%dx%d differs from reference", n, k, m)
+		}
+
+		bt := New(5, k).Gaussian(rng, 1) // shares a's inner dim, 5 output cols
+		gotBT := New(n, 5).Gaussian(rng, 1)
+		wantBT := gotBT.Clone()
+		MatMulBTInto(gotBT, a, bt)
+		naiveMatMulBT(wantBT, a, bt)
+		if !bitEqual(gotBT, wantBT) {
+			t.Errorf("MatMulBTInto %dx%dx%d differs from reference", n, k, m)
+		}
+	}
+}
+
+// TestMatMulParallelMatchesSerial pins the worker-count independence of the
+// row-split: the same product computed with GOMAXPROCS 1 and 4 must be
+// byte-identical even though the 4-way run splits rows across goroutines.
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	rng := NewRNG(33)
+	a := New(200, 120).Gaussian(rng, 1)
+	b := New(120, 150).Gaussian(rng, 1)
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := MatMul(a, b)
+	runtime.GOMAXPROCS(4)
+	par := MatMul(a, b)
+	runtime.GOMAXPROCS(prev)
+
+	if !bitEqual(serial, par) {
+		t.Fatal("parallel MatMul differs from serial")
+	}
+}
+
+func TestRNGSnapshotRestore(t *testing.T) {
+	r := NewRNG(77)
+	r.Norm() // leave a Box-Muller spare buffered
+	st := r.Snapshot()
+	want := []uint64{r.Uint64(), r.Uint64()}
+	wantN := r.Norm()
+
+	r2 := NewRNG(0)
+	r2.Restore(st)
+	if got := []uint64{r2.Uint64(), r2.Uint64()}; got[0] != want[0] || got[1] != want[1] {
+		t.Error("restored RNG diverged on Uint64 stream")
+	}
+	if r2.Norm() != wantN {
+		t.Error("restored RNG lost the Box-Muller spare")
 	}
 }
 

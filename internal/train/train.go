@@ -16,6 +16,7 @@ import (
 	"graph2par/internal/nn"
 	"graph2par/internal/parallel"
 	"graph2par/internal/seqmodel"
+	"graph2par/internal/tensor"
 )
 
 // LabelFunc maps a sample to its class (e.g. parallel = 1).
@@ -57,6 +58,11 @@ type Options struct {
 	// stop training and restore the best weights.
 	ValFrac  float64
 	Patience int
+	// Workers bounds the data-parallel gradient workers per minibatch
+	// (< 1 → GOMAXPROCS). Training is deterministic in the strongest
+	// sense: the same seed and data produce bit-identical weights at ANY
+	// worker count — see the invariants documented in trainer.go.
+	Workers int
 }
 
 // DefaultOptions returns the laptop-scale training configuration.
@@ -151,93 +157,22 @@ func fileFuncs(f *cast.File) map[string]*cast.FuncDecl {
 }
 
 // TrainHGT trains a Graph2Par model on the set, optionally with
-// validation-based early stopping.
+// validation-based early stopping. Gradient computation is data-parallel
+// over Options.Workers goroutines with bit-identical results at any worker
+// count; see HGTTrainer for the epoch-level API (trajectories, mid-run
+// checkpointing, resume).
 func TrainHGT(train *GraphSet, opts Options) *hgt.Model {
-	cfg := hgt.DefaultConfig(train.Vocab.NumKinds(), train.Vocab.NumAttrs(), train.Vocab.NumTypes())
-	cfg.Hidden = opts.Hidden
-	cfg.Heads = opts.Heads
-	cfg.Layers = opts.Layers
-	cfg.Seed = opts.Seed
-	model := hgt.New(cfg)
-	optzr := nn.NewAdam(opts.LR)
-
-	bs := opts.BatchSize
-	if bs < 1 {
-		bs = 1
-	}
-	rng := model.RNG()
-
-	// Carve out a validation slice when early stopping is requested.
-	trainIdx := make([]int, len(train.Encoded))
-	for i := range trainIdx {
-		trainIdx[i] = i
-	}
-	var valIdx []int
-	if opts.ValFrac > 0 && opts.Patience > 0 && len(trainIdx) >= 10 {
-		nVal := int(float64(len(trainIdx)) * opts.ValFrac)
-		if nVal < 1 {
-			nVal = 1
-		}
-		perm := rng.Perm(len(trainIdx))
-		valIdx = perm[:nVal]
-		trainIdx = perm[nVal:]
-	}
-
-	bestAcc := -1.0
-	sinceBest := 0
-	var bestWeights [][]float64
-
-	for epoch := 0; epoch < opts.Epochs; epoch++ {
-		perm := rng.Perm(len(trainIdx))
-		var total float64
-		pending := 0
-		model.Params.ZeroGrad()
-		for _, pi := range perm {
-			idx := trainIdx[pi]
-			g := nn.NewGraph()
-			loss := model.Loss(g, train.Encoded[idx], train.Labels[idx], true)
-			g.Backward(loss)
-			total += loss.Val.Data[0]
-			pending++
-			if pending >= bs {
-				model.Params.ClipGrad(5)
-				optzr.Step(&model.Params)
-				model.Params.ZeroGrad()
-				pending = 0
-			}
-		}
-		if pending > 0 {
-			model.Params.ClipGrad(5)
-			optzr.Step(&model.Params)
-			model.Params.ZeroGrad()
-		}
+	t := NewHGTTrainer(train, opts)
+	for !t.Done() {
+		loss := t.RunEpoch()
 		if opts.Verbose {
-			fmt.Printf("  [hgt] epoch %d/%d loss %.4f\n", epoch+1, opts.Epochs, total/float64(len(trainIdx)))
+			fmt.Printf("  [hgt] epoch %d/%d loss %.4f\n", t.Epoch(), opts.Epochs, loss)
 		}
-		if len(valIdx) == 0 {
-			continue
-		}
-		var c metrics.Confusion
-		for _, idx := range valIdx {
-			pred, _ := model.Predict(train.Encoded[idx])
-			c.Add(pred == 1, train.Labels[idx] == 1)
-		}
-		acc := c.Accuracy()
-		if acc > bestAcc {
-			bestAcc = acc
-			sinceBest = 0
-			bestWeights = snapshotWeights(&model.Params)
-		} else if sinceBest++; sinceBest >= opts.Patience {
-			if opts.Verbose {
-				fmt.Printf("  [hgt] early stop at epoch %d (best val acc %.4f)\n", epoch+1, bestAcc)
-			}
-			break
+		if t.EarlyStopped() && opts.Verbose {
+			fmt.Printf("  [hgt] early stop at epoch %d (best val acc %.4f)\n", t.Epoch(), t.BestValAcc())
 		}
 	}
-	if bestWeights != nil {
-		restoreWeights(&model.Params, bestWeights)
-	}
-	return model
+	return t.Finish()
 }
 
 func snapshotWeights(ps *nn.ParamSet) [][]float64 {
@@ -328,7 +263,10 @@ func PrepareSeqs(samples []*dataset.Sample, vocab *seqmodel.Vocab, label LabelFu
 	return ss
 }
 
-// TrainSeq trains the PragFormer baseline.
+// TrainSeq trains the PragFormer baseline with the same deterministic
+// data-parallel minibatch scheme as TrainHGT: per-example dropout seeds
+// drawn serially, worker-private gradients, fixed-order reduction — the
+// same seed produces bit-identical weights at any Options.Workers.
 func TrainSeq(train *SeqSet, opts Options) *seqmodel.Model {
 	cfg := seqmodel.DefaultConfig(train.Vocab.Size())
 	cfg.Hidden = opts.Hidden
@@ -338,6 +276,8 @@ func TrainSeq(train *SeqSet, opts Options) *seqmodel.Model {
 	cfg.Seed = opts.Seed
 	model := seqmodel.New(cfg)
 	optzr := nn.NewAdam(opts.LR)
+	pool := nn.NewScratchPool(&model.Params)
+	workers := parallel.Workers(opts.Workers)
 
 	bs := opts.BatchSize
 	if bs < 1 {
@@ -347,22 +287,16 @@ func TrainSeq(train *SeqSet, opts Options) *seqmodel.Model {
 	for epoch := 0; epoch < opts.Epochs; epoch++ {
 		perm := rng.Perm(len(train.IDs))
 		var total float64
-		pending := 0
 		model.Params.ZeroGrad()
-		for _, idx := range perm {
-			g := nn.NewGraph()
-			loss := model.Loss(g, train.IDs[idx], train.Labels[idx], true)
-			g.Backward(loss)
-			total += loss.Val.Data[0]
-			pending++
-			if pending >= bs {
-				model.Params.ClipGrad(5)
-				optzr.Step(&model.Params)
-				model.Params.ZeroGrad()
-				pending = 0
+		for start := 0; start < len(perm); start += bs {
+			end := start + bs
+			if end > len(perm) {
+				end = len(perm)
 			}
-		}
-		if pending > 0 {
+			total += batchStep(workers, &model.Params, pool, rng, perm[start:end],
+				func(g *nn.Graph, idx int, r *tensor.RNG) *nn.Node {
+					return model.LossRNG(g, train.IDs[idx], train.Labels[idx], r)
+				})
 			model.Params.ClipGrad(5)
 			optzr.Step(&model.Params)
 			model.Params.ZeroGrad()
