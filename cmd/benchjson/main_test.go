@@ -136,3 +136,125 @@ func TestGateRatioInlineBound(t *testing.T) {
 		t.Error("malformed inline bound should fail")
 	}
 }
+
+const sampleBenchmemOutput = `goos: linux
+pkg: graph2par
+BenchmarkFrontendPipeline-4      	      20	   1520976 ns/op	  220698 B/op	    1933 allocs/op
+BenchmarkFrontendPipelineFresh   	      20	   3346187 ns/op	 4107216 B/op	   13858 allocs/op
+BenchmarkAnalyzeFilesSerial      	       3	 234000000 ns/op
+PASS
+`
+
+// TestParseBenchmem covers the optional -benchmem columns.
+func TestParseBenchmem(t *testing.T) {
+	s, err := parse(strings.NewReader(sampleBenchmemOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Benchmarks["BenchmarkFrontendPipeline"]
+	if got.NsPerOp != 1520976 || got.BPerOp != 220698 || got.AllocsPerOp != 1933 {
+		t.Errorf("benchmem row = %+v", got)
+	}
+	// A plain row still parses, with zero mem columns.
+	if r := s.Benchmarks["BenchmarkAnalyzeFilesSerial"]; r.NsPerOp != 234000000 || r.AllocsPerOp != 0 {
+		t.Errorf("plain row = %+v", r)
+	}
+}
+
+func TestGateAllocs(t *testing.T) {
+	base := &Summary{Benchmarks: map[string]Result{
+		"BenchmarkFrontendPipeline": {N: 3, NsPerOp: 1, AllocsPerOp: 1000},
+	}}
+	run := func(allocs float64) *Summary {
+		return &Summary{Benchmarks: map[string]Result{
+			"BenchmarkFrontendPipeline": {N: 3, NsPerOp: 1, AllocsPerOp: allocs},
+		}}
+	}
+	if _, err := gateAllocs(run(1099), base, "BenchmarkFrontendPipeline", 10); err != nil {
+		t.Errorf("+9.9%% should pass at 10%%: %v", err)
+	}
+	if _, err := gateAllocs(run(1101), base, "BenchmarkFrontendPipeline", 10); err == nil {
+		t.Error("+10.1% should fail at 10%")
+	}
+	// Negative tolerance demands an improvement.
+	if _, err := gateAllocs(run(500), base, "BenchmarkFrontendPipeline", -40); err != nil {
+		t.Errorf("-50%% should pass a -40%% improvement gate: %v", err)
+	}
+	if _, err := gateAllocs(run(700), base, "BenchmarkFrontendPipeline", -40); err == nil {
+		t.Error("-30% should fail a -40% improvement gate")
+	}
+	// Missing benchmem data in the current run is an error; a missing
+	// baseline is a skip.
+	if _, err := gateAllocs(&Summary{Benchmarks: map[string]Result{
+		"BenchmarkFrontendPipeline": {N: 3, NsPerOp: 1},
+	}}, base, "BenchmarkFrontendPipeline", 10); err == nil {
+		t.Error("current run without -benchmem should fail the allocs gate")
+	}
+	msg, err := gateAllocs(run(1), &Summary{Benchmarks: map[string]Result{}}, "BenchmarkFrontendPipeline", 10)
+	if err != nil {
+		t.Errorf("missing baseline should skip: %v", err)
+	}
+	if !strings.Contains(msg, "skipped") {
+		t.Errorf("skip verdict should say so: %q", msg)
+	}
+}
+
+// TestGateRatioAllocs covers the "@allocs" metric selector.
+func TestGateRatioAllocs(t *testing.T) {
+	run := &Summary{Benchmarks: map[string]Result{
+		"BenchmarkFrontendPipeline":      {N: 3, NsPerOp: 10, AllocsPerOp: 2000},
+		"BenchmarkFrontendPipelineFresh": {N: 3, NsPerOp: 10, AllocsPerOp: 10000},
+	}}
+	spec := "BenchmarkFrontendPipeline/BenchmarkFrontendPipelineFresh"
+	if _, err := gateRatio(run, spec+"<=0.5@allocs", 1); err != nil {
+		t.Errorf("allocs ratio 0.2 should pass at 0.5: %v", err)
+	}
+	if _, err := gateRatio(run, spec+"<=0.1@allocs", 1); err == nil {
+		t.Error("allocs ratio 0.2 should fail at 0.1")
+	}
+	// Falls back to ns/op without the selector (ratio 1.0 > 0.5).
+	if _, err := gateRatio(run, spec+"<=0.5", 1); err == nil {
+		t.Error("ns ratio 1.0 should fail at 0.5")
+	}
+	// @allocs without benchmem data errors.
+	noMem := &Summary{Benchmarks: map[string]Result{
+		"BenchmarkFrontendPipeline":      {N: 3, NsPerOp: 10},
+		"BenchmarkFrontendPipelineFresh": {N: 3, NsPerOp: 10},
+	}}
+	if _, err := gateRatio(noMem, spec+"<=0.5@allocs", 1); err == nil {
+		t.Error("@allocs without benchmem data should fail")
+	}
+}
+
+// TestZeroAllocsIsData pins that a legitimate "0 allocs/op" row is
+// treated as measured data, not as missing -benchmem output.
+func TestZeroAllocsIsData(t *testing.T) {
+	s, err := parse(strings.NewReader(
+		"BenchmarkFrontendTokenize-4   20   419593 ns/op   784 B/op   0 allocs/op\n" +
+			"BenchmarkZeroEverything       20   100 ns/op   0 B/op   0 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zt := s.Benchmarks["BenchmarkZeroEverything"]
+	if !zt.HasMem || !zt.memPresent() {
+		t.Fatal("0 B/op + 0 allocs/op must still count as measured")
+	}
+
+	// An allocs gate against a zero baseline passes when current is zero.
+	base := &Summary{Benchmarks: map[string]Result{
+		"BenchmarkZeroEverything": {N: 1, NsPerOp: 1, HasMem: true},
+	}}
+	if _, err := gateAllocs(s, base, "BenchmarkZeroEverything", 10); err != nil {
+		t.Errorf("0 vs 0 allocs should pass: %v", err)
+	}
+
+	// @allocs ratio with a zero denominator: zero numerator passes,
+	// nonzero fails (infinitely worse).
+	s.Benchmarks["BenchmarkPair"] = Result{N: 1, NsPerOp: 1, AllocsPerOp: 5, HasMem: true}
+	if _, err := gateRatio(s, "BenchmarkZeroEverything/BenchmarkZeroEverything<=1@allocs", 1); err != nil {
+		t.Errorf("0/0 allocs ratio should pass: %v", err)
+	}
+	if _, err := gateRatio(s, "BenchmarkPair/BenchmarkZeroEverything<=1000@allocs", 1); err == nil {
+		t.Error("nonzero/0 allocs ratio should fail any bound")
+	}
+}

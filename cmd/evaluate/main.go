@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"graph2par/internal/experiments"
+	"graph2par/internal/profiling"
 	"graph2par/internal/train"
 )
 
@@ -33,7 +34,15 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the DESIGN.md ablations")
 	appendix := flag.Bool("appendix", false, "run the appendix training-dynamics report")
 	verbose := flag.Bool("v", false, "per-epoch training loss")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole evaluation to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	prof, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(1)
+	}
 
 	opts := train.DefaultOptions()
 	opts.Epochs = *epochs
@@ -74,8 +83,13 @@ func main() {
 	runIf(*appendix, "appendix", func() string { return suite.Appendix().Format() })
 
 	if !ran {
+		prof.Stop()
 		fmt.Fprintln(os.Stderr, "nothing selected: use -all, -table N, -figure 2, -ablations or -appendix")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(1)
 	}
 }

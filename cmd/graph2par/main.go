@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"graph2par"
+	"graph2par/internal/profiling"
 )
 
 func main() {
@@ -28,12 +29,25 @@ func main() {
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 	trainWorkers := flag.Int("train-workers", 0, "data-parallel training workers (0 = GOMAXPROCS); any value trains bit-identically")
 	dotDir := flag.String("dot", "", "write one Graphviz .dot file per loop to this directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run (training + analysis) to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: graph2par [flags] file.c ...")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+
+	prof, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graph2par:", err)
+		os.Exit(1)
+	}
+	// os.Exit skips defers, so every exit below goes through fail/finish.
+	fail := func() {
+		prof.Stop()
+		os.Exit(1)
 	}
 
 	engine, err := graph2par.NewEngine(graph2par.EngineConfig{
@@ -46,12 +60,12 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graph2par:", err)
-		os.Exit(1)
+		fail()
 	}
 	if *savePath != "" {
 		if err := engine.Save(*savePath); err != nil {
 			fmt.Fprintln(os.Stderr, "graph2par: saving model:", err)
-			os.Exit(1)
+			fail()
 		}
 		fmt.Println("model saved to", *savePath)
 	}
@@ -90,6 +104,10 @@ func main() {
 				}
 			}
 		}
+	}
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "graph2par:", err)
+		exit = 1
 	}
 	os.Exit(exit)
 }

@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,6 +46,7 @@ func main() {
 	batchSize := flag.Int("batch", 0, "inference batch size: loops per HGT forward pass (0 = default, 1 disables)")
 	batchWindow := flag.Duration("batch-window", 0, "micro-batch window: coalesce concurrent /analyze requests arriving within this duration into shared forward passes (0 disables)")
 	maxBatch := flag.Int("max-batch", 0, "max requests coalesced per micro-batch window (0 = default)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/ (off by default; enable only on trusted networks)")
 	quiet := flag.Bool("quiet", false, "suppress the training progress line")
 	flag.Parse()
 
@@ -71,9 +73,24 @@ func main() {
 		BatchWindow: *batchWindow,
 		MaxBatch:    *maxBatch,
 	})
+	handler := server.Handler()
+	if *pprofOn {
+		// Opt-in live profiling: the pprof handlers are registered on an
+		// explicit mux (never the default one), so without -pprof the
+		// binary exposes nothing under /debug/.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Println("graph2serve: pprof endpoints enabled at /debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	// A graceful drain must answer requests parked in an open micro-batch

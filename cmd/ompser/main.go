@@ -7,44 +7,71 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"graph2par/internal/dataset"
 )
 
-func main() {
-	scale := flag.Float64("scale", 0.05, "Table 1 scale factor (1.0 = full 33k-loop corpus)")
-	seed := flag.Uint64("seed", 1, "generation seed")
-	out := flag.String("out", "omp_serial.json", "output JSON path (empty = stats only)")
-	dir := flag.String("dir", "", "also export the corpus as a .c file tree to this directory")
-	flag.Parse()
+// errUsage marks flag-parsing failures the flag package has already
+// reported to the user, so main exits without printing them twice.
+var errUsage = errors.New("usage error")
+
+// run is main with injectable arguments and output, so the smoke test can
+// drive the whole command without a subprocess.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ompser", flag.ContinueOnError)
+	scale := fs.Float64("scale", 0.05, "Table 1 scale factor (1.0 = full 33k-loop corpus)")
+	seed := fs.Uint64("seed", 1, "generation seed")
+	out := fs.String("out", "omp_serial.json", "output JSON path (empty = stats only)")
+	dir := fs.String("dir", "", "also export the corpus as a .c file tree to this directory")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return flag.ErrHelp
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
 
 	corpus := dataset.Generate(dataset.Config{Scale: *scale, Seed: *seed})
 	stats := corpus.ComputeStats()
 
-	fmt.Printf("OMP_Serial: %d loops generated (%d candidates dropped by the parse check)\n",
+	fmt.Fprintf(stdout, "OMP_Serial: %d loops generated (%d candidates dropped by the parse check)\n",
 		len(corpus.Samples), corpus.Dropped)
-	fmt.Printf("%-12s %-14s %7s %9s %7s %8s\n", "Source", "Type", "Loops", "FuncCall", "Nested", "AvgLOC")
+	fmt.Fprintf(stdout, "%-12s %-14s %7s %9s %7s %8s\n", "Source", "Type", "Loops", "FuncCall", "Nested", "AvgLOC")
 	for _, key := range stats.Keys() {
 		cs := stats.ByKey[key]
-		fmt.Printf("%-27s %7d %9d %7d %8.2f\n", key, cs.Loops, cs.Calls, cs.Nested, cs.AvgLOC())
+		fmt.Fprintf(stdout, "%-27s %7d %9d %7d %8.2f\n", key, cs.Loops, cs.Calls, cs.Nested, cs.AvgLOC())
 	}
 
 	if *dir != "" {
 		if err := corpus.ExportFiles(*dir); err != nil {
-			fmt.Fprintln(os.Stderr, "ompser:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Println("file tree written to", *dir)
+		fmt.Fprintln(stdout, "file tree written to", *dir)
 	}
 	if *out == "" {
-		return
+		return nil
 	}
 	if err := corpus.Save(*out); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "written to", *out)
+	return nil
+}
+
+func main() {
+	switch err := run(os.Args[1:], os.Stdout); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		// Usage was printed; asking for help is not a failure.
+	case errors.Is(err, errUsage):
+		// The flag package already printed the error and usage.
+		os.Exit(2)
+	default:
 		fmt.Fprintln(os.Stderr, "ompser:", err)
 		os.Exit(1)
 	}
-	fmt.Println("written to", *out)
 }

@@ -1,0 +1,115 @@
+package graph2par
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestScratchReuseByteIdentical pins the zero-allocation front-end's core
+// invariant: analyses served from recycled scratches (token buffers, AST
+// slabs, graph/encoding storage, inference arenas) are byte-for-byte
+// identical to the first, fresh-memory run. Round 0 populates the engine's
+// scratch pool; every later round reuses recycled memory, so any stale
+// state — an unzeroed buffer, a leaked map entry, an aliased slice — shows
+// up as a diff here (and under -race in CI as a data race).
+func TestScratchReuseByteIdentical(t *testing.T) {
+	e := engine(t)
+	files := corpusFiles(8)
+
+	first, err := e.AnalyzeFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round < 4; round++ {
+		again, err := e.AnalyzeFiles(files)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("round %d: recycled-scratch analysis diverged from the fresh run", round)
+		}
+	}
+
+	// Per-file and per-loop entry points share the same pool.
+	srcReports, err := e.AnalyzeSource(simpleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		again, err := e.AnalyzeSource(simpleProgram)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(srcReports, again) {
+			t.Fatalf("AnalyzeSource round %d diverged", round)
+		}
+	}
+	loopReport, err := e.AnalyzeLoop("for (i = 0; i < n; i++) s += a[i];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		again, err := e.AnalyzeLoop("for (i = 0; i < n; i++) s += a[i];")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(loopReport, again) {
+			t.Fatalf("AnalyzeLoop round %d diverged", round)
+		}
+	}
+}
+
+// TestScratchReuseConcurrent hammers the pool from concurrent AnalyzeFiles
+// and AnalyzeSource calls (the serving profile: many requests sharing one
+// warm engine). Run under -race this is the scratch-safety gate; the
+// result equality doubles as a cross-goroutine determinism check.
+func TestScratchReuseConcurrent(t *testing.T) {
+	e := engine(t)
+	files := corpusFiles(6)
+	want, err := e.AnalyzeFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSrc, err := e.AnalyzeSource(simpleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				if g%2 == 0 {
+					got, err := e.AnalyzeFiles(files)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !reflect.DeepEqual(want, got) {
+						t.Errorf("goroutine %d round %d: AnalyzeFiles diverged", g, round)
+						return
+					}
+				} else {
+					got, err := e.AnalyzeSource(simpleProgram)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !reflect.DeepEqual(wantSrc, got) {
+						t.Errorf("goroutine %d round %d: AnalyzeSource diverged", g, round)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -29,8 +29,8 @@ import (
 	"graph2par/internal/auggraph"
 	"graph2par/internal/cache"
 	"graph2par/internal/cast"
-	"graph2par/internal/cparse"
 	"graph2par/internal/dataset"
+	"graph2par/internal/frontend"
 	"graph2par/internal/hgt"
 	"graph2par/internal/parallel"
 	"graph2par/internal/pragma"
@@ -108,6 +108,17 @@ type Engine struct {
 	// never serve results computed by a different model.
 	cache       *cache.Cache[LoopReport]
 	fingerprint string
+
+	// fe recycles per-worker front-end scratches (token buffers, AST
+	// slabs, graph and encoding storage, symbol tables) across Analyze*
+	// calls: each call checks out one scratch per parse/analysis worker
+	// it actually uses, builds every AST and aug-AST of the request in
+	// them, and returns them — reset — when the last report string has
+	// been assembled. Outputs never reference scratch memory, so
+	// recycling cannot change a byte. The pool is held by pointer so
+	// copies of an Engine (the benchmarks copy one to retune knobs)
+	// share one coherent pool instead of aliasing a mutex and free list.
+	fe *frontend.Pool
 }
 
 // ToolVerdict is one comparator tool's opinion on a loop.
@@ -148,6 +159,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	e := &Engine{
 		tools:   []tools.Tool{autopar.New(), pluto.New(), discopop.New()},
 		workers: parallel.Workers(cfg.Workers),
+		fe:      &frontend.Pool{},
 	}
 	e.SetBatchSize(cfg.BatchSize)
 	if cfg.ModelPath != "" {
@@ -298,12 +310,52 @@ func cloneReport(r LoopReport) LoopReport {
 	return r
 }
 
+// scratchSet is one Analyze* call's demand-driven scratch checkout: it
+// grows to the number of workers a stage actually uses (a one-file
+// request on a 32-core server should pin one bundle, not 32) and returns
+// everything to the pool when the call finishes.
+type scratchSet struct {
+	pool *frontend.Pool
+	scrs []*frontend.Scratch
+}
+
+// ensure grows the checkout to at least n scratches and returns them.
+func (s *scratchSet) ensure(n int) []*frontend.Scratch {
+	for len(s.scrs) < n {
+		s.scrs = append(s.scrs, s.pool.Get())
+	}
+	return s.scrs
+}
+
+// release returns every checked-out scratch. Everything built through
+// them becomes invalid.
+func (s *scratchSet) release() {
+	s.pool.PutAll(s.scrs)
+	s.scrs = nil
+}
+
+// stageWorkers bounds a fan-out stage's worker count by its item count —
+// the same clamp ForEachWorker applies — so ensure() checks out exactly
+// the scratches the stage can touch.
+func (e *Engine) stageWorkers(items int) int {
+	w := e.workers
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // AnalyzeSource parses a C translation unit and reports on every loop.
 // Loops are analyzed concurrently over the engine's worker pool; the
 // returned reports are sorted by source line regardless of worker count,
 // so results are identical to a serial run.
 func (e *Engine) AnalyzeSource(src string) ([]LoopReport, error) {
-	file, err := cparse.ParseFile(src)
+	ss := &scratchSet{pool: e.fe}
+	defer ss.release()
+	file, err := ss.ensure(1)[0].Parse.ParseFile(src)
 	if err != nil {
 		return nil, err
 	}
@@ -311,7 +363,7 @@ func (e *Engine) AnalyzeSource(src string) ([]LoopReport, error) {
 	if e.cache != nil {
 		fileKey = sourceCacheKey(src)
 	}
-	return e.analyzeFileLoops(file, fileKey), nil
+	return e.analyzeFileLoops(file, fileKey, ss), nil
 }
 
 // collectLoops harvests a parsed file's loops and its defined-function
@@ -338,13 +390,13 @@ func collectLoops(file *cast.File) (map[string]*cast.FuncDecl, []cast.Stmt) {
 
 // analyzeFileLoops fans loop analysis of one parsed file out over the
 // worker pool, preserving line-sorted output.
-func (e *Engine) analyzeFileLoops(file *cast.File, fileKey string) []LoopReport {
+func (e *Engine) analyzeFileLoops(file *cast.File, fileKey string, ss *scratchSet) []LoopReport {
 	funcs, loops := collectLoops(file)
 	jobs := make([]loopJob, len(loops))
 	for i, loop := range loops {
 		jobs[i] = loopJob{loop: loop, file: file, funcs: funcs, fileKey: fileKey}
 	}
-	reports := e.analyzeJobs(jobs)
+	reports := e.analyzeJobs(jobs, ss)
 	sort.SliceStable(reports, func(i, j int) bool { return reports[i].Line < reports[j].Line })
 	return reports
 }
@@ -368,19 +420,23 @@ type loopJob struct {
 // produce byte-identical reports — PredictBatch is bit-identical to
 // Predict — and identical cache-counter trajectories (one Get per loop,
 // one Put per miss).
-func (e *Engine) analyzeJobs(jobs []loopJob) []LoopReport {
+func (e *Engine) analyzeJobs(jobs []loopJob, ss *scratchSet) []LoopReport {
 	reports := make([]LoopReport, len(jobs))
 	if len(jobs) == 0 {
 		return reports
 	}
+	scrs := ss.ensure(e.stageWorkers(len(jobs)))
 	if e.batch <= 1 {
-		parallel.ForEach(e.workers, len(jobs), func(i int) {
-			reports[i] = e.analyzeLoop(jobs[i])
+		parallel.ForEachWorker(e.workers, len(jobs), func(w, i int) {
+			reports[i] = e.analyzeLoop(jobs[i], scrs[w])
 		})
 		return reports
 	}
 
 	// Stage A: cache probe + aug-AST construction, one worker per loop.
+	// Graphs and encodings land in the worker's scratch and stay valid
+	// through stages B and C (the caller releases the scratches only after
+	// every report is assembled).
 	type prepared struct {
 		key string
 		g   *auggraph.Graph
@@ -388,7 +444,7 @@ func (e *Engine) analyzeJobs(jobs []loopJob) []LoopReport {
 		hit bool
 	}
 	preps := make([]prepared, len(jobs))
-	parallel.ForEach(e.workers, len(jobs), func(i int) {
+	parallel.ForEachWorker(e.workers, len(jobs), func(w, i int) {
 		if e.cache != nil {
 			preps[i].key = e.loopCacheKey(jobs[i].loop, jobs[i].fileKey)
 			if r, ok := e.cache.Get(preps[i].key); ok {
@@ -397,7 +453,7 @@ func (e *Engine) analyzeJobs(jobs []loopJob) []LoopReport {
 				return
 			}
 		}
-		preps[i].g, preps[i].enc = e.buildGraph(jobs[i])
+		preps[i].g, preps[i].enc = e.buildGraph(jobs[i], scrs[w])
 	})
 
 	// Stage B: size-bucketed batched inference. Sorting misses by node
@@ -468,11 +524,16 @@ func (e *Engine) AnalyzeFiles(sources map[string]string) (map[string][]LoopRepor
 	}
 	sort.Strings(names)
 
-	// Stage 1: parse every file concurrently.
+	// Stage 1: parse every file concurrently into per-worker scratch
+	// sessions; the ASTs live until the deferred scratch release below,
+	// past the last stage that reads them.
+	ss := &scratchSet{pool: e.fe}
+	defer ss.release()
+	scrs := ss.ensure(e.stageWorkers(len(names)))
 	files := make([]*cast.File, len(names))
 	errs := make([]error, len(names))
-	parallel.ForEach(e.workers, len(names), func(i int) {
-		files[i], errs[i] = cparse.ParseFile(sources[names[i]])
+	parallel.ForEachWorker(e.workers, len(names), func(w, i int) {
+		files[i], errs[i] = scrs[w].Parse.ParseFile(sources[names[i]])
 	})
 
 	// Stage 2: flatten loops of every parsed file into one work list so
@@ -498,7 +559,7 @@ func (e *Engine) AnalyzeFiles(sources map[string]string) (map[string][]LoopRepor
 	// size-bucketed batched inference when batching is enabled, one
 	// forward pass per loop otherwise. Each report lands in its own slot
 	// so output order is scheduling-independent either way.
-	loopReports := e.analyzeJobs(jobs)
+	loopReports := e.analyzeJobs(jobs, ss)
 
 	// Stage 4: regroup per file and sort by line.
 	out := make(map[string][]LoopReport, len(names))
@@ -531,7 +592,9 @@ func (e *Engine) AnalyzeFiles(sources map[string]string) (map[string][]LoopRepor
 
 // AnalyzeLoop reports on a single loop snippet (no file context).
 func (e *Engine) AnalyzeLoop(loopSrc string) (*LoopReport, error) {
-	st, err := cparse.ParseStmt(loopSrc)
+	scr := e.fe.Get()
+	defer e.fe.Put(scr)
+	st, err := scr.Parse.ParseStmt(loopSrc)
 	if err != nil {
 		return nil, err
 	}
@@ -540,7 +603,7 @@ func (e *Engine) AnalyzeLoop(loopSrc string) (*LoopReport, error) {
 	default:
 		return nil, fmt.Errorf("graph2par: not a loop statement")
 	}
-	r := e.analyzeLoop(loopJob{loop: st, fileKey: snippetCacheKey})
+	r := e.analyzeLoop(loopJob{loop: st, fileKey: snippetCacheKey}, scr)
 	return &r, nil
 }
 
@@ -552,7 +615,7 @@ func (e *Engine) AnalyzeLoop(loopSrc string) (*LoopReport, error) {
 // (fingerprint), the graph options, the file content (which determines
 // funcs and the dynamic tool behaviour), and the loop's position and
 // normalized source.
-func (e *Engine) analyzeLoop(job loopJob) LoopReport {
+func (e *Engine) analyzeLoop(job loopJob, scr *frontend.Scratch) LoopReport {
 	var key string
 	if e.cache != nil {
 		key = e.loopCacheKey(job.loop, job.fileKey)
@@ -560,18 +623,20 @@ func (e *Engine) analyzeLoop(job loopJob) LoopReport {
 			return cloneReport(r)
 		}
 	}
-	g, enc := e.buildGraph(job)
+	g, enc := e.buildGraph(job, scr)
 	pred, probs := e.model.Predict(enc)
 	return e.finishLoop(job, g, key, pred, probs)
 }
 
-// buildGraph constructs and encodes the loop's aug-AST — the inference
-// input half of the pipeline, shared by the per-loop and batched paths.
-func (e *Engine) buildGraph(job loopJob) (*auggraph.Graph, *auggraph.Encoded) {
+// buildGraph constructs and encodes the loop's aug-AST in the worker's
+// scratch — the inference input half of the pipeline, shared by the
+// per-loop and batched paths. The results live until the scratch is
+// released.
+func (e *Engine) buildGraph(job loopJob, scr *frontend.Scratch) (*auggraph.Graph, *auggraph.Encoded) {
 	gopts := e.gopts
 	gopts.Funcs = job.funcs
-	g := auggraph.Build(job.loop, gopts)
-	return g, e.vocab.Encode(g)
+	g := scr.Graph.Build(job.loop, gopts)
+	return g, scr.Graph.Encode(e.vocab, g)
 }
 
 // finishLoop turns a scored loop into its report: pragma synthesis, tool

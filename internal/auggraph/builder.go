@@ -1,0 +1,560 @@
+package auggraph
+
+import (
+	"fmt"
+
+	"graph2par/internal/cast"
+	"graph2par/internal/cfg"
+	"graph2par/internal/intern"
+)
+
+// This file is the aug-AST's memory layer: a reusable Builder that owns
+// every map and slice graph construction needs, recycles the node/edge
+// storage of the graphs it hands out, and interns kind/attr/type spellings
+// into a symbol table so vocabulary encoding works on integer IDs.
+//
+// Lifetime contract (mirroring cparse.Session): every *Graph and *Encoded
+// a Builder produces stays valid until the Builder's Reset. The package-
+// level Build constructs through a fresh, never-reset Builder, so its
+// graphs may be retained indefinitely; pooled callers (the engine's
+// per-request frontend scratch) Reset between requests and own the full
+// lifecycle. BuildDetached serves the middle ground — reusable working
+// maps, caller-owned exact-size result — for training-set preparation,
+// where graphs outlive any scratch.
+
+// normNameTable precomputes the v1..vN / f1..fN normalization spellings so
+// the hot path never fmt.Sprintfs (Figure 3's bounded vocabulary makes
+// indices beyond the table rare).
+const normNameMax = 96
+
+var vNames, fNames [normNameMax]string
+
+func init() {
+	for i := range vNames {
+		vNames[i] = fmt.Sprintf("v%d", i+1)
+		fNames[i] = fmt.Sprintf("f%d", i+1)
+	}
+}
+
+func normName(table *[normNameMax]string, prefix string, k int) string {
+	if k <= normNameMax {
+		return table[k-1]
+	}
+	return fmt.Sprintf("%s%d", prefix, k)
+}
+
+// Builder constructs augmented ASTs into reusable, builder-owned storage.
+// A Builder is single-goroutine state: one owner at a time (the frontend
+// scratch pool enforces this); distinct Builders are fully independent.
+type Builder struct {
+	// per-build state, cleared at the start of every Build
+	opts Options
+	g    *Graph
+	ids  map[cast.Node]int
+	// varMap / funcMap map raw identifiers to their v<k> / f<k> names.
+	varMap  map[string]string
+	funcMap map[string]string
+	// typeOf maps identifier name -> declared type within the snippet.
+	typeOf map[string]string
+	// leaves in source order for lexical edges.
+	leaves []int
+	// inlined tracks functions already added, to handle recursion.
+	inlined map[string]bool
+	cfgB    cfg.Builder
+	// childStack is the shared child-list scratch of addSubtreeP: each
+	// recursion level appends its children to the tail and trims back on
+	// exit, so subtree construction allocates no per-node slices.
+	childStack []cast.Node
+
+	// syms interns every Kind/Attr/TypeAttr spelling the builder emits;
+	// Encode translates the symbols to vocabulary IDs through the caches
+	// below without touching a string again.
+	syms *intern.Table
+
+	// recycle bins, refilled by Reset from the graphs issued since the
+	// previous one.
+	freeNodes  [][]Node
+	freeEdges  [][]Edge
+	freeGraphs []*Graph
+	issued     []*Graph
+
+	// encode state: sym → vocabID+1 caches (0 = not yet translated) plus
+	// the recycle bins for Encoded structs and their backing int arrays.
+	encVocab   *Vocab
+	kindCache  []int32
+	attrCache  []int32
+	typeCache  []int32
+	freeEnc    []*Encoded
+	freeInts   [][]int
+	issuedEnc  []*Encoded
+	issuedInts [][]int
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		ids:     map[cast.Node]int{},
+		varMap:  map[string]string{},
+		funcMap: map[string]string{},
+		typeOf:  map[string]string{},
+		inlined: map[string]bool{},
+		syms:    intern.NewTable(),
+	}
+}
+
+// Syms exposes the builder's symbol table (read-mostly; encoding caches
+// index it).
+func (b *Builder) Syms() *intern.Table { return b.syms }
+
+// Build constructs the aug-AST of the statement (usually a loop) into
+// builder-owned storage. The graph is valid until the builder's Reset.
+func (b *Builder) Build(loop cast.Stmt, opts Options) *Graph {
+	b.opts = opts
+	b.g = b.takeGraph()
+	clear(b.ids)
+	clear(b.varMap)
+	clear(b.funcMap)
+	clear(b.typeOf)
+	clear(b.inlined)
+	b.leaves = b.leaves[:0]
+
+	b.collectTypes(loop)
+	b.g.Root = b.addSubtree(loop, 0, 0)
+	if opts.CFG {
+		b.mergeCFG(loop)
+	}
+	if opts.Lexical {
+		b.addLexicalEdges(b.leaves)
+	}
+	if opts.Funcs != nil {
+		b.linkCalls(loop)
+	}
+	if opts.Reverse {
+		b.addReverseEdges()
+	}
+	b.g.NumVars = len(b.varMap)
+	b.g.NumFuncs = len(b.funcMap)
+	b.g.syms = b.syms
+	g := b.g
+	b.g = nil
+	return g
+}
+
+// BuildDetached is Build returning a graph backed by exact-size private
+// slices that survive the builder's Reset — the form training-set
+// preparation retains. The builder's working storage is reclaimed
+// immediately.
+func (b *Builder) BuildDetached(loop cast.Stmt, opts Options) *Graph {
+	g := b.Build(loop, opts)
+	out := &Graph{
+		Root:     g.Root,
+		NumVars:  g.NumVars,
+		NumFuncs: g.NumFuncs,
+		Nodes:    append(make([]Node, 0, len(g.Nodes)), g.Nodes...),
+		Edges:    append(make([]Edge, 0, len(g.Edges)), g.Edges...),
+		syms:     g.syms,
+	}
+	// g is the most recently issued graph; hand its storage straight back.
+	b.issued = b.issued[:len(b.issued)-1]
+	b.reclaimGraph(g)
+	return out
+}
+
+// symTableCap bounds the interned-spelling count a pooled builder may
+// carry across Resets. Ordinary corpora intern a few dozen spellings
+// (kinds are a fixed set, attrs are normalized, types are short specs),
+// but adversarial or just very diverse input — raw member names, novel
+// cast targets, un-normalized identifiers — would otherwise grow the
+// table (and its cloned strings and sym-indexed caches) monotonically
+// for the lifetime of the scratch pool.
+const symTableCap = 4096
+
+// Reset reclaims the storage of every graph and encoding issued since the
+// last Reset. All of them become invalid: callers must not Reset while any
+// are still reachable. An oversized symbol table is dropped wholesale —
+// safe exactly here, because no live graph can reference its symbols
+// anymore.
+func (b *Builder) Reset() {
+	for _, g := range b.issued {
+		b.reclaimGraph(g)
+	}
+	b.issued = b.issued[:0]
+	for _, e := range b.issuedEnc {
+		*e = Encoded{}
+		b.freeEnc = append(b.freeEnc, e)
+	}
+	b.issuedEnc = b.issuedEnc[:0]
+	for _, buf := range b.issuedInts {
+		b.freeInts = append(b.freeInts, buf)
+	}
+	b.issuedInts = b.issuedInts[:0]
+	if b.syms.Len() > symTableCap {
+		b.syms = intern.NewTable()
+		// The caches are indexed by the old table's symbols; drop them
+		// with it (encVocab may stay — it keys cache validity, and the
+		// empty caches refill lazily).
+		b.kindCache = b.kindCache[:0]
+		b.attrCache = b.attrCache[:0]
+		b.typeCache = b.typeCache[:0]
+	}
+}
+
+func (b *Builder) reclaimGraph(g *Graph) {
+	clear(g.Nodes) // release string references
+	b.freeNodes = append(b.freeNodes, g.Nodes[:0])
+	b.freeEdges = append(b.freeEdges, g.Edges[:0])
+	*g = Graph{}
+	b.freeGraphs = append(b.freeGraphs, g)
+}
+
+func (b *Builder) takeGraph() *Graph {
+	var g *Graph
+	if n := len(b.freeGraphs); n > 0 {
+		g = b.freeGraphs[n-1]
+		b.freeGraphs = b.freeGraphs[:n-1]
+	} else {
+		g = &Graph{}
+	}
+	if n := len(b.freeNodes); n > 0 {
+		g.Nodes = b.freeNodes[n-1]
+		b.freeNodes = b.freeNodes[:n-1]
+	}
+	if n := len(b.freeEdges); n > 0 {
+		g.Edges = b.freeEdges[n-1]
+		b.freeEdges = b.freeEdges[:n-1]
+	}
+	b.issued = append(b.issued, g)
+	return g
+}
+
+// collectTypes records declared types of identifiers for the TypeAttr
+// annotation (the "int" blocks of Figure 3).
+func (b *Builder) collectTypes(root cast.Node) {
+	cast.Walk(root, func(n cast.Node) bool {
+		switch d := n.(type) {
+		case *cast.VarDecl:
+			b.typeOf[d.Name] = d.Type
+		case *cast.Param:
+			b.typeOf[d.Name] = d.Type
+		}
+		return true
+	})
+}
+
+// normalizeIdent maps a variable name to v<k> and a function name to f<k>
+// in order of first appearance.
+func (b *Builder) normalizeIdent(name string, isFunc bool) string {
+	if !b.opts.Normalize {
+		return name
+	}
+	if isFunc {
+		if v, ok := b.funcMap[name]; ok {
+			return v
+		}
+		v := normName(&fNames, "f", len(b.funcMap)+1)
+		b.funcMap[name] = v
+		return v
+	}
+	if v, ok := b.varMap[name]; ok {
+		return v
+	}
+	v := normName(&vNames, "v", len(b.varMap)+1)
+	b.varMap[name] = v
+	return v
+}
+
+// attrOf derives a node's textual attribute.
+func (b *Builder) attrOf(n cast.Node, parent cast.Node) string {
+	switch x := n.(type) {
+	case *cast.Ident:
+		isFunc := false
+		if call, ok := parent.(*cast.Call); ok && call.Fun == cast.Node(x) {
+			isFunc = true
+		}
+		return b.normalizeIdent(x.Name, isFunc)
+	case *cast.IntLit:
+		return "<int>"
+	case *cast.FloatLit:
+		return "<float>"
+	case *cast.CharLit:
+		return "<char>"
+	case *cast.StringLit:
+		return "<str>"
+	case *cast.Unary:
+		if x.Postfix {
+			return "post" + x.Op
+		}
+		return x.Op
+	case *cast.Binary:
+		return x.Op
+	case *cast.Assign:
+		return x.Op
+	case *cast.Member:
+		return x.Name
+	case *cast.VarDecl:
+		return b.normalizeIdent(x.Name, false)
+	case *cast.Param:
+		return b.normalizeIdent(x.Name, false)
+	case *cast.CastExpr:
+		return x.Type
+	case *cast.Goto, *cast.Label:
+		return ""
+	default:
+		return ""
+	}
+}
+
+func rawTextOf(n cast.Node) string {
+	switch x := n.(type) {
+	case *cast.Ident:
+		return x.Name
+	case *cast.IntLit:
+		return x.Text
+	case *cast.FloatLit:
+		return x.Text
+	case *cast.CharLit:
+		return x.Text
+	case *cast.StringLit:
+		return x.Text
+	case *cast.VarDecl:
+		return x.Name
+	case *cast.Param:
+		return x.Name
+	case *cast.Member:
+		return x.Name
+	default:
+		return ""
+	}
+}
+
+// addSubtree adds n and its descendants, returning n's node ID.
+func (b *Builder) addSubtree(n cast.Node, order, depth int) int {
+	return b.addSubtreeP(n, nil, order, depth)
+}
+
+func (b *Builder) addSubtreeP(n cast.Node, parent cast.Node, order, depth int) int {
+	id := len(b.g.Nodes)
+	b.ids[n] = id
+	mark := len(b.childStack)
+	b.childStack = cast.AppendChildren(n, b.childStack)
+	nkids := len(b.childStack) - mark
+	typeAttr := ""
+	switch x := n.(type) {
+	case *cast.Ident:
+		typeAttr = b.typeOf[x.Name]
+	case *cast.VarDecl:
+		typeAttr = x.Type
+	case *cast.Param:
+		typeAttr = x.Type
+	case *cast.IntLit:
+		typeAttr = "int"
+	case *cast.FloatLit:
+		typeAttr = "double"
+	}
+	kind := n.Kind()
+	attr := b.attrOf(n, parent)
+	b.g.Nodes = append(b.g.Nodes, Node{
+		ID:       id,
+		Kind:     kind,
+		Attr:     attr,
+		RawText:  rawTextOf(n),
+		TypeAttr: typeAttr,
+		Order:    order,
+		Depth:    depth,
+		IsLeaf:   nkids == 0,
+		KindSym:  b.syms.Intern(kind),
+		AttrSym:  b.syms.Intern(attr),
+		TypeSym:  b.syms.Intern(typeAttr),
+	})
+	if nkids == 0 {
+		b.leaves = append(b.leaves, id)
+		return id
+	}
+	// Index through the field, not a local slice: recursive appends may
+	// regrow the stack's backing array.
+	for i := 0; i < nkids; i++ {
+		cid := b.addSubtreeP(b.childStack[mark+i], n, i, depth+1)
+		b.g.Edges = append(b.g.Edges, Edge{Src: id, Dst: cid, Type: ASTEdge})
+	}
+	b.childStack = b.childStack[:mark]
+	return id
+}
+
+// mergeCFG builds the loop CFG and adds its edges between the already-
+// registered AST nodes (section 5.1.2). The CFG comes from the builder's
+// reusable cfg.Builder: its storage is recycled on the next build, which
+// is safe because the edges are folded in right here.
+func (b *Builder) mergeCFG(loop cast.Stmt) {
+	g := b.cfgB.Build(loop)
+	for _, e := range g.Edges {
+		src, okS := b.ids[e.From]
+		dst, okD := b.ids[e.To]
+		if !okS || !okD {
+			continue
+		}
+		b.g.Edges = append(b.g.Edges, Edge{Src: src, Dst: dst, Type: CFGEdge})
+	}
+}
+
+// addLexicalEdges links consecutive leaves in token order (section 5.1.3).
+func (b *Builder) addLexicalEdges(leaves []int) {
+	for i := 0; i+1 < len(leaves); i++ {
+		b.g.Edges = append(b.g.Edges, Edge{Src: leaves[i], Dst: leaves[i+1], Type: LexEdge})
+	}
+}
+
+// linkCalls adds the callee body for every called function that is defined
+// in the supplied file, connected by a CallEdge (Figure 3's f1 node sharing).
+func (b *Builder) linkCalls(root cast.Node) {
+	type pending struct {
+		callID int
+		callee *cast.FuncDecl
+	}
+	var queue []pending
+	collect := func(scope cast.Node) {
+		cast.Walk(scope, func(n cast.Node) bool {
+			call, ok := n.(*cast.Call)
+			if !ok {
+				return true
+			}
+			name, ok := call.Fun.(*cast.Ident)
+			if !ok {
+				return true
+			}
+			fn := b.opts.Funcs[name.Name]
+			if fn == nil || fn.Body == nil {
+				return true
+			}
+			queue = append(queue, pending{callID: b.ids[n], callee: fn})
+			return true
+		})
+	}
+	collect(root)
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if b.inlined[p.callee.Name] {
+			// already materialized: just link to the existing body root
+			if id, ok := b.ids[cast.Node(p.callee.Body)]; ok {
+				b.g.Edges = append(b.g.Edges, Edge{Src: p.callID, Dst: id, Type: CallEdge})
+			}
+			continue
+		}
+		b.inlined[p.callee.Name] = true
+		startLeaf := len(b.leaves)
+		bodyID := b.addSubtree(p.callee.Body, 0, b.g.Nodes[p.callID].Depth+1)
+		b.g.Edges = append(b.g.Edges, Edge{Src: p.callID, Dst: bodyID, Type: CallEdge})
+		if b.opts.CFG {
+			b.mergeCFG(p.callee.Body)
+		}
+		if b.opts.Lexical {
+			b.addLexicalEdges(b.leaves[startLeaf:])
+		}
+		collect(p.callee.Body) // transitively link calls inside the callee
+	}
+}
+
+func (b *Builder) addReverseEdges() {
+	n := len(b.g.Edges)
+	for i := 0; i < n; i++ {
+		e := b.g.Edges[i]
+		var rt EdgeType
+		switch e.Type {
+		case ASTEdge:
+			rt = RevASTEdge
+		case CFGEdge:
+			rt = RevCFGEdge
+		case LexEdge:
+			rt = RevLexEdge
+		default:
+			continue
+		}
+		b.g.Edges = append(b.g.Edges, Edge{Src: e.Dst, Dst: e.Src, Type: rt})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// interned encoding
+
+// Encode converts a graph this builder produced into integer features under
+// v, using builder-owned storage (valid until Reset) and the builder's
+// sym → vocab-ID caches: after the first sighting of a spelling, encoding a
+// node is three array reads — no string hashing. The result is
+// byte-identical to v.Encode(g).
+func (b *Builder) Encode(v *Vocab, g *Graph) *Encoded {
+	if g.syms != b.syms {
+		panic("auggraph: Builder.Encode on a graph built by a different builder")
+	}
+	if b.encVocab != v {
+		// New (or first) vocabulary: drop every cached translation.
+		b.encVocab = v
+		b.kindCache = b.kindCache[:0]
+		b.attrCache = b.attrCache[:0]
+		b.typeCache = b.typeCache[:0]
+	}
+	n := b.syms.Len()
+	b.kindCache = growInt32(b.kindCache, n)
+	b.attrCache = growInt32(b.attrCache, n)
+	b.typeCache = growInt32(b.typeCache, n)
+
+	e := b.takeEncoded(len(g.Nodes))
+	e.Edges = g.Edges
+	e.Root = g.Root
+	for i := range g.Nodes {
+		nd := &g.Nodes[i]
+		e.KindIDs[i] = b.cachedID(b.kindCache, nd.KindSym, v.KindID, nd.Kind)
+		e.AttrIDs[i] = b.cachedID(b.attrCache, nd.AttrSym, v.AttrID, nd.Attr)
+		e.TypeIDs[i] = b.cachedID(b.typeCache, nd.TypeSym, v.TypeID, nd.TypeAttr)
+		o := nd.Order
+		if o > MaxOrder {
+			o = MaxOrder
+		}
+		e.Orders[i] = o
+	}
+	return e
+}
+
+// cachedID translates a symbol through the cache, falling back to (and
+// then caching) the vocabulary's string lookup on first sight. Entries
+// store id+1 so the zero value means "untranslated".
+func (b *Builder) cachedID(cache []int32, sym intern.Sym, lookup func(string) int, name string) int {
+	if c := cache[sym]; c != 0 {
+		return int(c - 1)
+	}
+	id := lookup(name)
+	cache[sym] = int32(id + 1)
+	return id
+}
+
+func growInt32(s []int32, n int) []int32 {
+	for len(s) < n {
+		s = append(s, 0)
+	}
+	return s
+}
+
+// takeEncoded returns an Encoded whose four per-node arrays are partitions
+// of one recycled int buffer.
+func (b *Builder) takeEncoded(n int) *Encoded {
+	var e *Encoded
+	if l := len(b.freeEnc); l > 0 {
+		e = b.freeEnc[l-1]
+		b.freeEnc = b.freeEnc[:l-1]
+	} else {
+		e = &Encoded{}
+	}
+	var buf []int
+	if l := len(b.freeInts); l > 0 && cap(b.freeInts[l-1]) >= 4*n {
+		buf = b.freeInts[l-1][:4*n]
+		b.freeInts = b.freeInts[:l-1]
+	} else {
+		buf = make([]int, 4*n)
+	}
+	e.KindIDs = buf[0*n : 1*n : 1*n]
+	e.AttrIDs = buf[1*n : 2*n : 2*n]
+	e.TypeIDs = buf[2*n : 3*n : 3*n]
+	e.Orders = buf[3*n : 4*n : 4*n]
+	b.issuedEnc = append(b.issuedEnc, e)
+	b.issuedInts = append(b.issuedInts, buf[:cap(buf)])
+	return e
+}

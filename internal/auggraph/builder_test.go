@@ -1,0 +1,155 @@
+package auggraph
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"graph2par/internal/cparse"
+)
+
+// builderLoops is a small mixed workload for reuse tests.
+var builderLoops = []string{
+	`for (i = 0; i < n; i++) sum += a[i];`,
+	`for (int i = 0; i < 100; i++) { c[i] = a[i] * b[i]; }`,
+	`while (k < n) { if (v[k] > 0) { pos++; } k++; }`,
+	`for (i = 0; i < n; i++) { for (j = 0; j < m; j++) { m2[i][j] = m1[j][i]; } }`,
+}
+
+func dumpOne(g *Graph) string {
+	var b strings.Builder
+	dumpGraph(&b, g)
+	return b.String()
+}
+
+// TestBuilderMatchesBuild pins that a pooled Builder — including after
+// many Reset cycles — produces graphs byte-identical to the package-level
+// Build, and that Builder.Encode matches Vocab.Encode.
+func TestBuilderMatchesBuild(t *testing.T) {
+	opts := Default()
+	vocab := NewVocab()
+	var want []string
+	var wantEnc []*Encoded
+	for _, src := range builderLoops {
+		loop, err := cparse.ParseStmt(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := Build(loop, opts)
+		vocab.Add(g)
+		want = append(want, dumpOne(g))
+	}
+	for _, src := range builderLoops {
+		loop, err := cparse.ParseStmt(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEnc = append(wantEnc, vocab.Encode(Build(loop, opts)))
+	}
+
+	b := NewBuilder()
+	for round := 0; round < 5; round++ {
+		var got []*Graph
+		for _, src := range builderLoops {
+			loop, err := cparse.ParseStmt(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, b.Build(loop, opts))
+		}
+		// All graphs of the round must coexist correctly (the batched
+		// engine path holds every graph of a request at once).
+		for i, g := range got {
+			if d := dumpOne(g); d != want[i] {
+				t.Fatalf("round %d loop %d: pooled builder diverged from Build:\n%s", round, i, firstDiff(d, want[i]))
+			}
+			enc := b.Encode(vocab, g)
+			if !encEqual(enc, wantEnc[i]) {
+				t.Fatalf("round %d loop %d: Builder.Encode diverged from Vocab.Encode", round, i)
+			}
+		}
+		b.Reset()
+	}
+}
+
+// TestBuildDetachedSurvivesReset pins that BuildDetached results are
+// independent of the builder's recycled storage.
+func TestBuildDetachedSurvivesReset(t *testing.T) {
+	opts := Default()
+	loop, err := cparse.ParseStmt(builderLoops[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dumpOne(Build(loop, opts))
+
+	b := NewBuilder()
+	g := b.BuildDetached(loop, opts)
+	// Churn the builder: rebuild other loops and Reset repeatedly.
+	for round := 0; round < 3; round++ {
+		for _, src := range builderLoops {
+			l2, err := cparse.ParseStmt(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Build(l2, opts)
+		}
+		b.Reset()
+	}
+	if d := dumpOne(g); d != want {
+		t.Fatalf("detached graph mutated by builder reuse:\n%s", firstDiff(d, want))
+	}
+}
+
+// TestBuildersConcurrent exercises many independent Builders in parallel
+// under -race: each goroutine owns one builder (the scratch-pool
+// discipline) and must see byte-identical results.
+func TestBuildersConcurrent(t *testing.T) {
+	opts := Default()
+	loop, err := cparse.ParseStmt(builderLoops[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dumpOne(Build(loop, opts))
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			b := NewBuilder()
+			for round := 0; round < 20; round++ {
+				g := b.Build(loop, opts)
+				if d := dumpOne(g); d != want {
+					errs[w] = fmt.Errorf("worker %d round %d diverged", w, round)
+					return
+				}
+				b.Reset()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func encEqual(a, b *Encoded) bool {
+	if a.Root != b.Root || len(a.KindIDs) != len(b.KindIDs) || len(a.Edges) != len(b.Edges) {
+		return false
+	}
+	for i := range a.KindIDs {
+		if a.KindIDs[i] != b.KindIDs[i] || a.AttrIDs[i] != b.AttrIDs[i] ||
+			a.TypeIDs[i] != b.TypeIDs[i] || a.Orders[i] != b.Orders[i] {
+			return false
+		}
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			return false
+		}
+	}
+	return true
+}

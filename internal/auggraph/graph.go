@@ -25,7 +25,7 @@ import (
 	"strings"
 
 	"graph2par/internal/cast"
-	"graph2par/internal/cfg"
+	"graph2par/internal/intern"
 )
 
 // EdgeType is the heterogeneous edge label.
@@ -76,6 +76,11 @@ type Node struct {
 	// Depth is the node's depth below the loop root.
 	Depth  int
 	IsLeaf bool
+	// KindSym / AttrSym / TypeSym are the interned symbols of Kind, Attr
+	// and TypeAttr in the builder's symbol table (see Builder.Syms); the
+	// builder's Encode path translates them to vocabulary IDs via array
+	// lookups instead of re-hashing the strings.
+	KindSym, AttrSym, TypeSym intern.Sym
 }
 
 // Edge is a typed directed edge.
@@ -92,6 +97,11 @@ type Graph struct {
 	Root int
 	// NumVars / NumFuncs count distinct normalized identifiers.
 	NumVars, NumFuncs int
+
+	// syms records which symbol table the node Sym fields index into (the
+	// building Builder's); Builder.Encode refuses graphs from a different
+	// table rather than silently translating through the wrong one.
+	syms *intern.Table
 }
 
 // Options controls which augmentations are applied; the zero value disables
@@ -118,282 +128,12 @@ func VanillaAST() Options {
 	return Options{Reverse: true, Normalize: true}
 }
 
-type builder struct {
-	opts    Options
-	g       *Graph
-	ids     map[cast.Node]int
-	varMap  map[string]string
-	funcMap map[string]string
-	// typeOf maps identifier name -> declared type within the snippet.
-	typeOf map[string]string
-	// leaves in source order for lexical edges.
-	leaves []int
-	// inlined tracks functions already added, to handle recursion.
-	inlined map[string]bool
-}
-
-// Build constructs the aug-AST of the statement (usually a loop).
+// Build constructs the aug-AST of the statement (usually a loop) through a
+// fresh, never-recycled Builder, so the result may be retained
+// indefinitely. Hot paths that build per request use a pooled Builder
+// instead (see Builder and the engine's frontend scratch).
 func Build(loop cast.Stmt, opts Options) *Graph {
-	b := &builder{
-		opts:    opts,
-		g:       &Graph{},
-		ids:     map[cast.Node]int{},
-		varMap:  map[string]string{},
-		funcMap: map[string]string{},
-		typeOf:  map[string]string{},
-		inlined: map[string]bool{},
-	}
-	b.collectTypes(loop)
-	b.g.Root = b.addSubtree(loop, 0, 0)
-	if opts.CFG {
-		b.mergeCFG(loop)
-	}
-	if opts.Lexical {
-		b.addLexicalEdges(b.leaves)
-	}
-	if opts.Funcs != nil {
-		b.linkCalls(loop)
-	}
-	if opts.Reverse {
-		b.addReverseEdges()
-	}
-	b.g.NumVars = len(b.varMap)
-	b.g.NumFuncs = len(b.funcMap)
-	return b.g
-}
-
-// collectTypes records declared types of identifiers for the TypeAttr
-// annotation (the "int" blocks of Figure 3).
-func (b *builder) collectTypes(root cast.Node) {
-	cast.Walk(root, func(n cast.Node) bool {
-		switch d := n.(type) {
-		case *cast.VarDecl:
-			b.typeOf[d.Name] = d.Type
-		case *cast.Param:
-			b.typeOf[d.Name] = d.Type
-		}
-		return true
-	})
-}
-
-// normalizeIdent maps a variable name to v<k> and a function name to f<k>
-// in order of first appearance.
-func (b *builder) normalizeIdent(name string, isFunc bool) string {
-	if !b.opts.Normalize {
-		return name
-	}
-	if isFunc {
-		if v, ok := b.funcMap[name]; ok {
-			return v
-		}
-		v := fmt.Sprintf("f%d", len(b.funcMap)+1)
-		b.funcMap[name] = v
-		return v
-	}
-	if v, ok := b.varMap[name]; ok {
-		return v
-	}
-	v := fmt.Sprintf("v%d", len(b.varMap)+1)
-	b.varMap[name] = v
-	return v
-}
-
-// attrOf derives a node's textual attribute.
-func (b *builder) attrOf(n cast.Node, parent cast.Node) string {
-	switch x := n.(type) {
-	case *cast.Ident:
-		isFunc := false
-		if call, ok := parent.(*cast.Call); ok && call.Fun == cast.Node(x) {
-			isFunc = true
-		}
-		return b.normalizeIdent(x.Name, isFunc)
-	case *cast.IntLit:
-		return "<int>"
-	case *cast.FloatLit:
-		return "<float>"
-	case *cast.CharLit:
-		return "<char>"
-	case *cast.StringLit:
-		return "<str>"
-	case *cast.Unary:
-		if x.Postfix {
-			return "post" + x.Op
-		}
-		return x.Op
-	case *cast.Binary:
-		return x.Op
-	case *cast.Assign:
-		return x.Op
-	case *cast.Member:
-		return x.Name
-	case *cast.VarDecl:
-		return b.normalizeIdent(x.Name, false)
-	case *cast.Param:
-		return b.normalizeIdent(x.Name, false)
-	case *cast.CastExpr:
-		return x.Type
-	case *cast.Goto, *cast.Label:
-		return ""
-	default:
-		return ""
-	}
-}
-
-func rawTextOf(n cast.Node) string {
-	switch x := n.(type) {
-	case *cast.Ident:
-		return x.Name
-	case *cast.IntLit:
-		return x.Text
-	case *cast.FloatLit:
-		return x.Text
-	case *cast.CharLit:
-		return x.Text
-	case *cast.StringLit:
-		return x.Text
-	case *cast.VarDecl:
-		return x.Name
-	case *cast.Param:
-		return x.Name
-	case *cast.Member:
-		return x.Name
-	default:
-		return ""
-	}
-}
-
-// addSubtree adds n and its descendants, returning n's node ID.
-func (b *builder) addSubtree(n cast.Node, order, depth int) int {
-	return b.addSubtreeP(n, nil, order, depth)
-}
-
-func (b *builder) addSubtreeP(n cast.Node, parent cast.Node, order, depth int) int {
-	id := len(b.g.Nodes)
-	b.ids[n] = id
-	children := n.Children()
-	typeAttr := ""
-	switch x := n.(type) {
-	case *cast.Ident:
-		typeAttr = b.typeOf[x.Name]
-	case *cast.VarDecl:
-		typeAttr = x.Type
-	case *cast.Param:
-		typeAttr = x.Type
-	case *cast.IntLit:
-		typeAttr = "int"
-	case *cast.FloatLit:
-		typeAttr = "double"
-	}
-	b.g.Nodes = append(b.g.Nodes, Node{
-		ID:       id,
-		Kind:     n.Kind(),
-		Attr:     b.attrOf(n, parent),
-		RawText:  rawTextOf(n),
-		TypeAttr: typeAttr,
-		Order:    order,
-		Depth:    depth,
-		IsLeaf:   len(children) == 0,
-	})
-	if len(children) == 0 {
-		b.leaves = append(b.leaves, id)
-		return id
-	}
-	for i, c := range children {
-		cid := b.addSubtreeP(c, n, i, depth+1)
-		b.g.Edges = append(b.g.Edges, Edge{Src: id, Dst: cid, Type: ASTEdge})
-	}
-	return id
-}
-
-// mergeCFG builds the loop CFG and adds its edges between the already-
-// registered AST nodes (section 5.1.2).
-func (b *builder) mergeCFG(loop cast.Stmt) {
-	g := cfg.Build(loop)
-	for _, e := range g.Edges {
-		src, okS := b.ids[e.From]
-		dst, okD := b.ids[e.To]
-		if !okS || !okD {
-			continue
-		}
-		b.g.Edges = append(b.g.Edges, Edge{Src: src, Dst: dst, Type: CFGEdge})
-	}
-}
-
-// addLexicalEdges links consecutive leaves in token order (section 5.1.3).
-func (b *builder) addLexicalEdges(leaves []int) {
-	for i := 0; i+1 < len(leaves); i++ {
-		b.g.Edges = append(b.g.Edges, Edge{Src: leaves[i], Dst: leaves[i+1], Type: LexEdge})
-	}
-}
-
-// linkCalls adds the callee body for every called function that is defined
-// in the supplied file, connected by a CallEdge (Figure 3's f1 node sharing).
-func (b *builder) linkCalls(root cast.Node) {
-	type pending struct {
-		callID int
-		callee *cast.FuncDecl
-	}
-	var queue []pending
-	collect := func(scope cast.Node) {
-		cast.Walk(scope, func(n cast.Node) bool {
-			call, ok := n.(*cast.Call)
-			if !ok {
-				return true
-			}
-			name, ok := call.Fun.(*cast.Ident)
-			if !ok {
-				return true
-			}
-			fn := b.opts.Funcs[name.Name]
-			if fn == nil || fn.Body == nil {
-				return true
-			}
-			queue = append(queue, pending{callID: b.ids[n], callee: fn})
-			return true
-		})
-	}
-	collect(root)
-	for len(queue) > 0 {
-		p := queue[0]
-		queue = queue[1:]
-		if b.inlined[p.callee.Name] {
-			// already materialized: just link to the existing body root
-			if id, ok := b.ids[cast.Node(p.callee.Body)]; ok {
-				b.g.Edges = append(b.g.Edges, Edge{Src: p.callID, Dst: id, Type: CallEdge})
-			}
-			continue
-		}
-		b.inlined[p.callee.Name] = true
-		startLeaf := len(b.leaves)
-		bodyID := b.addSubtree(p.callee.Body, 0, b.g.Nodes[p.callID].Depth+1)
-		b.g.Edges = append(b.g.Edges, Edge{Src: p.callID, Dst: bodyID, Type: CallEdge})
-		if b.opts.CFG {
-			b.mergeCFG(p.callee.Body)
-		}
-		if b.opts.Lexical {
-			b.addLexicalEdges(b.leaves[startLeaf:])
-		}
-		collect(p.callee.Body) // transitively link calls inside the callee
-	}
-}
-
-func (b *builder) addReverseEdges() {
-	n := len(b.g.Edges)
-	for i := 0; i < n; i++ {
-		e := b.g.Edges[i]
-		var rt EdgeType
-		switch e.Type {
-		case ASTEdge:
-			rt = RevASTEdge
-		case CFGEdge:
-			rt = RevCFGEdge
-		case LexEdge:
-			rt = RevLexEdge
-		default:
-			continue
-		}
-		b.g.Edges = append(b.g.Edges, Edge{Src: e.Dst, Dst: e.Src, Type: rt})
-	}
+	return NewBuilder().Build(loop, opts)
 }
 
 // EdgesOfType returns the edges with the given type.

@@ -563,20 +563,6 @@ func (n *File) Children() []Node {
 	return out
 }
 
-// Walk calls fn for node and every descendant in depth-first pre-order.
-// If fn returns false the node's children are skipped.
-func Walk(n Node, fn func(Node) bool) {
-	if n == nil {
-		return
-	}
-	if !fn(n) {
-		return
-	}
-	for _, c := range n.Children() {
-		Walk(c, fn)
-	}
-}
-
 // CountNodes returns the number of nodes in the subtree rooted at n.
 func CountNodes(n Node) int {
 	count := 0

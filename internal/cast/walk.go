@@ -1,0 +1,167 @@
+package cast
+
+import "sync"
+
+// This file is the allocation-free traversal layer. Node.Children builds a
+// fresh []Node per call — fine for one-shot consumers, but Walk-heavy
+// analyses (type collection, reduction finding, call scanning) used to pay
+// one slice per visited node. AppendChildren appends the same children in
+// the same order into a caller-owned buffer, and Walk runs on a pooled
+// stack, so steady-state traversal allocates nothing.
+
+// AppendChildren appends n's children to dst in source order — exactly the
+// nodes, order and count of n.Children() (pinned by TestAppendChildren
+// MatchesChildren) without allocating a fresh slice per node.
+func AppendChildren(n Node, dst []Node) []Node {
+	switch x := n.(type) {
+	case *Ident, *IntLit, *FloatLit, *CharLit, *StringLit,
+		*Param, *Label, *Goto, *Empty, *PragmaStmt, *Break, *Continue:
+		return dst
+	case *Unary:
+		return append(dst, x.X)
+	case *Binary:
+		return append(dst, x.X, x.Y)
+	case *Assign:
+		return append(dst, x.LHS, x.RHS)
+	case *Conditional:
+		return append(dst, x.Cond, x.Then, x.Else)
+	case *Call:
+		dst = append(dst, x.Fun)
+		for _, a := range x.Args {
+			dst = append(dst, a)
+		}
+		return dst
+	case *Index:
+		return append(dst, x.Arr, x.Idx)
+	case *Member:
+		return append(dst, x.X)
+	case *CastExpr:
+		return append(dst, x.X)
+	case *SizeofExpr:
+		if x.X != nil {
+			dst = append(dst, x.X)
+		}
+		return dst
+	case *Comma:
+		return append(dst, x.X, x.Y)
+	case *InitList:
+		for _, e := range x.Elems {
+			dst = append(dst, e)
+		}
+		return dst
+	case *ExprStmt:
+		return append(dst, x.X)
+	case *DeclStmt:
+		for _, d := range x.Decls {
+			dst = append(dst, d)
+		}
+		return dst
+	case *Compound:
+		for _, s := range x.Items {
+			dst = append(dst, s)
+		}
+		return dst
+	case *If:
+		dst = append(dst, x.Cond, x.Then)
+		if x.Else != nil {
+			dst = append(dst, x.Else)
+		}
+		return dst
+	case *For:
+		if x.Init != nil {
+			dst = append(dst, x.Init)
+		}
+		if x.Cond != nil {
+			dst = append(dst, x.Cond)
+		}
+		if x.Post != nil {
+			dst = append(dst, x.Post)
+		}
+		return append(dst, x.Body)
+	case *While:
+		return append(dst, x.Cond, x.Body)
+	case *DoWhile:
+		return append(dst, x.Body, x.Cond)
+	case *Return:
+		if x.X != nil {
+			dst = append(dst, x.X)
+		}
+		return dst
+	case *Switch:
+		return append(dst, x.Cond, x.Body)
+	case *Case:
+		if x.Val != nil {
+			dst = append(dst, x.Val)
+		}
+		return dst
+	case *VarDecl:
+		for _, d := range x.ArrayDims {
+			if d != nil {
+				dst = append(dst, d)
+			}
+		}
+		if x.Init != nil {
+			dst = append(dst, x.Init)
+		}
+		return dst
+	case *FuncDecl:
+		for _, p := range x.Params {
+			dst = append(dst, p)
+		}
+		if x.Body != nil {
+			dst = append(dst, x.Body)
+		}
+		return dst
+	case *StructDef:
+		for _, f := range x.Fields {
+			dst = append(dst, f)
+		}
+		return dst
+	case *File:
+		for _, g := range x.Globals {
+			dst = append(dst, g)
+		}
+		for _, f := range x.Funcs {
+			dst = append(dst, f)
+		}
+		return dst
+	default:
+		// Unknown node type: fall back to the interface method.
+		return append(dst, n.Children()...)
+	}
+}
+
+// walkStacks recycles traversal stacks across Walk calls.
+var walkStacks = sync.Pool{New: func() any {
+	s := make([]Node, 0, 64)
+	return &s
+}}
+
+// Walk calls fn for node and every descendant in depth-first pre-order.
+// If fn returns false the node's children are skipped. The traversal
+// itself is allocation-free in steady state (pooled stack + AppendChildren).
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil {
+		return
+	}
+	sp := walkStacks.Get().(*[]Node)
+	s := (*sp)[:0]
+	s = append(s, n)
+	for len(s) > 0 {
+		cur := s[len(s)-1]
+		s = s[:len(s)-1]
+		if cur == nil || !fn(cur) {
+			continue
+		}
+		// Children are appended in source order, then the fresh segment is
+		// reversed so the stack pops them first-child-first — preserving
+		// the recursive pre-order exactly.
+		mark := len(s)
+		s = AppendChildren(cur, s)
+		for i, j := mark, len(s)-1; i < j; i, j = i+1, j-1 {
+			s[i], s[j] = s[j], s[i]
+		}
+	}
+	*sp = s[:0]
+	walkStacks.Put(sp)
+}

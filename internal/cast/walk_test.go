@@ -1,0 +1,132 @@
+package cast
+
+import (
+	"reflect"
+	"testing"
+)
+
+// walkRec is the original recursive Walk, kept as the reference semantics
+// the iterative pooled version must match.
+func walkRec(n Node, fn func(Node) bool) {
+	if n == nil {
+		return
+	}
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children() {
+		walkRec(c, fn)
+	}
+}
+
+// buildRichAST constructs (by hand) an AST exercising every node type, so
+// AppendChildren's type switch is checked against every Children method.
+func buildRichAST() Node {
+	expr := &Binary{Op: "+", X: &Ident{Name: "a"}, Y: &IntLit{Text: "1", Value: 1}}
+	initList := &InitList{Elems: []Expr{&IntLit{Text: "1"}, &FloatLit{Text: "2.0"}}}
+	call := &Call{Fun: &Ident{Name: "f"}, Args: []Expr{expr, &CharLit{Text: "'x'"}, &StringLit{Text: `"s"`}}}
+	cond := &Conditional{Cond: &Ident{Name: "c"}, Then: &IntLit{}, Else: &IntLit{}}
+	idx := &Index{Arr: &Ident{Name: "arr"}, Idx: &Unary{Op: "-", X: &Ident{Name: "i"}}}
+	member := &Member{X: &Ident{Name: "p"}, Name: "f"}
+	castE := &CastExpr{Type: "double", X: &Comma{X: &Ident{Name: "x"}, Y: &Ident{Name: "y"}}}
+	szType := &SizeofExpr{Type: "int"}
+	szExpr := &SizeofExpr{X: &Ident{Name: "v"}}
+	asn := &Assign{Op: "=", LHS: idx, RHS: &Conditional{Cond: cond, Then: member, Else: castE}}
+	decl := &VarDecl{Type: "int", Name: "v", ArrayDims: []Expr{&IntLit{Text: "3"}, nil}, Init: initList}
+	declStmt := &DeclStmt{Decls: []*VarDecl{decl, {Type: "int", Name: "w"}}}
+	body := &Compound{Items: []Stmt{
+		declStmt,
+		&ExprStmt{X: asn},
+		&If{Cond: expr, Then: &ExprStmt{X: call}, Else: &Break{}},
+		&If{Cond: expr, Then: &Empty{}},
+		&While{Cond: szType, Body: &Continue{}},
+		&DoWhile{Body: &ExprStmt{X: szExpr}, Cond: &Ident{Name: "k"}},
+		&Switch{Cond: &Ident{Name: "s"}, Body: &Compound{Items: []Stmt{
+			&Case{Val: &IntLit{Text: "1"}},
+			&ExprStmt{X: call},
+			&Case{},
+			&Break{},
+		}}},
+		&Label{Name: "out"},
+		&Goto{Name: "out"},
+		&PragmaStmt{Text: "#pragma omp parallel"},
+		&Return{X: expr},
+		&Return{},
+	}}
+	loop := &For{
+		Init: &ExprStmt{X: &Assign{Op: "=", LHS: &Ident{Name: "i"}, RHS: &IntLit{}}},
+		Cond: &Binary{Op: "<", X: &Ident{Name: "i"}, Y: &Ident{Name: "n"}},
+		Post: &Unary{Op: "++", X: &Ident{Name: "i"}, Postfix: true},
+		Body: body,
+	}
+	fn := &FuncDecl{
+		RetType: "int", Name: "main",
+		Params: []*Param{{Type: "int", Name: "argc"}},
+		Body:   &Compound{Items: []Stmt{loop, &For{Body: &Empty{}}}},
+	}
+	return &File{
+		Structs: []*StructDef{{Name: "pt", Fields: []*VarDecl{{Type: "int", Name: "x"}}}},
+		Globals: []*VarDecl{{Type: "int", Name: "g"}},
+		Funcs:   []*FuncDecl{fn, {RetType: "void", Name: "proto"}},
+	}
+}
+
+// TestAppendChildrenMatchesChildren pins that AppendChildren reproduces
+// Children (nodes, order, count) for every node type.
+func TestAppendChildrenMatchesChildren(t *testing.T) {
+	root := buildRichAST()
+	seen := 0
+	walkRec(root, func(n Node) bool {
+		seen++
+		want := n.Children()
+		got := AppendChildren(n, nil)
+		if len(got) != len(want) {
+			t.Fatalf("%T: AppendChildren returned %d children, Children %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%T child %d: AppendChildren and Children disagree", n, i)
+			}
+		}
+		return true
+	})
+	// StructDef fields are not reachable from File.Children (mirroring the
+	// original traversal), so check it directly too.
+	sd := root.(*File).Structs[0]
+	if !reflect.DeepEqual(AppendChildren(sd, nil), sd.Children()) {
+		t.Fatal("StructDef children mismatch")
+	}
+	if seen < 60 {
+		t.Fatalf("rich AST only had %d nodes; extend it when adding node types", seen)
+	}
+}
+
+// TestWalkMatchesRecursive pins that the pooled iterative Walk visits the
+// same nodes in the same order as the recursive reference, including
+// subtree skipping.
+func TestWalkMatchesRecursive(t *testing.T) {
+	root := buildRichAST()
+	for _, skipIf := range []func(Node) bool{
+		func(Node) bool { return false },
+		func(n Node) bool { _, isIf := n.(*If); return isIf },
+		func(n Node) bool { _, isFor := n.(*For); return isFor },
+	} {
+		var want, got []Node
+		walkRec(root, func(n Node) bool {
+			want = append(want, n)
+			return !skipIf(n)
+		})
+		Walk(root, func(n Node) bool {
+			got = append(got, n)
+			return !skipIf(n)
+		})
+		if len(want) != len(got) {
+			t.Fatalf("Walk visited %d nodes, reference %d", len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("visit %d: Walk order diverged from reference (%T vs %T)", i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -107,6 +107,33 @@ func Build(s cast.Stmt) *Graph {
 	return g
 }
 
+// Builder is a reusable CFG constructor: its node set, edge and node
+// storage (and the returned Graph itself) are recycled across calls, so a
+// hot loop that builds one CFG per aug-AST allocates nothing in steady
+// state. The graph returned by Build is valid only until the next Build on
+// the same Builder — callers that keep CFGs use the package-level Build.
+// A Builder is single-goroutine state.
+type Builder struct {
+	b     builder
+	graph Graph
+}
+
+// Build constructs the CFG for a statement region into builder-owned
+// storage. See the Builder doc for the lifetime contract.
+func (bd *Builder) Build(s cast.Stmt) *Graph {
+	if bd.b.nodeSet == nil {
+		bd.b.nodeSet = map[cast.Node]bool{}
+	} else {
+		clear(bd.b.nodeSet)
+	}
+	bd.b.edges = bd.b.edges[:0]
+	bd.b.nodes = bd.b.nodes[:0]
+	bd.b.loops = bd.b.loops[:0]
+	entry, _ := bd.b.stmt(s, nil)
+	bd.graph = Graph{Entry: entry, Edges: bd.b.edges, Nodes: bd.b.nodes}
+	return &bd.graph
+}
+
 // stmt wires the CFG for s. ins are dangling edges that should point at the
 // first node of s; it returns the first node of s (nil if s generates no
 // nodes) and the dangling exits of s.

@@ -49,7 +49,8 @@ func (in *Interp) evalLValue(sc *scope, e cast.Expr) (lvalue, error) {
 		}
 		return lvalue{}, fmt.Errorf("array %s used as scalar", x.Name)
 	case *cast.Index:
-		base, subs := rootIndex(x)
+		var subsBuf [maxSubscripts]cast.Expr
+		base, subs := rootIndex(x, subsBuf[:0])
 		id, ok := base.(*cast.Ident)
 		if !ok {
 			return lvalue{}, &ErrUnsupported{What: "complex array base"}
@@ -61,7 +62,12 @@ func (in *Interp) evalLValue(sc *scope, e cast.Expr) (lvalue, error) {
 		if b.arr == nil {
 			return lvalue{}, &ErrUnsupported{What: "subscript on non-array " + id.Name}
 		}
-		idx := make([]int64, len(subs))
+		var idxBuf [maxSubscripts]int64
+		idx := idxBuf[:0]
+		if len(subs) > len(idxBuf) {
+			idx = make([]int64, 0, len(subs))
+		}
+		idx = idx[:len(subs)]
 		for i, s := range subs {
 			v, err := in.eval(sc, s)
 			if err != nil {
@@ -81,18 +87,36 @@ func (in *Interp) evalLValue(sc *scope, e cast.Expr) (lvalue, error) {
 	}
 }
 
-// rootIndex peels a[i][j] into (a, [i, j]).
-func rootIndex(ix *cast.Index) (cast.Expr, []cast.Expr) {
-	var subs []cast.Expr
+// maxSubscripts bounds the subscript depth served from stack scratch in
+// the per-access hot path; deeper chains fall back to one heap allocation.
+const maxSubscripts = 8
+
+// rootIndex peels a[i][j] into (a, [i, j]). The subscript list is written
+// into buf (callers pass a stack array's [:0] slice), replacing the old
+// prepend-per-level pattern that allocated quadratically on every array
+// access the interpreter traced.
+func rootIndex(ix *cast.Index, buf []cast.Expr) (cast.Expr, []cast.Expr) {
+	depth := 0
 	cur := cast.Expr(ix)
 	for {
 		n, ok := cur.(*cast.Index)
 		if !ok {
-			return cur, subs
+			break
 		}
-		subs = append([]cast.Expr{n.Idx}, subs...)
+		depth++
 		cur = n.Arr
 	}
+	if cap(buf) < depth {
+		buf = make([]cast.Expr, depth)
+	}
+	buf = buf[:depth]
+	node := cast.Expr(ix)
+	for i := depth - 1; i >= 0; i-- {
+		n := node.(*cast.Index)
+		buf[i] = n.Idx
+		node = n.Arr
+	}
+	return cur, buf
 }
 
 func (in *Interp) eval(sc *scope, e cast.Expr) (Value, error) {

@@ -121,7 +121,8 @@ func (in *Interp) evalStructObj(sc *scope, e cast.Expr) (*structObj, error) {
 		}
 		return b.sobj, nil
 	case *cast.Index:
-		base, subs := rootIndex(x)
+		var subsBuf [maxSubscripts]cast.Expr
+		base, subs := rootIndex(x, subsBuf[:0])
 		id, ok := base.(*cast.Ident)
 		if !ok {
 			return nil, &ErrUnsupported{What: "complex struct array base"}
@@ -133,7 +134,12 @@ func (in *Interp) evalStructObj(sc *scope, e cast.Expr) (*structObj, error) {
 		if b.sarr == nil {
 			return nil, &ErrUnsupported{What: id.Name + " is not a struct array"}
 		}
-		idx := make([]int64, len(subs))
+		var idxBuf [maxSubscripts]int64
+		idx := idxBuf[:0]
+		if len(subs) > len(idxBuf) {
+			idx = make([]int64, 0, len(subs))
+		}
+		idx = idx[:len(subs)]
 		for i, s := range subs {
 			v, err := in.eval(sc, s)
 			if err != nil {

@@ -1,0 +1,143 @@
+package clex
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUnterminatedBlockComment pins that a /* without */ is a lexical
+// error carrying the comment's opening position — not a silent EOF.
+func TestUnterminatedBlockComment(t *testing.T) {
+	src := "int x;\n/* never closed\nint y;"
+	_, err := Tokenize(src)
+	if err == nil {
+		t.Fatal("unterminated block comment must be an error")
+	}
+	lexErr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type = %T, want *clex.Error", err)
+	}
+	if !strings.Contains(lexErr.Msg, "unterminated block comment") {
+		t.Errorf("message = %q", lexErr.Msg)
+	}
+	if lexErr.Pos.Line != 2 || lexErr.Pos.Col != 1 {
+		t.Errorf("position = %v, want 2:1 (the comment opener)", lexErr.Pos)
+	}
+}
+
+// TestUnterminatedStringAndChar pins the error positions for literals cut
+// off by a newline and by EOF.
+func TestUnterminatedStringAndChar(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+		line int
+	}{
+		{`int x = "abc` + "\n;", "unterminated string literal", 1},
+		{`int x = "abc`, "unterminated string literal", 1},
+		{"int c = 'x\n;", "unterminated char literal", 1},
+		{"int c = 'x", "unterminated char literal", 1},
+	}
+	for _, tc := range cases {
+		_, err := Tokenize(tc.src)
+		if err == nil {
+			t.Errorf("%q: want error", tc.src)
+			continue
+		}
+		lexErr, ok := err.(*Error)
+		if !ok {
+			t.Errorf("%q: error type = %T", tc.src, err)
+			continue
+		}
+		if !strings.Contains(lexErr.Msg, tc.want) {
+			t.Errorf("%q: message = %q, want %q", tc.src, lexErr.Msg, tc.want)
+		}
+		if lexErr.Pos.Line != tc.line {
+			t.Errorf("%q: line = %d, want %d", tc.src, lexErr.Pos.Line, tc.line)
+		}
+	}
+}
+
+// TestCRLFLineEndings pins that CRLF sources tokenize to the same stream
+// as their LF form, with identical line numbers (columns differ by the
+// \r, which Pos treats as an ordinary same-line byte).
+func TestCRLFLineEndings(t *testing.T) {
+	lf := "#include <stdio.h>\nint main() {\n  int i; /* c1 */\n  // c2\n  return i;\n}\n"
+	crlf := strings.ReplaceAll(lf, "\n", "\r\n")
+
+	tl, err := Tokenize(lf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := Tokenize(crlf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl) != len(tc) {
+		t.Fatalf("token counts differ: LF %d vs CRLF %d", len(tl), len(tc))
+	}
+	for i := range tl {
+		if tl[i].Kind != tc[i].Kind || tl[i].Text != tc[i].Text {
+			t.Errorf("token %d: LF %v vs CRLF %v", i, tl[i], tc[i])
+		}
+		if tl[i].Pos.Line != tc[i].Pos.Line {
+			t.Errorf("token %d (%q): line LF %d vs CRLF %d",
+				i, tl[i].Text, tl[i].Pos.Line, tc[i].Pos.Line)
+		}
+	}
+}
+
+// TestAdjacentStringLiterals pins that the lexer delivers adjacent string
+// literals as separate tokens (the parser concatenates them).
+func TestAdjacentStringLiterals(t *testing.T) {
+	toks, err := Tokenize(`"abc" "def"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 2 || toks[0].Kind != StringLit || toks[1].Kind != StringLit {
+		t.Fatalf("tokens = %v, want two string literals", toks)
+	}
+}
+
+// TestTokenizeIntoReuse pins the buffer-reuse contract: a recycled buffer
+// yields the same tokens and does not reallocate when capacity suffices.
+func TestTokenizeIntoReuse(t *testing.T) {
+	src := "for (i = 0; i < n; i++) sum += a[i];"
+	first, err := TokenizeInto(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := TokenizeInto(src, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(again) {
+		t.Fatalf("token counts differ across reuse: %d vs %d", len(first), len(again))
+	}
+	if &first[0] != &again[0] {
+		t.Error("reused buffer was reallocated despite sufficient capacity")
+	}
+	for i := range again {
+		if first[i] != again[i] {
+			t.Errorf("token %d differs across reuse", i)
+		}
+	}
+}
+
+// TestDirectiveContinuation pins both lexDirective paths: the zero-copy
+// single-line fast path and the builder path for backslash continuations.
+func TestDirectiveContinuation(t *testing.T) {
+	toks, err := Tokenize("#define A 1\n#define B x + \\\n  y\nint z;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) < 2 || toks[0].Kind != DirectiveLn || toks[1].Kind != DirectiveLn {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[0].Text != "#define A 1" {
+		t.Errorf("fast-path directive = %q", toks[0].Text)
+	}
+	if want := "#define B x +    y"; toks[1].Text != want {
+		t.Errorf("continued directive = %q, want %q", toks[1].Text, want)
+	}
+}

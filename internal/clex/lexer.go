@@ -33,8 +33,18 @@ func (e *Error) Error() string { return fmt.Sprintf("lex error at %s: %s", e.Pos
 // trailing EOF token). Comments are stripped; `#pragma` lines become
 // PragmaLine tokens and other preprocessor lines become DirectiveLn tokens.
 func Tokenize(src string) ([]Token, error) {
+	return TokenizeInto(src, nil)
+}
+
+// TokenizeInto is Tokenize writing into dst's backing array (len is
+// ignored), growing it only when capacity runs out. Passing back the
+// returned slice on the next call makes steady-state tokenization
+// allocation-free — the hot-path contract the pooled parser Session relies
+// on. Tokens reference substrings of src and stay valid regardless of
+// later reuse of the slice they were delivered in.
+func TokenizeInto(src string, dst []Token) ([]Token, error) {
 	lx := New(src)
-	var toks []Token
+	toks := dst[:0]
 	for {
 		t, err := lx.Next()
 		if err != nil {
@@ -134,8 +144,9 @@ func isSpace(c byte) bool {
 	return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v'
 }
 
-// skipWS skips whitespace and comments.
-func (lx *Lexer) skipWS() {
+// skipWS skips whitespace and comments. An unterminated block comment is a
+// lexical error reported at the comment's opening position.
+func (lx *Lexer) skipWS() error {
 	for lx.off < len(lx.src) {
 		c := lx.peek()
 		switch {
@@ -147,29 +158,38 @@ func (lx *Lexer) skipWS() {
 				lx.advance()
 			}
 		case c == '/' && lx.peekAt(1) == '*':
+			start := lx.pos()
 			lx.CommentCount++
 			lx.advance()
 			lx.advance()
+			closed := false
 			for lx.off < len(lx.src) {
 				if lx.peek() == '*' && lx.peekAt(1) == '/' {
 					lx.advance()
 					lx.advance()
+					closed = true
 					break
 				}
 				lx.advance()
+			}
+			if !closed {
+				return &Error{Pos: start, Msg: "unterminated block comment"}
 			}
 		case c == '\\' && lx.peekAt(1) == '\n':
 			lx.advance()
 			lx.advance()
 		default:
-			return
+			return nil
 		}
 	}
+	return nil
 }
 
 // Next returns the next token, or an EOF token at end of input.
 func (lx *Lexer) Next() (Token, error) {
-	lx.skipWS()
+	if err := lx.skipWS(); err != nil {
+		return Token{}, err
+	}
 	start := lx.pos()
 	if lx.off >= len(lx.src) {
 		return Token{Kind: EOF, Pos: start}, nil
@@ -192,21 +212,39 @@ func (lx *Lexer) Next() (Token, error) {
 }
 
 func (lx *Lexer) lexDirective(start Pos) (Token, error) {
-	// Consume to end of line, honoring backslash continuations.
-	var b strings.Builder
-	for lx.off < len(lx.src) {
-		if lx.peek() == '\\' && lx.peekAt(1) == '\n' {
-			lx.advance()
-			lx.advance()
-			b.WriteByte(' ')
-			continue
-		}
-		if lx.peek() == '\n' {
+	// Fast path: no backslash continuation before the line end, so the
+	// directive text is a zero-copy substring of src.
+	cont := false
+	for i := lx.off; i < len(lx.src) && lx.src[i] != '\n'; i++ {
+		if lx.src[i] == '\\' && i+1 < len(lx.src) && lx.src[i+1] == '\n' {
+			cont = true
 			break
 		}
-		b.WriteByte(lx.advance())
 	}
-	text := strings.TrimSpace(b.String())
+	var text string
+	if !cont {
+		begin := lx.off
+		for lx.off < len(lx.src) && lx.peek() != '\n' {
+			lx.advance()
+		}
+		text = strings.TrimSpace(lx.src[begin:lx.off])
+	} else {
+		// Consume to end of line, honoring backslash continuations.
+		var b strings.Builder
+		for lx.off < len(lx.src) {
+			if lx.peek() == '\\' && lx.peekAt(1) == '\n' {
+				lx.advance()
+				lx.advance()
+				b.WriteByte(' ')
+				continue
+			}
+			if lx.peek() == '\n' {
+				break
+			}
+			b.WriteByte(lx.advance())
+		}
+		text = strings.TrimSpace(b.String())
+	}
 	kind := DirectiveLn
 	rest := strings.TrimSpace(strings.TrimPrefix(text, "#"))
 	if strings.HasPrefix(rest, "pragma") {
@@ -330,6 +368,17 @@ var punct2 = []string{
 	"+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=", "->",
 }
 
+// punct1 holds the single-character operator spellings: string(c) would
+// allocate a fresh one-byte string per token, and operators are the most
+// common token class in C.
+var punct1 [256]string
+
+func init() {
+	for _, c := range []byte("+-*/%=<>!&|^~?:;,.()[]{}") {
+		punct1[c] = string(c)
+	}
+}
+
 func (lx *Lexer) lexPunct(start Pos) (Token, error) {
 	rest := lx.src[lx.off:]
 	for _, p := range punct3 {
@@ -348,10 +397,8 @@ func (lx *Lexer) lexPunct(start Pos) (Token, error) {
 		}
 	}
 	c := lx.advance()
-	switch c {
-	case '+', '-', '*', '/', '%', '=', '<', '>', '!', '&', '|', '^', '~',
-		'?', ':', ';', ',', '.', '(', ')', '[', ']', '{', '}':
-		return Token{Kind: Punct, Text: string(c), Pos: start}, nil
+	if s := punct1[c]; s != "" {
+		return Token{Kind: Punct, Text: s, Pos: start}, nil
 	}
 	return Token{}, &Error{Pos: start, Msg: fmt.Sprintf("unexpected character %q", c)}
 }

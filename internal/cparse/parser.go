@@ -27,51 +27,26 @@ func (e *Error) Error() string { return fmt.Sprintf("parse error at %s: %s", e.P
 type parser struct {
 	toks []clex.Token
 	pos  int
+	// ast is the slab allocator AST nodes come from (see session.go).
+	ast *astAlloc
 }
 
-// ParseFile parses a full translation unit.
+// ParseFile parses a full translation unit. The AST comes from a fresh
+// (never recycled) Session, so callers may retain it indefinitely; hot
+// paths that parse per request should use a pooled Session instead.
 func ParseFile(src string) (*cast.File, error) {
-	toks, err := clex.Tokenize(src)
-	if err != nil {
-		return nil, err
-	}
-	p := &parser{toks: toks}
-	return p.parseFile()
+	return NewSession().ParseFile(src)
 }
 
 // ParseStmt parses a single statement (useful for loop snippets). A pragma
 // line before a loop is attached to the loop.
 func ParseStmt(src string) (cast.Stmt, error) {
-	toks, err := clex.Tokenize(src)
-	if err != nil {
-		return nil, err
-	}
-	p := &parser{toks: toks}
-	s, err := p.parseStmt()
-	if err != nil {
-		return nil, err
-	}
-	if p.pos < len(p.toks) {
-		return nil, p.errHere("trailing tokens after statement")
-	}
-	return s, nil
+	return NewSession().ParseStmt(src)
 }
 
 // ParseExpr parses a single expression.
 func ParseExpr(src string) (cast.Expr, error) {
-	toks, err := clex.Tokenize(src)
-	if err != nil {
-		return nil, err
-	}
-	p := &parser{toks: toks}
-	e, err := p.parseExpr()
-	if err != nil {
-		return nil, err
-	}
-	if p.pos < len(p.toks) {
-		return nil, p.errHere("trailing tokens after expression")
-	}
-	return e, nil
+	return NewSession().ParseExpr(src)
 }
 
 // ---------------------------------------------------------------------------
@@ -169,7 +144,7 @@ func (p *parser) parseTypeSpec() (string, error) {
 // top level
 
 func (p *parser) parseFile() (*cast.File, error) {
-	file := &cast.File{P: p.cur().Pos}
+	file := alloc(&p.ast.files, cast.File{P: p.cur().Pos})
 	for p.cur().Kind != clex.EOF {
 		t := p.cur()
 		switch t.Kind {
@@ -232,7 +207,7 @@ func (p *parser) parseStructDef() (*cast.StructDef, error) {
 	if err := p.expect("{"); err != nil {
 		return nil, err
 	}
-	def := &cast.StructDef{Name: name, P: start}
+	def := alloc(&p.ast.structDefs, cast.StructDef{Name: name, P: start})
 	for !p.cur().Is("}") {
 		if p.cur().Kind == clex.EOF {
 			return nil, p.errHere("unterminated struct definition")
@@ -261,7 +236,7 @@ func (p *parser) parseStructDef() (*cast.StructDef, error) {
 }
 
 func (p *parser) parseFuncRest(retType string, nameTok clex.Token) (*cast.FuncDecl, error) {
-	fn := &cast.FuncDecl{RetType: retType, Name: nameTok.Text, P: nameTok.Pos}
+	fn := alloc(&p.ast.funcDecls, cast.FuncDecl{RetType: retType, Name: nameTok.Text, P: nameTok.Pos})
 	if err := p.expect("("); err != nil {
 		return nil, err
 	}
@@ -319,7 +294,7 @@ func (p *parser) parseParam() (*cast.Param, error) {
 		}
 		dims++
 	}
-	return &cast.Param{Type: typ, Name: name, Pointer: ptr, ArrayDims: dims, P: start}, nil
+	return alloc(&p.ast.params, cast.Param{Type: typ, Name: name, Pointer: ptr, ArrayDims: dims, P: start}), nil
 }
 
 // parseVarDeclRest parses declarators after the first name has been
@@ -353,7 +328,7 @@ func (p *parser) parseVarDeclRest(typ string, ptr int, nameTok clex.Token) ([]*c
 }
 
 func (p *parser) parseDeclarator(typ string, ptr int, nameTok clex.Token) (*cast.VarDecl, error) {
-	d := &cast.VarDecl{Type: typ, Name: nameTok.Text, Pointer: ptr, P: nameTok.Pos}
+	d := alloc(&p.ast.varDecls, cast.VarDecl{Type: typ, Name: nameTok.Text, Pointer: ptr, P: nameTok.Pos})
 	for p.accept("[") {
 		if p.cur().Is("]") {
 			d.ArrayDims = append(d.ArrayDims, nil)
@@ -381,7 +356,7 @@ func (p *parser) parseDeclarator(typ string, ptr int, nameTok clex.Token) (*cast
 func (p *parser) parseInitializer() (cast.Expr, error) {
 	if p.cur().Is("{") {
 		start := p.next().Pos
-		lst := &cast.InitList{P: start}
+		lst := alloc(&p.ast.initLists, cast.InitList{P: start})
 		if !p.cur().Is("}") {
 			for {
 				el, err := p.parseInitializer()
@@ -413,7 +388,7 @@ func (p *parser) parseCompound() (*cast.Compound, error) {
 	if err := p.expect("{"); err != nil {
 		return nil, err
 	}
-	blk := &cast.Compound{P: start}
+	blk := alloc(&p.ast.compounds, cast.Compound{P: start})
 	for !p.cur().Is("}") {
 		if p.cur().Kind == clex.EOF {
 			return nil, p.errHere("unterminated block")
@@ -435,7 +410,7 @@ func (p *parser) parseStmt() (cast.Stmt, error) {
 	switch {
 	case t.Kind == clex.DirectiveLn:
 		p.next()
-		return &cast.Empty{P: t.Pos}, nil
+		return alloc(&p.ast.emptys, cast.Empty{P: t.Pos}), nil
 	case t.Kind == clex.PragmaLine:
 		p.next()
 		// Attach OpenMP pragmas to the loop that follows.
@@ -467,12 +442,12 @@ func (p *parser) parseStmt() (cast.Stmt, error) {
 			}
 			return s, nil
 		}
-		return &cast.PragmaStmt{Text: t.Text, P: t.Pos}, nil
+		return alloc(&p.ast.pragmas, cast.PragmaStmt{Text: t.Text, P: t.Pos}), nil
 	case t.Is("{"):
 		return p.parseCompound()
 	case t.Is(";"):
 		p.next()
-		return &cast.Empty{P: t.Pos}, nil
+		return alloc(&p.ast.emptys, cast.Empty{P: t.Pos}), nil
 	case t.IsKeyword("if"):
 		return p.parseIf()
 	case t.IsKeyword("for"):
@@ -483,7 +458,7 @@ func (p *parser) parseStmt() (cast.Stmt, error) {
 		return p.parseDoWhile()
 	case t.IsKeyword("return"):
 		p.next()
-		ret := &cast.Return{P: t.Pos}
+		ret := alloc(&p.ast.returns, cast.Return{P: t.Pos})
 		if !p.cur().Is(";") {
 			x, err := p.parseExpr()
 			if err != nil {
@@ -500,13 +475,13 @@ func (p *parser) parseStmt() (cast.Stmt, error) {
 		if err := p.expect(";"); err != nil {
 			return nil, err
 		}
-		return &cast.Break{P: t.Pos}, nil
+		return alloc(&p.ast.breaks, cast.Break{P: t.Pos}), nil
 	case t.IsKeyword("continue"):
 		p.next()
 		if err := p.expect(";"); err != nil {
 			return nil, err
 		}
-		return &cast.Continue{P: t.Pos}, nil
+		return alloc(&p.ast.continues, cast.Continue{P: t.Pos}), nil
 	case t.IsKeyword("switch"):
 		return p.parseSwitch()
 	case t.IsKeyword("case"):
@@ -518,13 +493,13 @@ func (p *parser) parseStmt() (cast.Stmt, error) {
 		if err := p.expect(":"); err != nil {
 			return nil, err
 		}
-		return &cast.Case{Val: val, P: t.Pos}, nil
+		return alloc(&p.ast.cases, cast.Case{Val: val, P: t.Pos}), nil
 	case t.IsKeyword("default"):
 		p.next()
 		if err := p.expect(":"); err != nil {
 			return nil, err
 		}
-		return &cast.Case{P: t.Pos}, nil
+		return alloc(&p.ast.cases, cast.Case{P: t.Pos}), nil
 	case t.IsKeyword("goto"):
 		p.next()
 		if p.cur().Kind != clex.Ident {
@@ -534,11 +509,11 @@ func (p *parser) parseStmt() (cast.Stmt, error) {
 		if err := p.expect(";"); err != nil {
 			return nil, err
 		}
-		return &cast.Goto{Name: name, P: t.Pos}, nil
+		return alloc(&p.ast.gotos, cast.Goto{Name: name, P: t.Pos}), nil
 	case t.Kind == clex.Ident && p.at(1).Is(":"):
 		p.next()
 		p.next()
-		return &cast.Label{Name: t.Text, P: t.Pos}, nil
+		return alloc(&p.ast.labels, cast.Label{Name: t.Text, P: t.Pos}), nil
 	case p.atType():
 		return p.parseDeclStmt()
 	default:
@@ -549,7 +524,7 @@ func (p *parser) parseStmt() (cast.Stmt, error) {
 		if err := p.expect(";"); err != nil {
 			return nil, err
 		}
-		return &cast.ExprStmt{X: x, P: t.Pos}, nil
+		return alloc(&p.ast.exprStmts, cast.ExprStmt{X: x, P: t.Pos}), nil
 	}
 }
 
@@ -571,7 +546,7 @@ func (p *parser) parseDeclStmt() (cast.Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &cast.DeclStmt{Decls: decls, P: start}, nil
+	return alloc(&p.ast.declStmts, cast.DeclStmt{Decls: decls, P: start}), nil
 }
 
 func (p *parser) parseIf() (cast.Stmt, error) {
@@ -590,7 +565,7 @@ func (p *parser) parseIf() (cast.Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	node := &cast.If{Cond: cond, Then: then, P: start}
+	node := alloc(&p.ast.ifs, cast.If{Cond: cond, Then: then, P: start})
 	if p.acceptKw("else") {
 		els, err := p.parseStmt()
 		if err != nil {
@@ -606,7 +581,7 @@ func (p *parser) parseFor() (cast.Stmt, error) {
 	if err := p.expect("("); err != nil {
 		return nil, err
 	}
-	loop := &cast.For{P: start}
+	loop := alloc(&p.ast.fors, cast.For{P: start})
 	switch {
 	case p.accept(";"):
 		loop.Init = nil
@@ -624,7 +599,7 @@ func (p *parser) parseFor() (cast.Stmt, error) {
 		if err := p.expect(";"); err != nil {
 			return nil, err
 		}
-		loop.Init = &cast.ExprStmt{X: x, P: x.Pos()}
+		loop.Init = alloc(&p.ast.exprStmts, cast.ExprStmt{X: x, P: x.Pos()})
 	}
 	if !p.cur().Is(";") {
 		cond, err := p.parseExpr()
@@ -670,7 +645,7 @@ func (p *parser) parseWhile() (cast.Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &cast.While{Cond: cond, Body: body, P: start}, nil
+	return alloc(&p.ast.whiles, cast.While{Cond: cond, Body: body, P: start}), nil
 }
 
 func (p *parser) parseDoWhile() (cast.Stmt, error) {
@@ -695,7 +670,7 @@ func (p *parser) parseDoWhile() (cast.Stmt, error) {
 	if err := p.expect(";"); err != nil {
 		return nil, err
 	}
-	return &cast.DoWhile{Body: body, Cond: cond, P: start}, nil
+	return alloc(&p.ast.doWhiles, cast.DoWhile{Body: body, Cond: cond, P: start}), nil
 }
 
 func (p *parser) parseSwitch() (cast.Stmt, error) {
@@ -714,7 +689,7 @@ func (p *parser) parseSwitch() (cast.Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &cast.Switch{Cond: cond, Body: body, P: start}, nil
+	return alloc(&p.ast.switches, cast.Switch{Cond: cond, Body: body, P: start}), nil
 }
 
 // ---------------------------------------------------------------------------
@@ -731,7 +706,7 @@ func (p *parser) parseExpr() (cast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		x = &cast.Comma{X: x, Y: y, P: pos}
+		x = alloc(&p.ast.commas, cast.Comma{X: x, Y: y, P: pos})
 	}
 	return x, nil
 }
@@ -753,7 +728,7 @@ func (p *parser) parseAssignExpr() (cast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &cast.Assign{Op: t.Text, LHS: lhs, RHS: rhs, P: t.Pos}, nil
+		return alloc(&p.ast.assigns, cast.Assign{Op: t.Text, LHS: lhs, RHS: rhs, P: t.Pos}), nil
 	}
 	return lhs, nil
 }
@@ -776,7 +751,7 @@ func (p *parser) parseCondExpr() (cast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &cast.Conditional{Cond: cond, Then: then, Else: els, P: pos}, nil
+		return alloc(&p.ast.conds, cast.Conditional{Cond: cond, Then: then, Else: els, P: pos}), nil
 	}
 	return cond, nil
 }
@@ -826,7 +801,7 @@ func (p *parser) parseBinaryExpr(minPrec int) (cast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		lhs = &cast.Binary{Op: t.Text, X: lhs, Y: rhs, P: t.Pos}
+		lhs = alloc(&p.ast.binaries, cast.Binary{Op: t.Text, X: lhs, Y: rhs, P: t.Pos})
 	}
 }
 
@@ -839,7 +814,7 @@ func (p *parser) parseUnaryExpr() (cast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &cast.Unary{Op: t.Text, X: x, P: t.Pos}, nil
+		return alloc(&p.ast.unaries, cast.Unary{Op: t.Text, X: x, P: t.Pos}), nil
 	case t.IsKeyword("sizeof"):
 		p.next()
 		if p.cur().Is("(") && p.at(1).Kind == clex.Keyword && clex.IsTypeKeyword(p.at(1).Text) {
@@ -854,13 +829,13 @@ func (p *parser) parseUnaryExpr() (cast.Expr, error) {
 			if err := p.expect(")"); err != nil {
 				return nil, err
 			}
-			return &cast.SizeofExpr{Type: typ, P: t.Pos}, nil
+			return alloc(&p.ast.sizeofs, cast.SizeofExpr{Type: typ, P: t.Pos}), nil
 		}
 		x, err := p.parseUnaryExpr()
 		if err != nil {
 			return nil, err
 		}
-		return &cast.SizeofExpr{X: x, P: t.Pos}, nil
+		return alloc(&p.ast.sizeofs, cast.SizeofExpr{X: x, P: t.Pos}), nil
 	case t.Is("(") && p.at(1).Kind == clex.Keyword && clex.IsTypeKeyword(p.at(1).Text):
 		// C-style cast: ( type-spec pointer* )
 		p.next()
@@ -878,7 +853,7 @@ func (p *parser) parseUnaryExpr() (cast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &cast.CastExpr{Type: typ, X: x, P: t.Pos}, nil
+		return alloc(&p.ast.casts, cast.CastExpr{Type: typ, X: x, P: t.Pos}), nil
 	default:
 		return p.parsePostfixExpr()
 	}
@@ -901,10 +876,10 @@ func (p *parser) parsePostfixExpr() (cast.Expr, error) {
 			if err := p.expect("]"); err != nil {
 				return nil, err
 			}
-			x = &cast.Index{Arr: x, Idx: idx, P: t.Pos}
+			x = alloc(&p.ast.indexes, cast.Index{Arr: x, Idx: idx, P: t.Pos})
 		case t.Is("("):
 			p.next()
-			call := &cast.Call{Fun: x, P: t.Pos}
+			call := alloc(&p.ast.calls, cast.Call{Fun: x, P: t.Pos})
 			if !p.cur().Is(")") {
 				for {
 					arg, err := p.parseAssignExpr()
@@ -926,16 +901,16 @@ func (p *parser) parsePostfixExpr() (cast.Expr, error) {
 			if p.cur().Kind != clex.Ident {
 				return nil, p.errHere("expected member name after '.'")
 			}
-			x = &cast.Member{X: x, Name: p.next().Text, P: t.Pos}
+			x = alloc(&p.ast.members, cast.Member{X: x, Name: p.next().Text, P: t.Pos})
 		case t.Is("->"):
 			p.next()
 			if p.cur().Kind != clex.Ident {
 				return nil, p.errHere("expected member name after '->'")
 			}
-			x = &cast.Member{X: x, Name: p.next().Text, Arrow: true, P: t.Pos}
+			x = alloc(&p.ast.members, cast.Member{X: x, Name: p.next().Text, Arrow: true, P: t.Pos})
 		case t.Is("++"), t.Is("--"):
 			p.next()
-			x = &cast.Unary{Op: t.Text, X: x, Postfix: true, P: t.Pos}
+			x = alloc(&p.ast.unaries, cast.Unary{Op: t.Text, X: x, Postfix: true, P: t.Pos})
 		default:
 			return x, nil
 		}
@@ -947,21 +922,27 @@ func (p *parser) parsePrimaryExpr() (cast.Expr, error) {
 	switch t.Kind {
 	case clex.Ident:
 		p.next()
-		return &cast.Ident{Name: t.Text, P: t.Pos}, nil
+		return alloc(&p.ast.idents, cast.Ident{Name: t.Text, P: t.Pos}), nil
 	case clex.IntLit:
 		p.next()
 		v, _ := strconv.ParseInt(strings.TrimRight(t.Text, "uUlL"), 0, 64)
-		return &cast.IntLit{Text: t.Text, Value: v, P: t.Pos}, nil
+		return alloc(&p.ast.intLits, cast.IntLit{Text: t.Text, Value: v, P: t.Pos}), nil
 	case clex.FloatLit:
 		p.next()
 		v, _ := strconv.ParseFloat(strings.TrimRight(t.Text, "fFlL"), 64)
-		return &cast.FloatLit{Text: t.Text, Value: v, P: t.Pos}, nil
+		return alloc(&p.ast.floatLits, cast.FloatLit{Text: t.Text, Value: v, P: t.Pos}), nil
 	case clex.CharLit:
 		p.next()
-		return &cast.CharLit{Text: t.Text, P: t.Pos}, nil
+		return alloc(&p.ast.charLits, cast.CharLit{Text: t.Text, P: t.Pos}), nil
 	case clex.StringLit:
 		p.next()
-		return &cast.StringLit{Text: t.Text, P: t.Pos}, nil
+		// Adjacent string literals concatenate (C translation phase 6):
+		// `"a" "b"` is one literal. The raw spelling keeps each piece.
+		text := t.Text
+		for p.cur().Kind == clex.StringLit {
+			text += " " + p.next().Text
+		}
+		return alloc(&p.ast.stringLits, cast.StringLit{Text: text, P: t.Pos}), nil
 	}
 	if t.Is("(") {
 		p.next()

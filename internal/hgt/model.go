@@ -20,6 +20,7 @@ package hgt
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"graph2par/internal/auggraph"
 	"graph2par/internal/nn"
@@ -88,6 +89,15 @@ type Model struct {
 	headB    *nn.Linear // classifier output
 
 	rng *tensor.RNG
+
+	// infArenas recycles per-call inference-tape arenas across Predict and
+	// PredictBatch calls: the tape's intermediate buffers are the dominant
+	// allocation volume of a forward pass, and after a few requests every
+	// recurring shape is served from a parked buffer. Each arena is owned
+	// by exactly one in-flight call (sync.Pool hands it to one goroutine),
+	// and reclaimed buffers are zeroed, so pooling can never change a
+	// predicted bit.
+	infArenas sync.Pool
 }
 
 // New builds a model with freshly initialized parameters.
@@ -388,10 +398,27 @@ func (m *Model) perKind(g *nn.Graph, h *nn.Node, byKind [][]int, linears []*nn.L
 	return g.AssembleRows(parts, idxs, n)
 }
 
+// inferenceTape checks an arena out of the model's pool and starts an
+// inference tape over it; done frees the tape (recycling its buffers) and
+// returns the arena. Nothing drawn from the tape may escape past done —
+// Predict/PredictBatch copy their probabilities out first.
+func (m *Model) inferenceTape() (g *nn.Graph, done func()) {
+	a, _ := m.infArenas.Get().(*nn.Arena)
+	if a == nil {
+		a = nn.NewArena()
+	}
+	g = nn.NewInferenceGraphArena(a)
+	return g, func() {
+		g.Free()
+		m.infArenas.Put(a)
+	}
+}
+
 // Predict returns the argmax class and class probabilities for one graph.
 // It is safe for concurrent use (see the Model doc).
 func (m *Model) Predict(enc *auggraph.Encoded) (int, []float64) {
-	g := nn.NewInferenceGraph()
+	g, done := m.inferenceTape()
+	defer done()
 	logits := m.Forward(g, enc, false)
 	probs := logits.Val.Clone()
 	tensor.SoftmaxRows(probs)
@@ -422,7 +449,8 @@ func (m *Model) PredictBatch(encs []*auggraph.Encoded) ([]int, [][]float64) {
 	if len(batch) == 0 {
 		return preds, probs
 	}
-	g := nn.NewInferenceGraph()
+	g, done := m.inferenceTape()
+	defer done()
 	logits := m.ForwardBatch(g, batch, false)
 	p := logits.Val.Clone()
 	tensor.SoftmaxRows(p)

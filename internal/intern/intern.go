@@ -1,0 +1,70 @@
+// Package intern provides a string interner: a bijective mapping between
+// strings and dense integer symbols. The analysis front-end interns node
+// kinds, textual attributes and declared-type spellings once at graph-build
+// time, so every later stage — vocabulary encoding above all — works on
+// small integer IDs and array lookups instead of re-hashing strings per
+// node.
+//
+// A Table is single-goroutine state: it belongs to one frontend scratch at
+// a time (the scratch pool enforces exclusive ownership), which is what
+// lets Intern run without any locking. Symbols are only meaningful against
+// the table that produced them.
+package intern
+
+import "strings"
+
+// Sym is a dense symbol ID. The zero symbol always names the empty string,
+// so zero-valued fields are never dangling.
+type Sym int32
+
+// Table maps strings to dense symbols and back. The zero value is NOT
+// ready to use; call NewTable.
+type Table struct {
+	ids   map[string]Sym
+	names []string
+}
+
+// NewTable returns a table holding only the empty string at symbol 0.
+func NewTable() *Table {
+	return &Table{
+		ids:   map[string]Sym{"": 0},
+		names: []string{""},
+	}
+}
+
+// Intern returns the symbol for s, registering it on first sight. The
+// stored spelling is cloned: callers pass zero-copy substrings of request
+// sources, and a long-lived table must not pin those sources in memory —
+// without the clone, every first-seen spelling would retain the entire
+// source string it points into for the lifetime of the scratch pool.
+func (t *Table) Intern(s string) Sym {
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	s = strings.Clone(s)
+	id := Sym(len(t.names))
+	t.ids[s] = id
+	t.names = append(t.names, s)
+	return id
+}
+
+// InternBytes is Intern for a byte slice; the lookup is allocation-free
+// (the compiler's map[string(b)] optimization), and the string copy is only
+// made the first time a spelling is seen.
+func (t *Table) InternBytes(b []byte) Sym {
+	if id, ok := t.ids[string(b)]; ok {
+		return id
+	}
+	s := string(b)
+	id := Sym(len(t.names))
+	t.ids[s] = id
+	t.names = append(t.names, s)
+	return id
+}
+
+// Name returns the string a symbol stands for.
+func (t *Table) Name(id Sym) string { return t.names[id] }
+
+// Len returns the number of registered symbols (including the empty
+// string).
+func (t *Table) Len() int { return len(t.names) }

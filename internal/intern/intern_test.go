@@ -1,0 +1,50 @@
+package intern
+
+import "testing"
+
+func TestInternRoundTrip(t *testing.T) {
+	tb := NewTable()
+	if got := tb.Name(0); got != "" {
+		t.Fatalf("symbol 0 = %q, want empty string", got)
+	}
+	a := tb.Intern("alpha")
+	b := tb.Intern("beta")
+	if a == b {
+		t.Fatal("distinct strings shared a symbol")
+	}
+	if tb.Intern("alpha") != a {
+		t.Fatal("re-interning returned a different symbol")
+	}
+	if tb.InternBytes([]byte("alpha")) != a {
+		t.Fatal("InternBytes disagreed with Intern")
+	}
+	if tb.Name(a) != "alpha" || tb.Name(b) != "beta" {
+		t.Fatal("Name did not round-trip")
+	}
+	if tb.Intern("") != 0 {
+		t.Fatal("empty string must intern to symbol 0")
+	}
+	if tb.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tb.Len())
+	}
+}
+
+func TestInternDense(t *testing.T) {
+	tb := NewTable()
+	for i, s := range []string{"x", "y", "z"} {
+		if got := tb.Intern(s); got != Sym(i+1) {
+			t.Fatalf("Intern(%q) = %d, want %d (symbols must be dense)", s, got, i+1)
+		}
+	}
+}
+
+func BenchmarkInternHit(b *testing.B) {
+	tb := NewTable()
+	tb.Intern("BinaryOperator")
+	buf := []byte("BinaryOperator")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.InternBytes(buf)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"graph2par/internal/slab"
 	"graph2par/internal/tensor"
 )
 
@@ -26,6 +27,13 @@ type Graph struct {
 	nodes     []*Node
 	inference bool
 
+	// nodeSlab is the chunked bump allocator for an arena-less tape's
+	// Node structs (arena-attached tapes use the arena's recycled slabs
+	// for both nodes and Matrix headers; arena-less tapes draw matrices
+	// from tensor.New, whose buffer allocation dominates the header
+	// anyway). Chunks are simply dropped at Free.
+	nodeSlab slab.Slab[Node]
+
 	// local redirects parameter gradients into a worker-private LocalGrads
 	// (set by Scratch.NewGraph); nil means gradients accumulate into the
 	// shared Param.G as on a plain training tape.
@@ -40,21 +48,42 @@ type Graph struct {
 func NewGraph() *Graph { return &Graph{} }
 
 // NewInferenceGraph starts a tape that tracks no gradients: parameters
-// join it as constants, so no op allocates (or zeroes) a gradient matrix
-// and Backward is a no-op. Forward values are computed exactly as on a
-// training tape — this only drops the bookkeeping, which roughly halves
-// the allocation volume of a forward pass. It is the tape Predict and
-// PredictBatch run on.
+// join it as constants, no op allocates (or zeroes) a gradient matrix or
+// constructs its backward closure, and Backward is a no-op. Forward values
+// are computed exactly as on a training tape — this only drops the
+// bookkeeping, which roughly halves the allocation volume of a forward
+// pass. It is the tape Predict and PredictBatch run on.
 func NewInferenceGraph() *Graph { return &Graph{inference: true} }
 
-func (g *Graph) add(n *Node) *Node {
+// NewInferenceGraphArena is NewInferenceGraph with the tape's buffers drawn
+// from (and, on Free, reclaimed into) the given arena. The arena is
+// single-goroutine scratch: it must not be shared with another live tape.
+// Recycling cannot change a computed value — reclaimed buffers are zeroed,
+// so every take is indistinguishable from a fresh allocation.
+func NewInferenceGraphArena(a *Arena) *Graph {
+	return &Graph{inference: true, arena: a}
+}
+
+// newNode returns a zeroed Node from the tape's slab (the arena's when
+// one is attached, so pooled tapes reuse chunks) and appends it to the
+// tape.
+func (g *Graph) newNode() *Node {
+	var n *Node
+	if g.arena != nil {
+		n = g.arena.nodes.Get()
+	} else {
+		n = g.nodeSlab.Get()
+	}
+	*n = Node{}
 	g.nodes = append(g.nodes, n)
 	return n
 }
 
 // Constant introduces a value that does not require gradients.
 func (g *Graph) Constant(m *tensor.Matrix) *Node {
-	return g.add(&Node{Val: m})
+	n := g.newNode()
+	n.Val = m
+	return n
 }
 
 // Param introduces a trainable parameter; gradients accumulate into p.G —
@@ -63,32 +92,54 @@ func (g *Graph) Constant(m *tensor.Matrix) *Node {
 // parameter joins as a constant instead. Repeated Param calls for the same
 // parameter share one gradient destination either way.
 func (g *Graph) Param(p *Param) *Node {
+	n := g.newNode()
+	n.Val = p.W
 	if g.inference {
-		return g.add(&Node{Val: p.W})
+		return n
 	}
+	n.needsGrad = true
 	if g.local != nil {
-		return g.add(&Node{Val: p.W, Grad: g.local.grad(p), needsGrad: true})
+		n.Grad = g.local.grad(p)
+	} else {
+		n.Grad = p.G
 	}
-	return g.add(&Node{Val: p.W, Grad: p.G, needsGrad: true})
+	return n
 }
 
 // alloc returns a zeroed matrix, drawn from the tape's arena when one is
-// attached (and then reclaimed by Free).
+// attached (and then reclaimed by Free). The Matrix header itself comes
+// from the tape's slab.
 func (g *Graph) alloc(rows, cols int) *tensor.Matrix {
 	if g.arena == nil {
 		return tensor.New(rows, cols)
 	}
 	buf := g.arena.take(rows * cols)
 	g.owned = append(g.owned, buf)
-	return tensor.FromSlice(rows, cols, buf)
+	m := g.arena.mats.Get()
+	*m = tensor.Matrix{Rows: rows, Cols: cols, Data: buf}
+	return m
+}
+
+// allocVec returns a zeroed length-n float64 scratch vector with the same
+// arena discipline as alloc — ops use it for per-row/per-segment auxiliary
+// state that must live as long as the tape (backward closures read it).
+func (g *Graph) allocVec(n int) []float64 {
+	if g.arena == nil {
+		return make([]float64, n)
+	}
+	buf := g.arena.take(n)
+	g.owned = append(g.owned, buf)
+	return buf
 }
 
 func (g *Graph) newLike(rows, cols int, needsGrad bool) *Node {
-	n := &Node{Val: g.alloc(rows, cols), needsGrad: needsGrad}
+	n := g.newNode()
+	n.Val = g.alloc(rows, cols)
+	n.needsGrad = needsGrad
 	if needsGrad {
 		n.Grad = g.alloc(rows, cols)
 	}
-	return g.add(n)
+	return n
 }
 
 // Free returns every arena-drawn buffer of the tape for reuse and drops the
@@ -100,9 +151,14 @@ func (g *Graph) Free() {
 		for _, buf := range g.owned {
 			g.arena.reclaim(buf)
 		}
+		// Rewind the arena's slabs for the next tape; every pointer this
+		// tape handed out is dead by contract.
+		g.arena.nodes.Reset()
+		g.arena.mats.Reset()
 	}
 	g.owned = nil
 	g.nodes = nil
+	g.nodeSlab = slab.Slab[Node]{}
 }
 
 // Backward runs reverse-mode differentiation from the scalar loss node.
@@ -129,12 +185,14 @@ func (g *Graph) Backward(loss *Node) {
 func (g *Graph) MatMul(a, b *Node) *Node {
 	out := g.newLike(a.Val.Rows, b.Val.Cols, a.needsGrad || b.needsGrad)
 	tensor.MatMulInto(out.Val, a.Val, b.Val)
-	out.back = func() {
-		if a.needsGrad {
-			tensor.MatMulBTInto(a.Grad, out.Grad, b.Val) // dA = dOut·Bᵀ
-		}
-		if b.needsGrad {
-			tensor.MatMulATInto(b.Grad, a.Val, out.Grad) // dB = Aᵀ·dOut
+	if out.needsGrad {
+		out.back = func() {
+			if a.needsGrad {
+				tensor.MatMulBTInto(a.Grad, out.Grad, b.Val) // dA = dOut·Bᵀ
+			}
+			if b.needsGrad {
+				tensor.MatMulATInto(b.Grad, a.Val, out.Grad) // dB = Aᵀ·dOut
+			}
 		}
 	}
 	return out
@@ -147,16 +205,18 @@ func (g *Graph) MatMulBT(a, b *Node) *Node {
 	}
 	out := g.newLike(a.Val.Rows, b.Val.Rows, a.needsGrad || b.needsGrad)
 	tensor.MatMulBTInto(out.Val, a.Val, b.Val)
-	out.back = func() {
-		if a.needsGrad {
-			// dA = dOut·B
-			tmp := g.alloc(a.Val.Rows, a.Val.Cols)
-			tensor.MatMulInto(tmp, out.Grad, b.Val)
-			tensor.AddInPlace(a.Grad, tmp)
-		}
-		if b.needsGrad {
-			// dB = dOutᵀ·A
-			tensor.MatMulATInto(b.Grad, out.Grad, a.Val)
+	if out.needsGrad {
+		out.back = func() {
+			if a.needsGrad {
+				// dA = dOut·B
+				tmp := g.alloc(a.Val.Rows, a.Val.Cols)
+				tensor.MatMulInto(tmp, out.Grad, b.Val)
+				tensor.AddInPlace(a.Grad, tmp)
+			}
+			if b.needsGrad {
+				// dB = dOutᵀ·A
+				tensor.MatMulATInto(b.Grad, out.Grad, a.Val)
+			}
 		}
 	}
 	return out
@@ -171,12 +231,14 @@ func (g *Graph) Add(a, b *Node) *Node {
 	for i := range out.Val.Data {
 		out.Val.Data[i] = a.Val.Data[i] + b.Val.Data[i]
 	}
-	out.back = func() {
-		if a.needsGrad {
-			tensor.AddInPlace(a.Grad, out.Grad)
-		}
-		if b.needsGrad {
-			tensor.AddInPlace(b.Grad, out.Grad)
+	if out.needsGrad {
+		out.back = func() {
+			if a.needsGrad {
+				tensor.AddInPlace(a.Grad, out.Grad)
+			}
+			if b.needsGrad {
+				tensor.AddInPlace(b.Grad, out.Grad)
+			}
 		}
 	}
 	return out
@@ -194,14 +256,16 @@ func (g *Graph) AddBias(a, bias *Node) *Node {
 			out.Val.Data[i*d+j] = a.Val.Data[i*d+j] + bias.Val.Data[j]
 		}
 	}
-	out.back = func() {
-		if a.needsGrad {
-			tensor.AddInPlace(a.Grad, out.Grad)
-		}
-		if bias.needsGrad {
-			for i := 0; i < a.Val.Rows; i++ {
-				for j := 0; j < d; j++ {
-					bias.Grad.Data[j] += out.Grad.Data[i*d+j]
+	if out.needsGrad {
+		out.back = func() {
+			if a.needsGrad {
+				tensor.AddInPlace(a.Grad, out.Grad)
+			}
+			if bias.needsGrad {
+				for i := 0; i < a.Val.Rows; i++ {
+					for j := 0; j < d; j++ {
+						bias.Grad.Data[j] += out.Grad.Data[i*d+j]
+					}
 				}
 			}
 		}
@@ -215,10 +279,12 @@ func (g *Graph) Scale(a *Node, s float64) *Node {
 	for i, v := range a.Val.Data {
 		out.Val.Data[i] = v * s
 	}
-	out.back = func() {
-		if a.needsGrad {
-			for i, v := range out.Grad.Data {
-				a.Grad.Data[i] += v * s
+	if out.needsGrad {
+		out.back = func() {
+			if a.needsGrad {
+				for i, v := range out.Grad.Data {
+					a.Grad.Data[i] += v * s
+				}
 			}
 		}
 	}
@@ -234,15 +300,17 @@ func (g *Graph) Mul(a, b *Node) *Node {
 	for i := range out.Val.Data {
 		out.Val.Data[i] = a.Val.Data[i] * b.Val.Data[i]
 	}
-	out.back = func() {
-		if a.needsGrad {
-			for i := range out.Grad.Data {
-				a.Grad.Data[i] += out.Grad.Data[i] * b.Val.Data[i]
+	if out.needsGrad {
+		out.back = func() {
+			if a.needsGrad {
+				for i := range out.Grad.Data {
+					a.Grad.Data[i] += out.Grad.Data[i] * b.Val.Data[i]
+				}
 			}
-		}
-		if b.needsGrad {
-			for i := range out.Grad.Data {
-				b.Grad.Data[i] += out.Grad.Data[i] * a.Val.Data[i]
+			if b.needsGrad {
+				for i := range out.Grad.Data {
+					b.Grad.Data[i] += out.Grad.Data[i] * a.Val.Data[i]
+				}
 			}
 		}
 	}
@@ -257,11 +325,13 @@ func (g *Graph) ReLU(a *Node) *Node {
 			out.Val.Data[i] = v
 		}
 	}
-	out.back = func() {
-		if a.needsGrad {
-			for i, v := range a.Val.Data {
-				if v > 0 {
-					a.Grad.Data[i] += out.Grad.Data[i]
+	if out.needsGrad {
+		out.back = func() {
+			if a.needsGrad {
+				for i, v := range a.Val.Data {
+					if v > 0 {
+						a.Grad.Data[i] += out.Grad.Data[i]
+					}
 				}
 			}
 		}
@@ -276,16 +346,18 @@ func (g *Graph) GELU(a *Node) *Node {
 	for i, x := range a.Val.Data {
 		out.Val.Data[i] = 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
 	}
-	out.back = func() {
-		if !a.needsGrad {
-			return
-		}
-		for i, x := range a.Val.Data {
-			u := c * (x + 0.044715*x*x*x)
-			t := math.Tanh(u)
-			du := c * (1 + 3*0.044715*x*x)
-			d := 0.5*(1+t) + 0.5*x*(1-t*t)*du
-			a.Grad.Data[i] += out.Grad.Data[i] * d
+	if out.needsGrad {
+		out.back = func() {
+			if !a.needsGrad {
+				return
+			}
+			for i, x := range a.Val.Data {
+				u := c * (x + 0.044715*x*x*x)
+				t := math.Tanh(u)
+				du := c * (1 + 3*0.044715*x*x)
+				d := 0.5*(1+t) + 0.5*x*(1-t*t)*du
+				a.Grad.Data[i] += out.Grad.Data[i] * d
+			}
 		}
 	}
 	return out
@@ -297,10 +369,12 @@ func (g *Graph) Tanh(a *Node) *Node {
 	for i, v := range a.Val.Data {
 		out.Val.Data[i] = math.Tanh(v)
 	}
-	out.back = func() {
-		if a.needsGrad {
-			for i, y := range out.Val.Data {
-				a.Grad.Data[i] += out.Grad.Data[i] * (1 - y*y)
+	if out.needsGrad {
+		out.back = func() {
+			if a.needsGrad {
+				for i, y := range out.Val.Data {
+					a.Grad.Data[i] += out.Grad.Data[i] * (1 - y*y)
+				}
 			}
 		}
 	}
@@ -322,11 +396,13 @@ func (g *Graph) Dropout(a *Node, p float64, rng *tensor.RNG, train bool) *Node {
 			out.Val.Data[i] = v * scale
 		}
 	}
-	out.back = func() {
-		if a.needsGrad {
-			for i := range a.Val.Data {
-				if mask[i] {
-					a.Grad.Data[i] += out.Grad.Data[i] * scale
+	if out.needsGrad {
+		out.back = func() {
+			if a.needsGrad {
+				for i := range a.Val.Data {
+					if mask[i] {
+						a.Grad.Data[i] += out.Grad.Data[i] * scale
+					}
 				}
 			}
 		}
@@ -345,16 +421,18 @@ func (g *Graph) ConcatCols(a, b *Node) *Node {
 		copy(out.Val.Data[i*(da+db):i*(da+db)+da], a.Val.Row(i))
 		copy(out.Val.Data[i*(da+db)+da:(i+1)*(da+db)], b.Val.Row(i))
 	}
-	out.back = func() {
-		for i := 0; i < a.Val.Rows; i++ {
-			if a.needsGrad {
-				for j := 0; j < da; j++ {
-					a.Grad.Data[i*da+j] += out.Grad.Data[i*(da+db)+j]
+	if out.needsGrad {
+		out.back = func() {
+			for i := 0; i < a.Val.Rows; i++ {
+				if a.needsGrad {
+					for j := 0; j < da; j++ {
+						a.Grad.Data[i*da+j] += out.Grad.Data[i*(da+db)+j]
+					}
 				}
-			}
-			if b.needsGrad {
-				for j := 0; j < db; j++ {
-					b.Grad.Data[i*db+j] += out.Grad.Data[i*(da+db)+da+j]
+				if b.needsGrad {
+					for j := 0; j < db; j++ {
+						b.Grad.Data[i*db+j] += out.Grad.Data[i*(da+db)+da+j]
+					}
 				}
 			}
 		}
@@ -390,16 +468,18 @@ func (g *Graph) ConcatRows(parts ...*Node) *Node {
 		copy(out.Val.Data[off:off+len(p.Val.Data)], p.Val.Data)
 		off += len(p.Val.Data)
 	}
-	out.back = func() {
-		off := 0
-		for _, p := range parts {
-			if p.needsGrad {
-				band := out.Grad.Data[off : off+len(p.Val.Data)]
-				for i, v := range band {
-					p.Grad.Data[i] += v
+	if out.needsGrad {
+		out.back = func() {
+			off := 0
+			for _, p := range parts {
+				if p.needsGrad {
+					band := out.Grad.Data[off : off+len(p.Val.Data)]
+					for i, v := range band {
+						p.Grad.Data[i] += v
+					}
 				}
+				off += len(p.Val.Data)
 			}
-			off += len(p.Val.Data)
 		}
 	}
 	return out
@@ -444,14 +524,16 @@ func (g *Graph) AssembleRows(parts []*Node, idxs [][]int, n int) *Node {
 			copy(out.Val.Data[dst*d:(dst+1)*d], part.Val.Data[i*d:(i+1)*d])
 		}
 	}
-	out.back = func() {
-		for p, part := range parts {
-			if !part.needsGrad {
-				continue
-			}
-			for i, dst := range idxs[p] {
-				for j := 0; j < d; j++ {
-					part.Grad.Data[i*d+j] += out.Grad.Data[dst*d+j]
+	if out.needsGrad {
+		out.back = func() {
+			for p, part := range parts {
+				if !part.needsGrad {
+					continue
+				}
+				for i, dst := range idxs[p] {
+					for j := 0; j < d; j++ {
+						part.Grad.Data[i*d+j] += out.Grad.Data[dst*d+j]
+					}
 				}
 			}
 		}
@@ -471,11 +553,13 @@ func (g *Graph) MeanRows(a *Node) *Node {
 	for j := range out.Val.Data {
 		out.Val.Data[j] /= n
 	}
-	out.back = func() {
-		if a.needsGrad {
-			for i := 0; i < a.Val.Rows; i++ {
-				for j := 0; j < a.Val.Cols; j++ {
-					a.Grad.Data[i*a.Val.Cols+j] += out.Grad.Data[j] / n
+	if out.needsGrad {
+		out.back = func() {
+			if a.needsGrad {
+				for i := 0; i < a.Val.Rows; i++ {
+					for j := 0; j < a.Val.Cols; j++ {
+						a.Grad.Data[i*a.Val.Cols+j] += out.Grad.Data[j] / n
+					}
 				}
 			}
 		}
@@ -496,7 +580,7 @@ func (g *Graph) SegmentMeanRows(a *Node, seg []int, n int) *Node {
 	}
 	d := a.Val.Cols
 	out := g.newLike(n, d, a.needsGrad)
-	count := make([]float64, n)
+	count := g.allocVec(n)
 	for i, s := range seg {
 		if s < 0 || s >= n {
 			panic(fmt.Sprintf("nn: SegmentMeanRows segment %d out of range [0,%d)", s, n))
@@ -514,13 +598,15 @@ func (g *Graph) SegmentMeanRows(a *Node, seg []int, n int) *Node {
 			out.Val.Data[s*d+j] /= count[s]
 		}
 	}
-	out.back = func() {
-		if !a.needsGrad {
-			return
-		}
-		for i, s := range seg {
-			for j := 0; j < d; j++ {
-				a.Grad.Data[i*d+j] += out.Grad.Data[s*d+j] / count[s]
+	if out.needsGrad {
+		out.back = func() {
+			if !a.needsGrad {
+				return
+			}
+			for i, s := range seg {
+				for j := 0; j < d; j++ {
+					a.Grad.Data[i*d+j] += out.Grad.Data[s*d+j] / count[s]
+				}
 			}
 		}
 	}
@@ -535,11 +621,13 @@ func (g *Graph) SumAll(a *Node) *Node {
 		s += v
 	}
 	out.Val.Data[0] = s
-	out.back = func() {
-		if a.needsGrad {
-			gr := out.Grad.Data[0]
-			for i := range a.Grad.Data {
-				a.Grad.Data[i] += gr
+	if out.needsGrad {
+		out.back = func() {
+			if a.needsGrad {
+				gr := out.Grad.Data[0]
+				for i := range a.Grad.Data {
+					a.Grad.Data[i] += gr
+				}
 			}
 		}
 	}
@@ -553,11 +641,13 @@ func (g *Graph) GatherRows(a *Node, idx []int) *Node {
 	for i, src := range idx {
 		copy(out.Val.Data[i*d:(i+1)*d], a.Val.Row(src))
 	}
-	out.back = func() {
-		if a.needsGrad {
-			for i, src := range idx {
-				for j := 0; j < d; j++ {
-					a.Grad.Data[src*d+j] += out.Grad.Data[i*d+j]
+	if out.needsGrad {
+		out.back = func() {
+			if a.needsGrad {
+				for i, src := range idx {
+					for j := 0; j < d; j++ {
+						a.Grad.Data[src*d+j] += out.Grad.Data[i*d+j]
+					}
 				}
 			}
 		}
@@ -575,11 +665,13 @@ func (g *Graph) ScatterRowsAdd(a *Node, idx []int, n int) *Node {
 			out.Val.Data[dst*d+j] += a.Val.Data[i*d+j]
 		}
 	}
-	out.back = func() {
-		if a.needsGrad {
-			for i, dst := range idx {
-				for j := 0; j < d; j++ {
-					a.Grad.Data[i*d+j] += out.Grad.Data[dst*d+j]
+	if out.needsGrad {
+		out.back = func() {
+			if a.needsGrad {
+				for i, dst := range idx {
+					for j := 0; j < d; j++ {
+						a.Grad.Data[i*d+j] += out.Grad.Data[dst*d+j]
+					}
 				}
 			}
 		}
@@ -608,20 +700,22 @@ func (g *Graph) RowDotHeads(a, b *Node, heads int) *Node {
 			out.Val.Data[e*heads+h] = s
 		}
 	}
-	out.back = func() {
-		for e := 0; e < a.Val.Rows; e++ {
-			for h := 0; h < heads; h++ {
-				gr := out.Grad.Data[e*heads+h]
-				if gr == 0 {
-					continue
-				}
-				base := e*a.Val.Cols + h*dh
-				for j := 0; j < dh; j++ {
-					if a.needsGrad {
-						a.Grad.Data[base+j] += gr * b.Val.Data[base+j]
+	if out.needsGrad {
+		out.back = func() {
+			for e := 0; e < a.Val.Rows; e++ {
+				for h := 0; h < heads; h++ {
+					gr := out.Grad.Data[e*heads+h]
+					if gr == 0 {
+						continue
 					}
-					if b.needsGrad {
-						b.Grad.Data[base+j] += gr * a.Val.Data[base+j]
+					base := e*a.Val.Cols + h*dh
+					for j := 0; j < dh; j++ {
+						if a.needsGrad {
+							a.Grad.Data[base+j] += gr * b.Val.Data[base+j]
+						}
+						if b.needsGrad {
+							b.Grad.Data[base+j] += gr * a.Val.Data[base+j]
+						}
 					}
 				}
 			}
@@ -647,21 +741,23 @@ func (g *Graph) HeadScale(msg, alpha *Node, heads int) *Node {
 			}
 		}
 	}
-	out.back = func() {
-		for e := 0; e < msg.Val.Rows; e++ {
-			for h := 0; h < heads; h++ {
-				w := alpha.Val.Data[e*heads+h]
-				base := e*msg.Val.Cols + h*dh
-				var s float64
-				for j := 0; j < dh; j++ {
-					gr := out.Grad.Data[base+j]
-					if msg.needsGrad {
-						msg.Grad.Data[base+j] += gr * w
+	if out.needsGrad {
+		out.back = func() {
+			for e := 0; e < msg.Val.Rows; e++ {
+				for h := 0; h < heads; h++ {
+					w := alpha.Val.Data[e*heads+h]
+					base := e*msg.Val.Cols + h*dh
+					var s float64
+					for j := 0; j < dh; j++ {
+						gr := out.Grad.Data[base+j]
+						if msg.needsGrad {
+							msg.Grad.Data[base+j] += gr * w
+						}
+						s += gr * msg.Val.Data[base+j]
 					}
-					s += gr * msg.Val.Data[base+j]
-				}
-				if alpha.needsGrad {
-					alpha.Grad.Data[e*heads+h] += s
+					if alpha.needsGrad {
+						alpha.Grad.Data[e*heads+h] += s
+					}
 				}
 			}
 		}
@@ -701,21 +797,23 @@ func (g *Graph) SegmentSoftmax(scores *Node, seg []int, n int) *Node {
 			}
 		}
 	}
-	out.back = func() {
-		if !scores.needsGrad {
-			return
-		}
-		// d/dx softmax: dx_e = y_e (g_e − Σ_k y_k g_k) per segment/head.
-		dot := g.alloc(n, h)
-		for e, s := range seg {
-			for c := 0; c < h; c++ {
-				dot.Data[s*h+c] += out.Val.Data[e*h+c] * out.Grad.Data[e*h+c]
+	if out.needsGrad {
+		out.back = func() {
+			if !scores.needsGrad {
+				return
 			}
-		}
-		for e, s := range seg {
-			for c := 0; c < h; c++ {
-				y := out.Val.Data[e*h+c]
-				scores.Grad.Data[e*h+c] += y * (out.Grad.Data[e*h+c] - dot.Data[s*h+c])
+			// d/dx softmax: dx_e = y_e (g_e − Σ_k y_k g_k) per segment/head.
+			dot := g.alloc(n, h)
+			for e, s := range seg {
+				for c := 0; c < h; c++ {
+					dot.Data[s*h+c] += out.Val.Data[e*h+c] * out.Grad.Data[e*h+c]
+				}
+			}
+			for e, s := range seg {
+				for c := 0; c < h; c++ {
+					y := out.Val.Data[e*h+c]
+					scores.Grad.Data[e*h+c] += y * (out.Grad.Data[e*h+c] - dot.Data[s*h+c])
+				}
 			}
 		}
 	}
@@ -728,19 +826,21 @@ func (g *Graph) SoftmaxRows(a *Node) *Node {
 	out := g.newLike(a.Val.Rows, a.Val.Cols, a.needsGrad)
 	copy(out.Val.Data, a.Val.Data)
 	tensor.SoftmaxRows(out.Val)
-	out.back = func() {
-		if !a.needsGrad {
-			return
-		}
-		for i := 0; i < a.Val.Rows; i++ {
-			var dot float64
-			yrow := out.Val.Row(i)
-			grow := out.Grad.Row(i)
-			for j := range yrow {
-				dot += yrow[j] * grow[j]
+	if out.needsGrad {
+		out.back = func() {
+			if !a.needsGrad {
+				return
 			}
-			for j := range yrow {
-				a.Grad.Data[i*a.Val.Cols+j] += yrow[j] * (grow[j] - dot)
+			for i := 0; i < a.Val.Rows; i++ {
+				var dot float64
+				yrow := out.Val.Row(i)
+				grow := out.Grad.Row(i)
+				for j := range yrow {
+					dot += yrow[j] * grow[j]
+				}
+				for j := range yrow {
+					a.Grad.Data[i*a.Val.Cols+j] += yrow[j] * (grow[j] - dot)
+				}
 			}
 		}
 	}
@@ -755,9 +855,9 @@ func (g *Graph) LayerNorm(a, gain, bias *Node) *Node {
 		panic("nn: LayerNorm gain/bias shape mismatch")
 	}
 	const eps = 1e-5
-	out := g.newLike(a.Val.Rows, d, true)
+	out := g.newLike(a.Val.Rows, d, a.needsGrad || gain.needsGrad || bias.needsGrad)
 	xhat := g.alloc(a.Val.Rows, d)
-	invStd := make([]float64, a.Val.Rows)
+	invStd := g.allocVec(a.Val.Rows)
 	for i := 0; i < a.Val.Rows; i++ {
 		row := a.Val.Row(i)
 		var mean float64
@@ -778,33 +878,35 @@ func (g *Graph) LayerNorm(a, gain, bias *Node) *Node {
 			out.Val.Data[i*d+j] = xh*gain.Val.Data[j] + bias.Val.Data[j]
 		}
 	}
-	out.back = func() {
-		dxhat := make([]float64, d) // shared row scratch, overwritten per row
-		for i := 0; i < a.Val.Rows; i++ {
-			grow := out.Grad.Row(i)
-			// gradients to gain/bias
-			for j := 0; j < d; j++ {
-				if gain.needsGrad {
-					gain.Grad.Data[j] += grow[j] * xhat.Data[i*d+j]
+	if out.needsGrad {
+		out.back = func() {
+			dxhat := make([]float64, d) // shared row scratch, overwritten per row
+			for i := 0; i < a.Val.Rows; i++ {
+				grow := out.Grad.Row(i)
+				// gradients to gain/bias
+				for j := 0; j < d; j++ {
+					if gain.needsGrad {
+						gain.Grad.Data[j] += grow[j] * xhat.Data[i*d+j]
+					}
+					if bias.needsGrad {
+						bias.Grad.Data[j] += grow[j]
+					}
 				}
-				if bias.needsGrad {
-					bias.Grad.Data[j] += grow[j]
+				if !a.needsGrad {
+					continue
 				}
-			}
-			if !a.needsGrad {
-				continue
-			}
-			// dxhat = g * gain; dx = invStd*(dxhat - mean(dxhat) - xhat*mean(dxhat*xhat))
-			var meanDx, meanDxXhat float64
-			for j := 0; j < d; j++ {
-				dxhat[j] = grow[j] * gain.Val.Data[j]
-				meanDx += dxhat[j]
-				meanDxXhat += dxhat[j] * xhat.Data[i*d+j]
-			}
-			meanDx /= float64(d)
-			meanDxXhat /= float64(d)
-			for j := 0; j < d; j++ {
-				a.Grad.Data[i*d+j] += invStd[i] * (dxhat[j] - meanDx - xhat.Data[i*d+j]*meanDxXhat)
+				// dxhat = g * gain; dx = invStd*(dxhat - mean(dxhat) - xhat*mean(dxhat*xhat))
+				var meanDx, meanDxXhat float64
+				for j := 0; j < d; j++ {
+					dxhat[j] = grow[j] * gain.Val.Data[j]
+					meanDx += dxhat[j]
+					meanDxXhat += dxhat[j] * xhat.Data[i*d+j]
+				}
+				meanDx /= float64(d)
+				meanDxXhat /= float64(d)
+				for j := 0; j < d; j++ {
+					a.Grad.Data[i*d+j] += invStd[i] * (dxhat[j] - meanDx - xhat.Data[i*d+j]*meanDxXhat)
+				}
 			}
 		}
 	}
@@ -831,18 +933,20 @@ func (g *Graph) SoftmaxCrossEntropy(logits *Node, labels []int) (*Node, *tensor.
 		loss -= math.Log(p)
 	}
 	out.Val.Data[0] = loss / float64(b)
-	out.back = func() {
-		if !logits.needsGrad {
-			return
-		}
-		scale := out.Grad.Data[0] / float64(b)
-		for i := 0; i < b; i++ {
-			for j := 0; j < c; j++ {
-				d := probs.At(i, j)
-				if j == labels[i] {
-					d -= 1
+	if out.needsGrad {
+		out.back = func() {
+			if !logits.needsGrad {
+				return
+			}
+			scale := out.Grad.Data[0] / float64(b)
+			for i := 0; i < b; i++ {
+				for j := 0; j < c; j++ {
+					d := probs.At(i, j)
+					if j == labels[i] {
+						d -= 1
+					}
+					logits.Grad.Data[i*c+j] += scale * d
 				}
-				logits.Grad.Data[i*c+j] += scale * d
 			}
 		}
 	}

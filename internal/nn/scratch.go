@@ -3,6 +3,7 @@ package nn
 import (
 	"sync"
 
+	"graph2par/internal/slab"
 	"graph2par/internal/tensor"
 )
 
@@ -95,6 +96,15 @@ func (ps *ParamSet) Accumulate(lg *LocalGrads) {
 type Arena struct {
 	free     map[int][][]float64
 	retained int // bytes currently parked across all free lists
+
+	// nodes / mats are the tape's Node-struct and Matrix-header slabs.
+	// They live on the arena (not the Graph) so pooled tapes stop paying
+	// the chunk ladder per call: Graph.Free Resets them, and the next
+	// tape over the same arena reuses the chunks. Safe for the same
+	// reason buffer recycling is — one arena serves one live tape at a
+	// time, and every allocation is fully (re)assigned before use.
+	nodes slab.Slab[Node]
+	mats  slab.Slab[tensor.Matrix]
 }
 
 // arenaBudgetBytes caps how much memory one Arena keeps parked — far above

@@ -29,6 +29,16 @@ func Workers(n int) int {
 // returned. With workers == 1 (or n < 2) everything runs on the calling
 // goroutine in index order, so a serial run is exactly the old loop.
 func ForEach(workers, n int, fn func(i int)) {
+	ForEachWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with the executing worker's index passed
+// alongside the item index: fn(w, i) with w in [0, min(workers, n)).
+// Within one call, at most one fn invocation with a given w runs at any
+// moment, so w can safely index per-worker scratch state (the frontend
+// scratch pool's checkout discipline). With workers == 1 everything runs
+// on the calling goroutine as worker 0 in index order.
+func ForEachWorker(workers, n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -38,7 +48,7 @@ func ForEach(workers, n int, fn func(i int)) {
 	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -46,12 +56,12 @@ func ForEach(workers, n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(g)
 	}
 	for i := 0; i < n; i++ {
 		next <- i

@@ -1,0 +1,64 @@
+// Package profiling is the tiny shared flag-wiring for CPU/heap profiles
+// in the CLIs: start profiling after flag parsing, stop it before exit,
+// inspect the output with `go tool pprof`. The serving binary exposes the
+// live equivalents over HTTP via net/http/pprof instead (graph2serve
+// -pprof).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Session owns the open profile outputs of one CLI run.
+type Session struct {
+	cpuFile *os.File
+	memPath string
+}
+
+// Start begins CPU profiling when cpuPath is non-empty and remembers
+// memPath for a heap snapshot at Stop. Either path may be empty; a fully
+// empty session is a no-op, so callers can wire the flags through
+// unconditionally.
+func Start(cpuPath, memPath string) (*Session, error) {
+	s := &Session{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		s.cpuFile = f
+	}
+	return s, nil
+}
+
+// Stop ends CPU profiling and writes the heap profile. Call it exactly
+// once, before the process exits (os.Exit skips defers — call Stop first).
+func (s *Session) Stop() error {
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpuFile.Close(); err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		s.cpuFile = nil
+	}
+	if s.memPath != "" {
+		f, err := os.Create(s.memPath)
+		if err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // flush unreachable objects so the heap profile is live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		s.memPath = ""
+	}
+	return nil
+}

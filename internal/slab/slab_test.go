@@ -1,0 +1,52 @@
+package slab
+
+import "testing"
+
+func TestGetUniqueStableAddresses(t *testing.T) {
+	var s Slab[int]
+	seen := map[*int]bool{}
+	var ptrs []*int
+	for i := 0; i < 3000; i++ {
+		p := s.Get()
+		if seen[p] {
+			t.Fatalf("Get returned a duplicate address before Reset (entry %d)", i)
+		}
+		seen[p] = true
+		*p = i
+		ptrs = append(ptrs, p)
+	}
+	for i, p := range ptrs {
+		if *p != i {
+			t.Fatalf("entry %d corrupted: %d (chunk growth moved values?)", i, *p)
+		}
+	}
+}
+
+func TestResetRecyclesAndZeroes(t *testing.T) {
+	var s Slab[[]byte]
+	first := s.Get()
+	*first = []byte("pinned")
+	s.Reset()
+	again := s.Get()
+	if again != first {
+		t.Fatal("Reset did not rewind to the first chunk")
+	}
+	if *again != nil {
+		t.Fatal("Reset left a stale pointer in a recycled entry")
+	}
+}
+
+func TestResetMidChunk(t *testing.T) {
+	var s Slab[int]
+	for round := 0; round < 5; round++ {
+		// Odd counts exercise partial-chunk resets at every boundary.
+		for i := 0; i < 13+round*100; i++ {
+			*s.Get() = 1
+		}
+		s.Reset()
+		if v := *s.Get(); v != 0 {
+			t.Fatalf("round %d: recycled entry not zeroed: %d", round, v)
+		}
+		s.Reset()
+	}
+}

@@ -225,6 +225,19 @@ const matMulRowBlock = 8
 // where extra threads help more than they contend, cross it.
 const parThreshold = 2 << 20
 
+// serialRows reports whether a kernel of the given row count and
+// multiply-add volume should run on the calling goroutine. Kernels use it
+// to take a closure-free serial fast path: constructing the fan-out
+// closure only when parallelRows will actually spawn workers keeps small
+// matmuls (the inference hot path) allocation-free.
+func serialRows(rows, flops int) bool {
+	w := runtime.GOMAXPROCS(0)
+	if w > rows {
+		w = rows
+	}
+	return w <= 1 || flops < parThreshold
+}
+
 // parallelRows runs fn over [0, rows) split into contiguous ranges, in
 // parallel when the total work justifies it. fn must only write rows inside
 // its range. flops is the full kernel's multiply-add count.
@@ -262,33 +275,43 @@ func MatMulInto(out, a, b *Matrix) {
 		panic("tensor: matmul output shape mismatch")
 	}
 	n, k, m := a.Rows, a.Cols, b.Cols
+	if serialRows(n, n*k*m) {
+		matMulRange(out, a, b, 0, n)
+		return
+	}
 	parallelRows(n, n*k*m, func(lo, hi int) {
-		for i0 := lo; i0 < hi; i0 += matMulRowBlock {
-			i1 := i0 + matMulRowBlock
-			if i1 > hi {
-				i1 = hi
-			}
-			blk := out.Data[i0*m : i1*m]
-			for x := range blk {
-				blk[x] = 0
-			}
-			// p outer / i inner reuses each b-row across the whole row
-			// block; element (i,j) still accumulates over ascending p.
-			for p := 0; p < k; p++ {
-				brow := b.Data[p*m : (p+1)*m]
-				for i := i0; i < i1; i++ {
-					av := a.Data[i*k+p]
-					if av == 0 {
-						continue
-					}
-					orow := out.Data[i*m : (i+1)*m]
-					for j, bv := range brow {
-						orow[j] += av * bv
-					}
+		matMulRange(out, a, b, lo, hi)
+	})
+}
+
+// matMulRange runs the tiled out = a·b kernel over output rows [lo, hi).
+func matMulRange(out, a, b *Matrix, lo, hi int) {
+	k, m := a.Cols, b.Cols
+	for i0 := lo; i0 < hi; i0 += matMulRowBlock {
+		i1 := i0 + matMulRowBlock
+		if i1 > hi {
+			i1 = hi
+		}
+		blk := out.Data[i0*m : i1*m]
+		for x := range blk {
+			blk[x] = 0
+		}
+		// p outer / i inner reuses each b-row across the whole row
+		// block; element (i,j) still accumulates over ascending p.
+		for p := 0; p < k; p++ {
+			brow := b.Data[p*m : (p+1)*m]
+			for i := i0; i < i1; i++ {
+				av := a.Data[i*k+p]
+				if av == 0 {
+					continue
+				}
+				orow := out.Data[i*m : (i+1)*m]
+				for j, bv := range brow {
+					orow[j] += av * bv
 				}
 			}
 		}
-	})
+	}
 }
 
 // MatMulATInto computes out += aᵀ·b (used by backward passes). Output rows
@@ -300,22 +323,32 @@ func MatMulATInto(out, a, b *Matrix) {
 		panic("tensor: matmulAT shape mismatch")
 	}
 	n, k, m := a.Rows, a.Cols, b.Cols
+	if serialRows(k, n*k*m) {
+		matMulATRange(out, a, b, 0, k)
+		return
+	}
 	parallelRows(k, n*k*m, func(lo, hi int) {
-		for p := 0; p < n; p++ {
-			arow := a.Data[p*k : (p+1)*k]
-			brow := b.Data[p*m : (p+1)*m]
-			for i := lo; i < hi; i++ {
-				av := arow[i]
-				if av == 0 {
-					continue
-				}
-				orow := out.Data[i*m : (i+1)*m]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
+		matMulATRange(out, a, b, lo, hi)
+	})
+}
+
+// matMulATRange runs the out += aᵀ·b kernel over output rows [lo, hi).
+func matMulATRange(out, a, b *Matrix, lo, hi int) {
+	n, k, m := a.Rows, a.Cols, b.Cols
+	for p := 0; p < n; p++ {
+		arow := a.Data[p*k : (p+1)*k]
+		brow := b.Data[p*m : (p+1)*m]
+		for i := lo; i < hi; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*m : (i+1)*m]
+			for j, bv := range brow {
+				orow[j] += av * bv
 			}
 		}
-	})
+	}
 }
 
 // MatMulBTInto computes out += a·bᵀ (used by backward passes).
@@ -324,20 +357,30 @@ func MatMulBTInto(out, a, b *Matrix) {
 		panic("tensor: matmulBT shape mismatch")
 	}
 	n, k, m := a.Rows, a.Cols, b.Rows
+	if serialRows(n, n*k*m) {
+		matMulBTRange(out, a, b, 0, n)
+		return
+	}
 	parallelRows(n, n*k*m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*m : (i+1)*m]
-			for j := 0; j < m; j++ {
-				brow := b.Data[j*k : (j+1)*k]
-				var s float64
-				for p, av := range arow {
-					s += av * brow[p]
-				}
-				orow[j] += s
-			}
-		}
+		matMulBTRange(out, a, b, lo, hi)
 	})
+}
+
+// matMulBTRange runs the out += a·bᵀ kernel over output rows [lo, hi).
+func matMulBTRange(out, a, b *Matrix, lo, hi int) {
+	k, m := a.Cols, b.Rows
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*m : (i+1)*m]
+		for j := 0; j < m; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float64
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			orow[j] += s
+		}
+	}
 }
 
 // AddInPlace computes a += b.

@@ -24,10 +24,12 @@ package discopop
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"graph2par/internal/cast"
 	"graph2par/internal/cinterp"
 	"graph2par/internal/depend"
+	"graph2par/internal/slab"
 	"graph2par/internal/tools"
 )
 
@@ -48,10 +50,50 @@ func New() *DiscoPoP { return &DiscoPoP{MaxSteps: 2_000_000} }
 // Name implements tools.Tool.
 func (d *DiscoPoP) Name() string { return "DiscoPoP" }
 
-type accessRec struct {
-	iter  int
-	write bool
+// addrAgg aggregates one traced address's access pattern online, as the
+// interpreter streams accesses. The dependence scan below only ever needs
+// (a) whether the address was written at all, (b) whether it was touched in
+// more than one iteration, and — for reduction candidates only — (c) the
+// exact per-iteration write count over every touched iteration. Folding
+// accesses into this struct as they arrive replaces the old
+// record-per-access trace (a map of growing slices that dominated the
+// allocation profile of every DiscoPoP run) without changing a single
+// verdict: iteration indices are keyed exactly, so re-executions of the
+// traced loop merge per-iteration counts just as the record scan did.
+type addrAgg struct {
+	firstIter int
+	multiIter bool
+	anyWrite  bool
+	// iterWrites maps iteration → write count, with an entry for every
+	// touched iteration (reads insert a zero). Only allocated for the
+	// (few, watched) reduction-candidate scalars; every other address gets
+	// by on the three flags above.
+	iterWrites map[int]int
 }
+
+// aggState is the pooled per-run aggregation state: the address map plus a
+// chunked slab the addrAgg entries come from, so an Analyze run allocates
+// nothing per address in steady state and the hot trace callback pays one
+// map read per access (pointer entries mutate in place — no write-back).
+// Slab chunks are stable (never reallocated), so the map's pointers stay
+// valid for the run.
+type aggState struct {
+	m    map[cinterp.Addr]*addrAgg
+	aggs slab.Slab[addrAgg]
+}
+
+func (st *aggState) alloc() *addrAgg { return st.aggs.Get() }
+
+func (st *aggState) reset() {
+	clear(st.m)
+	st.aggs.Reset()
+}
+
+// aggPool recycles aggregation state across Analyze calls (and across the
+// engine's worker goroutines).
+var aggPool = sync.Pool{New: func() any {
+	return &aggState{m: map[cinterp.Addr]*addrAgg{}}
+}}
 
 // Analyze implements tools.Tool.
 func (d *DiscoPoP) Analyze(s tools.Sample) tools.Verdict {
@@ -98,12 +140,60 @@ func (d *DiscoPoP) Analyze(s tools.Sample) tools.Verdict {
 	in.TraceLoop = loop
 	in.WatchNames = watch
 
-	trace := map[cinterp.Addr][]accessRec{}
+	st := aggPool.Get().(*aggState)
+	agg := st.m
+	defer func() {
+		st.reset()
+		aggPool.Put(st)
+	}()
 	maxIter := -1
+	// The watch addresses resolve when the traced loop is first entered —
+	// before the first Trace callback — so the callback can resolve them
+	// lazily and skip both the loop-control address (discarded by the scan
+	// anyway) and per-iteration bookkeeping for non-candidates.
+	resolved := false
+	var traceIV cinterp.Addr
+	traceHasIV := false
+	isRedAddr := map[cinterp.Addr]bool{}
 	in.Trace = func(a cinterp.Addr, w bool, iter int) {
-		trace[a] = append(trace[a], accessRec{iter: iter, write: w})
+		if !resolved {
+			resolved = true
+			if info.IndVar != "" {
+				traceIV, traceHasIV = in.Watched[info.IndVar]
+			}
+			for name := range redOps {
+				if ad, ok := in.Watched[name]; ok {
+					isRedAddr[ad] = true
+				}
+			}
+		}
 		if iter > maxIter {
 			maxIter = iter
+		}
+		if traceHasIV && a == traceIV {
+			return // loop control, skipped by the dependence scan
+		}
+		g := agg[a]
+		if g == nil {
+			g = st.alloc()
+			*g = addrAgg{firstIter: iter}
+			if isRedAddr[a] {
+				g.iterWrites = map[int]int{}
+			}
+			agg[a] = g
+		}
+		if iter != g.firstIter {
+			g.multiIter = true
+		}
+		if w {
+			g.anyWrite = true
+		}
+		if g.iterWrites != nil {
+			if w {
+				g.iterWrites[iter]++
+			} else if _, ok := g.iterWrites[iter]; !ok {
+				g.iterWrites[iter] = 0
+			}
 		}
 	}
 	if _, err := in.Run(); err != nil {
@@ -131,7 +221,6 @@ func (d *DiscoPoP) Analyze(s tools.Sample) tools.Verdict {
 		}
 	}
 
-	ivAddr, hasIV := in.Watched[info.IndVar]
 	redAddr := map[cinterp.Addr]string{}
 	for name := range redOps {
 		if a, ok := in.Watched[name]; ok {
@@ -139,9 +228,9 @@ func (d *DiscoPoP) Analyze(s tools.Sample) tools.Verdict {
 		}
 	}
 
-	// Dependence scan over the trace.
-	addrs := make([]cinterp.Addr, 0, len(trace))
-	for a := range trace {
+	// Dependence scan over the aggregated trace.
+	addrs := make([]cinterp.Addr, 0, len(agg))
+	for a := range agg {
 		addrs = append(addrs, a)
 	}
 	sort.Slice(addrs, func(i, j int) bool {
@@ -153,37 +242,20 @@ func (d *DiscoPoP) Analyze(s tools.Sample) tools.Verdict {
 	confirmedReds := map[string]string{}
 	anyArrayWrite := false
 	for _, a := range addrs {
-		if a.IsArrayElem() {
-			for _, r := range trace[a] {
-				if r.write {
-					anyArrayWrite = true
-					break
-				}
-			}
+		if a.IsArrayElem() && agg[a].anyWrite {
+			anyArrayWrite = true
+			break
 		}
 	}
 	for _, a := range addrs {
-		if hasIV && a == ivAddr {
-			continue // loop control
-		}
-		recs := trace[a]
-		iters := map[int]bool{}
-		writesPerIter := map[int]int{}
-		anyWrite := false
-		for _, r := range recs {
-			iters[r.iter] = true
-			if r.write {
-				writesPerIter[r.iter]++
-				anyWrite = true
-			}
-		}
-		if !anyWrite || len(iters) < 2 {
+		g := agg[a]
+		if !g.anyWrite || !g.multiIter {
 			continue // read-only or confined to one iteration
 		}
 		if name, isRed := redAddr[a]; isRed {
 			oncePerIter := true
-			for it := range iters {
-				if writesPerIter[it] != 1 {
+			for _, writes := range g.iterWrites {
+				if writes != 1 {
 					oncePerIter = false
 					break
 				}

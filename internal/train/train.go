@@ -107,14 +107,24 @@ func PrepareGraphsN(workers int, samples []*dataset.Sample, opts auggraph.Option
 	gs := &GraphSet{Vocab: vocab}
 
 	// Phase 1 (parallel): build one graph per sample into its own slot.
+	// Each worker reuses one aug-AST builder (maps, CFG scratch, symbol
+	// table) across its samples; BuildDetached hands back exact-size
+	// graphs the set may retain forever while the builder's working
+	// storage is recycled sample over sample.
 	built := make([]*auggraph.Graph, len(samples))
-	parallel.ForEach(workers, len(samples), func(i int) {
+	builders := make([]*auggraph.Builder, parallel.Workers(workers))
+	parallel.ForEachWorker(workers, len(samples), func(w, i int) {
+		b := builders[w]
+		if b == nil {
+			b = auggraph.NewBuilder()
+			builders[w] = b
+		}
 		s := samples[i]
 		o := opts
 		if s.File != nil {
 			o.Funcs = fileFuncs(s.File)
 		}
-		built[i] = auggraph.Build(s.Loop, o)
+		built[i] = b.BuildDetached(s.Loop, o)
 	})
 
 	// Phase 2 (serial): drop empty graphs and grow the vocabulary in
