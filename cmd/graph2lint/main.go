@@ -1,0 +1,123 @@
+// graph2lint is the repo's invariant checker: a multichecker over the
+// custom analyzers in internal/analysis that mechanically enforces the
+// determinism, zero-allocation and pool-lifetime contracts the tuned hot
+// paths depend on.
+//
+// Usage:
+//
+//	go run ./cmd/graph2lint ./...
+//	go run ./cmd/graph2lint -json ./... | jq .
+//	go run ./cmd/graph2lint -list
+//
+// Exit status is 0 when the tree is clean, 1 when any analyzer reports a
+// violation, 2 on operational errors (unparseable code, bad flags).
+// Diagnostics print as file:line:col: [analyzer] message; -json emits a
+// machine-readable array for the CI summary step.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"graph2par/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("graph2lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	list := fs.Bool("list", false, "list the analyzer suite and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: graph2lint [-json] [-only a,b] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			scope := "all packages"
+			if a.Match != nil {
+				scope = "restricted packages"
+			}
+			fmt.Fprintf(stdout, "%-16s (%s)\n    %s\n", a.Name, scope, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				names := make([]string, 0, len(byName))
+				for n := range byName {
+					names = append(names, n)
+				}
+				sort.Strings(names)
+				fmt.Fprintf(stderr, "graph2lint: unknown analyzer %q (have %s)\n",
+					name, strings.Join(names, ", "))
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		analyzers = picked
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.LoadPatterns(".", patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "graph2lint: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "graph2lint: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "graph2lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(stderr, "graph2lint: %d violation(s) across %d package(s) checked\n",
+				len(diags), len(pkgs))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

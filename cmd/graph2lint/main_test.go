@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs the checker with stdout/stderr redirected to temp files and
+// returns the exit code and both streams.
+func capture(t *testing.T, args []string) (code int, stdout, stderr string) {
+	t.Helper()
+	outF, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.CreateTemp(t.TempDir(), "stderr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code = run(args, outF, errF)
+	outB, _ := os.ReadFile(outF.Name())
+	errB, _ := os.ReadFile(errF.Name())
+	return code, string(outB), string(errB)
+}
+
+func TestListFlag(t *testing.T) {
+	code, out, _ := capture(t, []string{"-list"})
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{"determinism", "noalloc", "poolsafe", "lockdiscipline"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	code, _, errOut := capture(t, []string{"-only", "bogus"})
+	if code != 2 {
+		t.Fatalf("-only bogus exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut, `unknown analyzer "bogus"`) {
+		t.Errorf("stderr missing unknown-analyzer message:\n%s", errOut)
+	}
+}
+
+func TestBadPattern(t *testing.T) {
+	code, _, _ := capture(t, []string{"./does-not-exist"})
+	if code != 2 {
+		t.Fatalf("bad pattern exited %d, want 2", code)
+	}
+}
+
+// TestJSONSelf lints this package. It must be clean, and -json must emit a
+// well-formed (empty) array — the contract the CI summary step consumes.
+func TestJSONSelf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list")
+	}
+	code, out, errOut := capture(t, []string{"-json", "."})
+	if code != 0 {
+		t.Fatalf("linting cmd/graph2lint exited %d\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	var diags []map[string]any
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out)
+	}
+	if len(diags) != 0 {
+		t.Errorf("expected clean run, got %d diagnostics", len(diags))
+	}
+}

@@ -1,0 +1,110 @@
+// Package analysistest runs one analyzer over a corpus package under
+// testdata/src and compares its diagnostics against expectations written
+// in the corpus itself — a stdlib-only version of the x/tools harness of
+// the same name.
+//
+// Expectations are `// want` comments. Each names one or more quoted
+// regular expressions; every diagnostic on that source line must match
+// one of them, one-to-one:
+//
+//	_ = make([]byte, n) // want `make allocates`
+//	go f()              // want `go statement` `indirect call`
+//
+// Regexes are quoted with double quotes or backquotes. A `want` marker
+// may also be embedded inside another comment (after a //graph2lint:
+// directive, say), so directive-syntax errors are testable even though a
+// line holds only one comment.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"graph2par/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type want struct {
+	re      *regexp.Regexp
+	raw     string
+	line    int
+	matched bool
+}
+
+// Run loads testdata/src/<path> relative to srcRoot, applies the
+// analyzer, and reports every mismatch between produced diagnostics and
+// `// want` expectations as test errors.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, path string) {
+	t.Helper()
+	pkg, err := analysis.LoadTestdata(srcRoot, path)
+	if err != nil {
+		t.Fatalf("loading corpus %s: %v", path, err)
+	}
+	// Corpus import paths do not resemble repo paths, so run without the
+	// analyzer's package filter.
+	unfiltered := *a
+	unfiltered.Match = nil
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{&unfiltered})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, path, err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.File, d.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %s", key, w.raw)
+			}
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *analysis.Package) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, file := range pkg.Syntax {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				raws := wantRe.FindAllString(c.Text[idx+len("// want "):], -1)
+				if len(raws) == 0 {
+					t.Fatalf("%s: malformed want comment (no quoted regex): %s", key, c.Text)
+				}
+				for _, raw := range raws {
+					body := raw[1 : len(raw)-1]
+					if raw[0] == '"' {
+						body = strings.ReplaceAll(body, `\"`, `"`)
+					}
+					re, err := regexp.Compile(body)
+					if err != nil {
+						t.Fatalf("%s: bad want regex %s: %v", key, raw, err)
+					}
+					wants[key] = append(wants[key], &want{re: re, raw: raw, line: pos.Line})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism guards the property PR 4 bought: training checkpoints are
+// bit-identical at any worker count, which holds only if nothing on the
+// gradient/checkpoint/reduction path consumes a nondeterministic input.
+// The three statically-visible offenders are map iteration order (randomized
+// per run by the runtime), wall-clock reads, and the global math/rand
+// stream (unseeded, and shared across goroutines). All randomness on the
+// training path must come from tensor.RNG, whose streams are split
+// deterministically per example; all ordering must come from slices.
+//
+// Vetted exceptions — stats-only maps, RNG internals — carry
+// //graph2lint:allow determinism -- <reason>.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flags map iteration, wall-clock reads (time.Now/Since/Until) and " +
+		"math/rand on the gradient/checkpoint/reduction path",
+	Match: pathMatcher(
+		"internal/train", "internal/nn", "internal/hgt",
+		"internal/seqmodel", "internal/tensor",
+	),
+	Run: runDeterminism,
+}
+
+// pathMatcher accepts import paths containing one of the given
+// slash-delimited path fragments.
+func pathMatcher(fragments ...string) func(string) bool {
+	return func(importPath string) bool {
+		for _, f := range fragments {
+			if importPath == f || strings.HasSuffix(importPath, "/"+f) ||
+				strings.Contains(importPath, "/"+f+"/") || strings.HasPrefix(importPath, f+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+var wallClockFuncs = map[string]bool{
+	"time.Now":   true,
+	"time.Since": true,
+	"time.Until": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						pass.Reportf(n.Pos(),
+							"range over map %s iterates in nondeterministic order; "+
+								"iterate a sorted slice instead", t.String())
+					}
+				}
+			case *ast.SelectorExpr:
+				obj := info.Uses[n.Sel]
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				switch pkg := fn.Pkg().Path(); {
+				case wallClockFuncs[fn.FullName()]:
+					pass.Reportf(n.Pos(),
+						"%s reads the wall clock; determinism-path code must not "+
+							"observe real time", fn.FullName())
+				case pkg == "math/rand" || pkg == "math/rand/v2":
+					pass.Reportf(n.Pos(),
+						"%s draws from %s; all determinism-path randomness must come "+
+							"from a deterministically-split tensor.RNG", fn.FullName(), pkg)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The directive grammar. Directives are ordinary comments beginning with
+// exactly "//graph2lint:" (no space — mirroring //go:build):
+//
+//	//graph2lint:noalloc
+//	    Valid only in the doc comment of a function or method
+//	    declaration. Marks the function as a zero-allocation hot path;
+//	    the noalloc analyzer then rejects allocation-inducing constructs
+//	    in its body.
+//
+//	//graph2lint:allow <analyzer>[,<analyzer>...] -- <reason>
+//	    Suppresses diagnostics from the named analyzers at the directive's
+//	    site. In a declaration's doc comment it covers the whole
+//	    declaration; anywhere else it covers its own source line and the
+//	    line below it (so it works both as a trailing comment and as a
+//	    comment on the line above the vetted statement). The reason is
+//	    mandatory: an allowlist entry without a recorded justification is
+//	    itself a lint error.
+//
+// Unknown verbs, unknown analyzer names and missing reasons are reported
+// as diagnostics of the pseudo-analyzer "directive", so the allowlist
+// cannot rot silently.
+
+const directivePrefix = "//graph2lint:"
+
+// DirectiveAnalyzerName labels diagnostics produced by directive
+// validation itself.
+const DirectiveAnalyzerName = "directive"
+
+type allowRange struct {
+	file      string
+	from, to  int // inclusive line range
+	analyzers []string
+}
+
+type directiveError struct {
+	pos token.Position
+	msg string
+}
+
+// Directives holds one package's parsed //graph2lint: comments.
+type Directives struct {
+	allows []allowRange
+	// noallocFuncs maps the type-checker object of every function whose
+	// doc comment carries //graph2lint:noalloc; noallocNames carries the
+	// same set as FullNames for cross-package lookup.
+	noallocFuncs map[*types.Func]bool
+	noallocNames []string
+	errs         []directiveError
+	// allowNames records every analyzer name mentioned by an allow
+	// directive, with one representative position, for validation
+	// against the known-analyzer set.
+	allowNames map[string]token.Position
+}
+
+// NoAlloc reports whether fn was marked //graph2lint:noalloc.
+func (d *Directives) NoAlloc(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	return d.noallocFuncs[fn.Origin()]
+}
+
+// NoAllocCount returns how many functions the package marks noalloc.
+func (d *Directives) NoAllocCount() int { return len(d.noallocFuncs) }
+
+func (d *Directives) allowed(analyzer string, pos token.Position) bool {
+	for _, r := range d.allows {
+		if r.file != pos.Filename || pos.Line < r.from || pos.Line > r.to {
+			continue
+		}
+		for _, name := range r.analyzers {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (d *Directives) validate(known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	report := func(pos token.Position, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:      pos,
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: DirectiveAnalyzerName,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, e := range d.errs {
+		report(e.pos, "%s", e.msg)
+	}
+	for name, pos := range d.allowNames {
+		if !known[name] {
+			report(pos, "allow names unknown analyzer %q", name)
+		}
+	}
+	return out
+}
+
+// parseDirectives scans a package's comments, resolving noalloc marks
+// against the type-checker's definitions. It never fails: malformed
+// directives become errs, surfaced later by validate.
+func parseDirectives(fset *token.FileSet, files []*ast.File, info *types.Info) *Directives {
+	d := &Directives{
+		noallocFuncs: make(map[*types.Func]bool),
+		allowNames:   make(map[string]token.Position),
+	}
+	for _, f := range files {
+		// Doc-comment groups get declaration-wide scope (and are the only
+		// place noalloc is legal), so map each group to its declaration.
+		docOf := make(map[*ast.CommentGroup]ast.Decl)
+		for _, decl := range f.Decls {
+			switch dd := decl.(type) {
+			case *ast.FuncDecl:
+				if dd.Doc != nil {
+					docOf[dd.Doc] = dd
+				}
+			case *ast.GenDecl:
+				if dd.Doc != nil {
+					docOf[dd.Doc] = dd
+				}
+			}
+		}
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				body := strings.TrimPrefix(c.Text, directivePrefix)
+				verb, rest, _ := strings.Cut(body, " ")
+				switch verb {
+				case "noalloc":
+					fd, ok := docOf[group].(*ast.FuncDecl)
+					if !ok {
+						d.errs = append(d.errs, directiveError{pos,
+							"noalloc is only valid in a function's doc comment"})
+						continue
+					}
+					if strings.TrimSpace(rest) != "" {
+						d.errs = append(d.errs, directiveError{pos,
+							"noalloc takes no arguments"})
+						continue
+					}
+					if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+						d.noallocFuncs[fn] = true
+						d.noallocNames = append(d.noallocNames, fn.FullName())
+					}
+				case "allow":
+					names, reason, ok := strings.Cut(rest, "--")
+					if !ok || strings.TrimSpace(reason) == "" {
+						d.errs = append(d.errs, directiveError{pos,
+							"allow requires a reason: //graph2lint:allow <analyzer> -- <reason>"})
+						continue
+					}
+					var list []string
+					for _, n := range strings.Split(names, ",") {
+						if n = strings.TrimSpace(n); n != "" {
+							list = append(list, n)
+						}
+					}
+					if len(list) == 0 {
+						d.errs = append(d.errs, directiveError{pos,
+							"allow names no analyzer"})
+						continue
+					}
+					for _, n := range list {
+						if _, seen := d.allowNames[n]; !seen {
+							d.allowNames[n] = pos
+						}
+					}
+					r := allowRange{file: pos.Filename, from: pos.Line, to: pos.Line + 1, analyzers: list}
+					if decl, ok := docOf[group]; ok {
+						r.from = fset.Position(decl.Pos()).Line
+						r.to = fset.Position(decl.End()).Line
+					}
+					d.allows = append(d.allows, r)
+				default:
+					d.errs = append(d.errs, directiveError{pos,
+						fmt.Sprintf("unknown directive %q (want noalloc or allow)", verb)})
+				}
+			}
+		}
+	}
+	return d
+}

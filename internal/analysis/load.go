@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked target: syntax with comments,
+// type information and the parsed //graph2lint: directives. Only non-test
+// files are loaded — the invariants guard production hot paths, and test
+// code is free to allocate, time and shuffle.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	Directives *Directives
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+func parseDir(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{
+		ImportPath: path,
+		Fset:       fset,
+		Syntax:     files,
+		Types:      tpkg,
+		Info:       info,
+		Directives: parseDirectives(fset, files, info),
+	}, nil
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// LoadPatterns resolves go-list patterns (e.g. "./...") relative to dir
+// into fully type-checked Packages. It runs `go list -export -deps -json`
+// once: the -export flag makes the go tool compile export data for every
+// package in the dependency graph, which the type-checker then imports
+// directly — no source re-checking of the standard library, and no
+// network.
+func LoadPatterns(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard {
+			cp := lp
+			targets = append(targets, &cp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	pkgs := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		files, err := parseDir(fset, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := check(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = t.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// testLoader type-checks analyzer test corpora that live outside the
+// module (under testdata/, which go list refuses to see). Imports resolve
+// first against sibling corpus packages (import path = directory relative
+// to the corpus root), then against the standard library via the
+// source-level importer — slower than export data, but corpus files
+// import very little.
+type testLoader struct {
+	srcRoot string
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	cache   map[string]*Package
+}
+
+func (l *testLoader) Import(path string) (*types.Package, error) {
+	if pkg, err := l.load(path); err == nil {
+		return pkg.Types, nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return l.std.ImportFrom(path, l.srcRoot, 0)
+}
+
+func (l *testLoader) load(path string) (*Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	files, err := parseDir(l.fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := check(l.fset, path, files, l)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// LoadTestdata loads the corpus package at srcRoot/path (plus anything it
+// imports from the same corpus) for the analysistest harness.
+func LoadTestdata(srcRoot, path string) (*Package, error) {
+	fset := token.NewFileSet()
+	l := &testLoader{
+		srcRoot: srcRoot,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		cache:   make(map[string]*Package),
+	}
+	return l.load(path)
+}

@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PoolSafe guards the pooled-scratch lifetime contract: a value checked
+// out of frontend.Pool, nn.ScratchPool or any other *Pool type belongs to
+// one goroutine between Get and Put, and everything built through it dies
+// at Put. A checkout that escapes — stored into a struct field or global,
+// returned, sent on a channel, or captured by a spawned goroutine — can
+// outlive its reset and silently read recycled memory, the class of bug
+// only -race plus luck catches at runtime. The analyzer also flags
+// straight-line use after the releasing Put/PutAll/Free call.
+//
+// The walk is conservative and local: it tracks simple variables
+// initialized directly from a checkout call within one function.
+// Deliberate ownership transfers (a server pinning a scratch for a
+// request's lifetime) carry //graph2lint:allow poolsafe -- <reason>.
+var PoolSafe = &Analyzer{
+	Name: "poolsafe",
+	Doc: "flags pool checkouts that escape their Get/Put window (field, " +
+		"global, return, channel, goroutine) and straight-line use after release",
+	Run: runPoolSafe,
+}
+
+var checkoutMethods = map[string]bool{"Get": true, "GetN": true, "Checkout": true}
+var releaseMethods = map[string]bool{"Put": true, "PutAll": true, "Release": true}
+
+// isPoolCheckout reports whether call is a checkout method invoked on a
+// value whose named type ends in "Pool".
+func isPoolCheckout(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !checkoutMethods[sel.Sel.Name] {
+		return false
+	}
+	return isPoolTyped(info.TypeOf(sel.X))
+}
+
+func isPoolTyped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && strings.HasSuffix(named.Obj().Name(), "Pool")
+}
+
+func runPoolSafe(pass *Pass) error {
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolSafeFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkPoolSafeFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo()
+
+	// Pass 1: find tracked checkouts — `v := pool.Get()` (or GetN etc.)
+	// binding a fresh simple variable.
+	tracked := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isPoolCheckout(info, call) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.ObjectOf(id); obj != nil {
+				tracked[obj] = true
+			}
+		}
+		return true
+	})
+	// No early exit on an empty tracked set: the direct-return check
+	// below must fire even in functions that never bind a checkout.
+	isTracked := func(e ast.Expr) (types.Object, bool) {
+		id, ok := unparen(e).(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		obj := info.ObjectOf(id)
+		return obj, obj != nil && tracked[obj]
+	}
+
+	// Pass 2: escapes.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				obj, ok := isTracked(rhs)
+				if !ok || i >= len(n.Lhs) {
+					continue
+				}
+				switch lhs := unparen(n.Lhs[i]).(type) {
+				case *ast.SelectorExpr:
+					pass.Reportf(n.Pos(),
+						"pool checkout %s stored to field %s escapes its Get/Put window",
+						obj.Name(), types.ExprString(lhs))
+				case *ast.Ident:
+					if v := info.ObjectOf(lhs); v != nil && isPackageLevel(v) {
+						pass.Reportf(n.Pos(),
+							"pool checkout %s stored to package-level %s escapes its Get/Put window",
+							obj.Name(), v.Name())
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if obj, ok := isTracked(r); ok {
+					pass.Reportf(r.Pos(),
+						"pool checkout %s returned past its Put; callers would hold recycled memory",
+						obj.Name())
+				}
+				if call, ok := unparen(r).(*ast.CallExpr); ok && isPoolCheckout(info, call) {
+					pass.Reportf(r.Pos(),
+						"pool checkout returned directly; ownership transfer needs an allow directive")
+				}
+			}
+		case *ast.SendStmt:
+			if obj, ok := isTracked(n.Value); ok {
+				pass.Reportf(n.Pos(),
+					"pool checkout %s sent on a channel escapes its owning goroutine", obj.Name())
+			}
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(inner ast.Node) bool {
+					if id, ok := inner.(*ast.Ident); ok {
+						if obj := info.ObjectOf(id); obj != nil && tracked[obj] {
+							pass.Reportf(id.Pos(),
+								"pool checkout %s captured by go statement; the spawned goroutine "+
+									"may outlive Put", obj.Name())
+							return false
+						}
+					}
+					return true
+				})
+			}
+			for _, arg := range n.Call.Args {
+				if obj, ok := isTracked(arg); ok {
+					pass.Reportf(arg.Pos(),
+						"pool checkout %s passed to go statement; the spawned goroutine "+
+							"may outlive Put", obj.Name())
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 3: straight-line use after release, per statement list.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		released := make(map[types.Object]ast.Stmt)
+		for _, stmt := range list {
+			// A use of an already-released checkout anywhere in this
+			// statement is a bug — unless the statement rebinds it first.
+			if reassigned := rebinds(info, stmt, released); !reassigned {
+				for obj, relStmt := range released {
+					if usesObject(info, stmt, obj) {
+						pass.Reportf(stmt.Pos(),
+							"use of pool checkout %s after its release on line %d",
+							obj.Name(), pass.Fset().Position(relStmt.Pos()).Line)
+					}
+				}
+			}
+			// Record releases performed by this statement. A deferred
+			// Put releases at function exit, not here.
+			if _, isDefer := stmt.(*ast.DeferStmt); isDefer {
+				continue
+			}
+			ast.Inspect(stmt, func(inner ast.Node) bool {
+				call, ok := inner.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch {
+				case releaseMethods[sel.Sel.Name] && isPoolTyped(info.TypeOf(sel.X)):
+					for _, arg := range call.Args {
+						if obj, ok := isTracked(arg); ok {
+							released[obj] = stmt
+						}
+					}
+				case sel.Sel.Name == "Free" && len(call.Args) == 0:
+					if obj, ok := isTracked(sel.X); ok {
+						released[obj] = stmt
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// rebinds reports whether stmt assigns a fresh value to any released
+// object, clearing it from the released set (v = pool.Get() again).
+func rebinds(info *types.Info, stmt ast.Stmt, released map[types.Object]ast.Stmt) bool {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	hit := false
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil {
+				if _, was := released[obj]; was {
+					delete(released, obj)
+					hit = true
+				}
+			}
+		}
+	}
+	return hit
+}
+
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(inner ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := inner.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isPackageLevel(obj types.Object) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}

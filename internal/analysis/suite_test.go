@@ -1,0 +1,85 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"graph2par/internal/analysis"
+	"graph2par/internal/analysis/analysistest"
+)
+
+// Each corpus seeds every violation class its analyzer knows, plus clean
+// idioms that must stay quiet and allow-directive suppressions.
+
+func TestDeterminismCorpus(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.Determinism, "determinism")
+}
+
+func TestNoAllocCorpus(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.NoAlloc, "noalloc")
+}
+
+func TestPoolSafeCorpus(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.PoolSafe, "poolsafe")
+}
+
+func TestLockDisciplineCorpus(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.LockDiscipline, "lockdiscipline")
+}
+
+func TestDirectiveValidationCorpus(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.NoAlloc, "directives")
+}
+
+// TestMatchFilters pins which repo packages each restricted analyzer
+// covers: determinism guards the training/inference numerics, the lock
+// discipline guards the serving tier's critical sections.
+func TestMatchFilters(t *testing.T) {
+	cases := []struct {
+		analyzer *analysis.Analyzer
+		path     string
+		want     bool
+	}{
+		{analysis.Determinism, "graph2par/internal/train", true},
+		{analysis.Determinism, "graph2par/internal/nn", true},
+		{analysis.Determinism, "graph2par/internal/hgt", true},
+		{analysis.Determinism, "graph2par/internal/seqmodel", true},
+		{analysis.Determinism, "graph2par/internal/tensor", true},
+		{analysis.Determinism, "graph2par/internal/cache", false},
+		{analysis.Determinism, "graph2par/internal/serve", false},
+		{analysis.Determinism, "graph2par", false},
+		{analysis.LockDiscipline, "graph2par/internal/cache", true},
+		{analysis.LockDiscipline, "graph2par/internal/serve", true},
+		{analysis.LockDiscipline, "graph2par/internal/train", false},
+	}
+	for _, c := range cases {
+		if got := c.analyzer.Match(c.path); got != c.want {
+			t.Errorf("%s.Match(%q) = %v, want %v", c.analyzer.Name, c.path, got, c.want)
+		}
+	}
+	for _, a := range []*analysis.Analyzer{analysis.NoAlloc, analysis.PoolSafe} {
+		if a.Match != nil {
+			t.Errorf("%s should run on every package (nil Match)", a.Name)
+		}
+	}
+}
+
+// TestAllAnalyzers pins the suite contents: four analyzers, stable names
+// (the names are part of the directive grammar, so renames are breaking).
+func TestAllAnalyzers(t *testing.T) {
+	want := []string{"determinism", "noalloc", "poolsafe", "lockdiscipline"}
+	all := analysis.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d].Name = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("%s has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("%s has no Run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Corpus for the determinism analyzer: map iteration, wall-clock reads
+// and math/rand on the gradient/checkpoint/reduction path.
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func stats() map[string]int { return map[string]int{"a": 1, "b": 2} }
+
+func iterateMap() int {
+	total := 0
+	for _, v := range stats() { // want `range over map .* nondeterministic order`
+		total += v
+	}
+	return total
+}
+
+func iterateKeyOnly(m map[int]bool) int {
+	n := 0
+	for k := range m { // want `range over map`
+		n += k
+	}
+	return n
+}
+
+func iterateSorted() []string {
+	m := stats()
+	keys := make([]string, 0, len(m))
+	for k := range m { //graph2lint:allow determinism -- keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func iterateSlice(xs []int) int {
+	total := 0
+	for _, v := range xs { // slices iterate in order: no diagnostic
+		total += v
+	}
+	return total
+}
+
+func clocked() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func elapsed(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want `time\.Since reads the wall clock`
+}
+
+func arithmetic(t0, t1 time.Time) time.Duration {
+	return t1.Sub(t0) // pure arithmetic on existing times: no diagnostic
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `math/rand\.Intn draws from math/rand`
+}
+
+func localRand() float64 {
+	r := rand.New(rand.NewSource(1)) // want `math/rand\.New` `math/rand\.NewSource`
+	return r.Float64()               // want `Float64 draws from math/rand`
+}
+
+func allowedClock() time.Time {
+	return time.Now() //graph2lint:allow determinism -- wall time feeds logging only, never the model
+}

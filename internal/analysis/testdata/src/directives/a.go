@@ -1,0 +1,35 @@
+// Corpus for directive-grammar validation. The `want` markers live
+// inside the directive comments themselves (a line holds one comment),
+// which the harness supports precisely for this file.
+package a
+
+//graph2lint:frobnicate // want `unknown directive "frobnicate"`
+func unknownVerb() {}
+
+//graph2lint:noalloc extra words // want `noalloc takes no arguments`
+func noallocWithArgs() {}
+
+func misplacedNoalloc() {
+	_ = 0 //graph2lint:noalloc // want `noalloc is only valid in a function's doc comment`
+}
+
+func missingReason(n int) {
+	_ = make([]int, n) //graph2lint:allow noalloc // want `allow requires a reason`
+}
+
+func unknownAnalyzer() {
+	_ = 0 //graph2lint:allow frob -- some reason // want `allow names unknown analyzer "frob"`
+}
+
+// A well-formed allow with a reason parses clean (and suppressing
+// nothing is not an error).
+func wellFormed() {
+	_ = 0 //graph2lint:allow noalloc -- vetted: nothing here allocates per call
+}
+
+// An allow naming a registered analyzer that is NOT part of this run
+// (the corpus runs noalloc only) stays clean: -only narrows the run,
+// not the directive grammar.
+func registeredButNotRunning() {
+	_ = 0 //graph2lint:allow determinism -- vetted: stats-only map
+}

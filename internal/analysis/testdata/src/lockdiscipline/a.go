@@ -1,0 +1,114 @@
+// Corpus for the lockdiscipline analyzer: channel operations and
+// blocking calls while holding a mutex.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type shard struct {
+	mu sync.Mutex
+	ch chan int
+	m  map[string]int
+}
+
+type rwshard struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+func sendWhileHeld(s *shard, v int) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send while holding s\.mu`
+	s.mu.Unlock()
+}
+
+func recvWhileDeferHeld(s *shard) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `channel receive while holding s\.mu`
+}
+
+func sleepWhileHeld(s *shard) {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep while holding s\.mu`
+	s.mu.Unlock()
+}
+
+func doubleLock(s *shard) {
+	s.mu.Lock()
+	s.mu.Lock() // want `Lock of s\.mu while already held: self-deadlock`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func selectWhileHeld(s *shard) {
+	s.mu.Lock()
+	select { // want `select while holding s\.mu`
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func rangeChanWhileHeld(s *shard) {
+	s.mu.Lock()
+	for v := range s.ch { // want `range over channel while holding s\.mu`
+		_ = v
+	}
+	s.mu.Unlock()
+}
+
+func rlockSend(r *rwshard, v int) {
+	r.mu.RLock()
+	r.ch <- v // want `channel send while holding r\.mu`
+	r.mu.RUnlock()
+}
+
+// The coalescing idiom: mutate shared state under the lock, release,
+// then communicate. Clean.
+func unlockThenSend(s *shard, v int) {
+	s.mu.Lock()
+	n := s.m["k"]
+	s.mu.Unlock()
+	s.ch <- n + v
+}
+
+// Early-unlock-and-return: the branch releases before blocking, the
+// fallthrough path stays held but never blocks. Clean.
+func earlyUnlock(s *shard, v int) {
+	s.mu.Lock()
+	if len(s.m) == 0 {
+		s.mu.Unlock()
+		s.ch <- v
+		return
+	}
+	s.m["k"] = v
+	s.mu.Unlock()
+}
+
+// A closure built under the lock runs later: its body is not part of
+// this critical section. Clean.
+func closureUnderLock(s *shard, v int) func() {
+	s.mu.Lock()
+	f := func() { s.ch <- v }
+	s.mu.Unlock()
+	return f
+}
+
+func vettedSend(s *shard, v int) {
+	s.mu.Lock()
+	s.ch <- v //graph2lint:allow lockdiscipline -- buffered handoff channel, send can never block
+	s.mu.Unlock()
+}
+
+// Two independent mutexes: releasing one does not release the other.
+func twoMutexes(a, b *shard, v int) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.ch <- v // want `channel send while holding a\.mu`
+	a.mu.Unlock()
+}

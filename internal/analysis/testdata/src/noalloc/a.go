@@ -1,0 +1,132 @@
+// Corpus for the noalloc analyzer: allocation-inducing constructs inside
+// //graph2lint:noalloc functions.
+package a
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+)
+
+type buf struct{ data []int }
+
+type T struct{}
+
+func (T) M() {}
+
+type Doer interface{ Do() }
+
+// unmarked allocates freely: no diagnostics outside noalloc functions.
+func unmarked() []int {
+	m := map[string]int{}
+	_ = m
+	return []int{1, 2, 3}
+}
+
+//graph2lint:noalloc
+func literals() {
+	_ = map[string]int{} // want `map literal allocates`
+	_ = []int{1, 2}      // want `slice literal allocates`
+	_ = [2]int{1, 2}     // arrays live on the stack: no diagnostic
+}
+
+//graph2lint:noalloc
+func builtins(n int) {
+	_ = make([]byte, n) // want `make allocates`
+	_ = new(int)        // want `new allocates`
+}
+
+//graph2lint:noalloc
+func closures() {
+	f := func() {} // want `function literal allocates a closure`
+	f()            // want `indirect call through f`
+	go f()         // want `go statement allocates` `indirect call through f`
+}
+
+//graph2lint:noalloc
+func methodValue(t T) {
+	f := t.M // want `method value M allocates a closure`
+	f()      // want `indirect call through f`
+}
+
+//graph2lint:noalloc
+func sprintfAndStrings(name string, b []byte) string {
+	s := fmt.Sprintf("x %s", name) // want `call to fmt\.Sprintf allocates` `argument boxes string`
+	s2 := s + name                 // want `string concatenation allocates`
+	_ = []byte(name)               // want `conversion \[\]byte\(string\) allocates`
+	_ = string(b)                  // want `conversion string\(\[\]byte\) allocates`
+	return s2
+}
+
+//graph2lint:noalloc
+func sink(x any) { _ = x }
+
+//graph2lint:noalloc
+func boxing(v int, p *int) (any, any) {
+	var i any = v // want `assignment boxes int into any`
+	i = p         // pointers ride in the interface word: no diagnostic
+	sink(v)       // want `argument boxes int into any`
+	sink(p)       // no diagnostic
+	_ = i
+	return v, p // want `return boxes int into any`
+}
+
+func helper() {}
+
+//graph2lint:noalloc
+func vetted() {}
+
+//graph2lint:noalloc
+func calls(d Doer) float64 {
+	helper()            // want `call from noalloc function calls to unannotated .*helper`
+	vetted()            // marked noalloc: no diagnostic
+	d.Do()              // want `dynamic call to .*Do`
+	return math.Sqrt(2) // math is always-safe: no diagnostic
+}
+
+//graph2lint:noalloc
+func appends(dst []int, s *buf) []int {
+	var local []int
+	local = append(local, 1)   // want `append to function-local slice local`
+	dst = append(dst, 1)       // caller-owned buffer: no diagnostic
+	s.data = append(s.data, 1) // pooled field storage: no diagnostic
+	_ = local
+	return dst
+}
+
+//graph2lint:noalloc
+func allowedGrowth(n int) {
+	_ = make([]int, n) //graph2lint:allow noalloc -- amortized pool growth, vetted by BenchmarkFrontendPipeline
+}
+
+//graph2lint:noalloc
+func mapIndexConversion(m map[string]int, b []byte) (int, string) {
+	v := m[string(b)] // compiler elides the copy for map lookups: no diagnostic
+	k := string(b)    // want `conversion string\(\[\]byte\) allocates`
+	return v, k
+}
+
+var poolMu sync.Mutex
+
+//graph2lint:noalloc
+func lockedSection() {
+	poolMu.Lock() // mutex ops are safe-listed: no diagnostic
+	poolMu.Unlock()
+}
+
+//graph2lint:noalloc
+func safeListed(s string) (bool, string) {
+	ok := strings.HasPrefix(s, "#") // vetted safe-list: no diagnostic
+	t := strings.TrimSpace(s)       // substring view, not a copy: no diagnostic
+	r := strings.Repeat(s, 2)       // want `call from noalloc function safeListed to unannotated strings\.Repeat`
+	_ = r
+	return ok, t
+}
+
+//graph2lint:noalloc
+func disarmTimer(tm *time.Timer) {
+	tm.Stop()             // timer heap unlink: no diagnostic
+	tm.Reset(time.Second) // want `call from noalloc function disarmTimer to unannotated \(\*time\.Timer\)\.Reset`
+}

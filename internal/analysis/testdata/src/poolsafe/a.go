@@ -1,0 +1,120 @@
+// Corpus for the poolsafe analyzer: pool checkouts escaping their
+// Get/Put window, and straight-line use after release.
+package a
+
+import "sync"
+
+type Scratch struct{ buf []byte }
+
+type ScratchPool struct {
+	mu   sync.Mutex
+	free []*Scratch
+}
+
+func (p *ScratchPool) Get() *Scratch {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		return s
+	}
+	return &Scratch{}
+}
+
+func (p *ScratchPool) Put(s *Scratch) {
+	s.buf = s.buf[:0]
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.mu.Unlock()
+}
+
+type holder struct{ scratch *Scratch }
+
+var global *Scratch
+
+func use(*Scratch) {}
+
+func fieldEscape(p *ScratchPool, h *holder) {
+	s := p.Get()
+	h.scratch = s // want `stored to field h\.scratch escapes`
+	p.Put(s)
+}
+
+func globalEscape(p *ScratchPool) {
+	s := p.Get()
+	global = s // want `stored to package-level global escapes`
+	p.Put(s)
+}
+
+func returned(p *ScratchPool) *Scratch {
+	s := p.Get()
+	return s // want `checkout s returned past its Put`
+}
+
+func returnedDirectly(p *ScratchPool) *Scratch {
+	return p.Get() // want `checkout returned directly`
+}
+
+//graph2lint:allow poolsafe -- checkout helper: ownership transfers to the caller by documented contract
+func checkoutHelper(p *ScratchPool) *Scratch {
+	return p.Get()
+}
+
+func sent(p *ScratchPool, ch chan *Scratch) {
+	s := p.Get()
+	ch <- s // want `checkout s sent on a channel`
+	p.Put(s)
+}
+
+func spawned(p *ScratchPool) {
+	s := p.Get()
+	go func() {
+		use(s) // want `checkout s captured by go statement`
+	}()
+	p.Put(s)
+}
+
+func spawnedArg(p *ScratchPool) {
+	s := p.Get()
+	go use(s) // want `checkout s passed to go statement`
+	p.Put(s)
+}
+
+func useAfterPut(p *ScratchPool) int {
+	s := p.Get()
+	p.Put(s)
+	return len(s.buf) // want `use of pool checkout s after its release on line \d+`
+}
+
+func clean(p *ScratchPool) int {
+	s := p.Get()
+	n := len(s.buf)
+	p.Put(s)
+	return n
+}
+
+func deferredPut(p *ScratchPool) int {
+	s := p.Get()
+	defer p.Put(s)
+	return len(s.buf) // deferred Put releases at function exit: no diagnostic
+}
+
+func rebound(p *ScratchPool) {
+	s := p.Get()
+	p.Put(s)
+	s = p.Get() // rebinding clears the released state
+	use(s)
+	p.Put(s)
+}
+
+func localStoresAreFine(p *ScratchPool) {
+	all := make([]*Scratch, 2)
+	for i := range all {
+		s := p.Get()
+		all[i] = s // index stores into locals are the worker-pool idiom: no diagnostic
+	}
+	for _, s := range all {
+		p.Put(s)
+	}
+}

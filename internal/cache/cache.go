@@ -121,6 +121,8 @@ func New[V any](capacity int) *Cache[V] {
 
 // shardFor hashes the key (FNV-1a) to pick its shard. The engine's keys
 // are uniformly distributed content hashes, so any cheap mix suffices.
+//
+//graph2lint:noalloc
 func (c *Cache[V]) shardFor(key string) *shard[V] {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(key); i++ {

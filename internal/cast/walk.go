@@ -12,6 +12,8 @@ import "sync"
 // AppendChildren appends n's children to dst in source order — exactly the
 // nodes, order and count of n.Children() (pinned by TestAppendChildren
 // MatchesChildren) without allocating a fresh slice per node.
+//
+//graph2lint:noalloc
 func AppendChildren(n Node, dst []Node) []Node {
 	switch x := n.(type) {
 	case *Ident, *IntLit, *FloatLit, *CharLit, *StringLit,
@@ -127,7 +129,7 @@ func AppendChildren(n Node, dst []Node) []Node {
 		return dst
 	default:
 		// Unknown node type: fall back to the interface method.
-		return append(dst, n.Children()...)
+		return append(dst, n.Children()...) //graph2lint:allow noalloc -- unreachable fallback: every concrete Node kind has a case above (pinned by TestAppendChildrenMatchesChildren)
 	}
 }
 
@@ -140,17 +142,19 @@ var walkStacks = sync.Pool{New: func() any {
 // Walk calls fn for node and every descendant in depth-first pre-order.
 // If fn returns false the node's children are skipped. The traversal
 // itself is allocation-free in steady state (pooled stack + AppendChildren).
+//
+//graph2lint:noalloc
 func Walk(n Node, fn func(Node) bool) {
 	if n == nil {
 		return
 	}
-	sp := walkStacks.Get().(*[]Node)
+	sp := walkStacks.Get().(*[]Node) //graph2lint:allow noalloc -- pooled stack: sync.Pool misses amortize across Walk calls
 	s := (*sp)[:0]
 	s = append(s, n)
 	for len(s) > 0 {
 		cur := s[len(s)-1]
 		s = s[:len(s)-1]
-		if cur == nil || !fn(cur) {
+		if cur == nil || !fn(cur) { //graph2lint:allow noalloc -- visitor callback is the caller's contract; the traversal itself is alloc-free
 			continue
 		}
 		// Children are appended in source order, then the fresh segment is
@@ -163,5 +167,5 @@ func Walk(n Node, fn func(Node) bool) {
 		}
 	}
 	*sp = s[:0]
-	walkStacks.Put(sp)
+	walkStacks.Put(sp) //graph2lint:allow noalloc -- returning the pooled stack; *[]Node is already boxed by the pool's New
 }

@@ -76,6 +76,7 @@ type dangling struct {
 	kind EdgeKind
 }
 
+//graph2lint:noalloc
 func (b *builder) addNode(n cast.Node) {
 	if n == nil || b.nodeSet[n] {
 		return
@@ -84,6 +85,7 @@ func (b *builder) addNode(n cast.Node) {
 	b.nodes = append(b.nodes, n)
 }
 
+//graph2lint:noalloc
 func (b *builder) connect(outs []dangling, to cast.Node) {
 	if to == nil {
 		return
@@ -361,6 +363,7 @@ func (b *builder) forLoop(x *cast.For, ins []dangling) (first cast.Node, outs []
 	return first, outs
 }
 
+//graph2lint:noalloc
 func (b *builder) innermostLoop() *loopCtx {
 	for i := len(b.loops) - 1; i >= 0; i-- {
 		if !b.loops[i].isSwitch {
@@ -370,6 +373,7 @@ func (b *builder) innermostLoop() *loopCtx {
 	return nil
 }
 
+//graph2lint:noalloc
 func (b *builder) innermostBreakable() *loopCtx {
 	if len(b.loops) == 0 {
 		return nil
@@ -389,6 +393,8 @@ func (g *Graph) Successors(n cast.Node) []cast.Node {
 }
 
 // HasEdge reports whether g contains an edge from → to (any kind).
+//
+//graph2lint:noalloc
 func (g *Graph) HasEdge(from, to cast.Node) bool {
 	for _, e := range g.Edges {
 		if e.From == from && e.To == to {

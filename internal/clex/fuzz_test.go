@@ -1,0 +1,96 @@
+package clex
+
+import (
+	"errors"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzTokenize drives the lexer with arbitrary byte soup. Two properties
+// must hold for every input: the lexer never panics, and when it rejects
+// an input it does so with a position-carrying *Error whose coordinates
+// actually point into (or just past) the source.
+func FuzzTokenize(f *testing.F) {
+	seeds := []string{
+		"",
+		"int main() { return 0; }",
+		"for (int i = 0; i < n; i++) a[i] = b[i] + c[i];",
+		"#pragma omp parallel for reduction(+:sum)\nfor(i=0;i<n;i++) sum += a[i];",
+		"#include <stdio.h>\n#define N 100\\\n + 1\nint x = N;",
+		"/* block comment */ // line comment\nx = 1;",
+		"/* unterminated",
+		"\"unterminated string",
+		"'u",
+		"char *s = \"esc \\\" quote\"; char c = '\\n';",
+		"double d = 1.5e-3f; long l = 0xDEADBEEFul; float f = .5F;",
+		"a <<= 1; b >>= 2; c ...",
+		"x\\\n= 1;",
+		"@ $ `",
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Tokenize(src)
+		if err != nil {
+			var lexErr *Error
+			if !errors.As(err, &lexErr) {
+				t.Fatalf("lexer error is %T, not *clex.Error: %v", err, err)
+			}
+			checkPos(t, lexErr.Pos, len(src))
+			return
+		}
+		last := -1
+		for _, tok := range toks {
+			checkPos(t, tok.Pos, len(src))
+			if tok.Pos.Offset <= last {
+				t.Fatalf("token offsets not strictly increasing: %d after %d", tok.Pos.Offset, last)
+			}
+			last = tok.Pos.Offset
+			if tok.Kind != EOF && tok.Text == "" {
+				t.Fatalf("non-EOF token with empty text at %s", tok.Pos)
+			}
+		}
+	})
+}
+
+// FuzzStripComments checks the pre-processing step preserves line structure:
+// the output never has more newlines than the input and never panics.
+func FuzzStripComments(f *testing.F) {
+	for _, s := range []string{
+		"", "/* a\nb */x", "// c\nx", "\"/*not a comment*/\"", "'\\''",
+		"/* unterminated\nwith newline", "a/b",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		out := StripComments(src)
+		if countNewlines(out) > countNewlines(src) {
+			t.Fatalf("StripComments added newlines: %d -> %d", countNewlines(src), countNewlines(out))
+		}
+		if utf8.ValidString(src) && !utf8.ValidString(out) {
+			t.Fatal("StripComments corrupted valid UTF-8")
+		}
+	})
+}
+
+func countNewlines(s string) int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+func checkPos(t *testing.T, p Pos, srcLen int) {
+	t.Helper()
+	if p.Line < 1 || p.Col < 1 {
+		t.Fatalf("position %+v has unset line/col", p)
+	}
+	if p.Offset < 0 || p.Offset > srcLen {
+		t.Fatalf("position offset %d outside [0, %d]", p.Offset, srcLen)
+	}
+}

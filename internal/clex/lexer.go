@@ -17,6 +17,8 @@ type Lexer struct {
 }
 
 // New returns a lexer over src.
+//
+//graph2lint:noalloc
 func New(src string) *Lexer {
 	return &Lexer{src: src, line: 1, col: 1}
 }
@@ -42,6 +44,8 @@ func Tokenize(src string) ([]Token, error) {
 // allocation-free — the hot-path contract the pooled parser Session relies
 // on. Tokens reference substrings of src and stay valid regardless of
 // later reuse of the slice they were delivered in.
+//
+//graph2lint:noalloc
 func TokenizeInto(src string, dst []Token) ([]Token, error) {
 	lx := New(src)
 	toks := dst[:0]
@@ -107,8 +111,10 @@ func StripComments(src string) string {
 	return b.String()
 }
 
+//graph2lint:noalloc
 func (lx *Lexer) pos() Pos { return Pos{Offset: lx.off, Line: lx.line, Col: lx.col} }
 
+//graph2lint:noalloc
 func (lx *Lexer) peek() byte {
 	if lx.off >= len(lx.src) {
 		return 0
@@ -116,6 +122,7 @@ func (lx *Lexer) peek() byte {
 	return lx.src[lx.off]
 }
 
+//graph2lint:noalloc
 func (lx *Lexer) peekAt(n int) byte {
 	if lx.off+n >= len(lx.src) {
 		return 0
@@ -123,6 +130,7 @@ func (lx *Lexer) peekAt(n int) byte {
 	return lx.src[lx.off+n]
 }
 
+//graph2lint:noalloc
 func (lx *Lexer) advance() byte {
 	c := lx.src[lx.off]
 	lx.off++
@@ -135,17 +143,26 @@ func (lx *Lexer) advance() byte {
 	return c
 }
 
+//graph2lint:noalloc
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+//graph2lint:noalloc
 func isAlpha(c byte) bool {
 	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
 }
+
+//graph2lint:noalloc
 func isAlnum(c byte) bool { return isAlpha(c) || isDigit(c) }
+
+//graph2lint:noalloc
 func isSpace(c byte) bool {
 	return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v'
 }
 
 // skipWS skips whitespace and comments. An unterminated block comment is a
 // lexical error reported at the comment's opening position.
+//
+//graph2lint:noalloc
 func (lx *Lexer) skipWS() error {
 	for lx.off < len(lx.src) {
 		c := lx.peek()
@@ -186,6 +203,8 @@ func (lx *Lexer) skipWS() error {
 }
 
 // Next returns the next token, or an EOF token at end of input.
+//
+//graph2lint:noalloc
 func (lx *Lexer) Next() (Token, error) {
 	if err := lx.skipWS(); err != nil {
 		return Token{}, err
@@ -197,7 +216,7 @@ func (lx *Lexer) Next() (Token, error) {
 	c := lx.peek()
 	switch {
 	case c == '#':
-		return lx.lexDirective(start)
+		return lx.lexDirective(start) //graph2lint:allow noalloc -- preprocessor lines are rare; continuation splicing may build a fresh string
 	case isAlpha(c):
 		return lx.lexIdent(start), nil
 	case isDigit(c) || (c == '.' && isDigit(lx.peekAt(1))):
@@ -253,6 +272,7 @@ func (lx *Lexer) lexDirective(start Pos) (Token, error) {
 	return Token{Kind: kind, Text: text, Pos: start}, nil
 }
 
+//graph2lint:noalloc
 func (lx *Lexer) lexIdent(start Pos) Token {
 	begin := lx.off
 	for lx.off < len(lx.src) && isAlnum(lx.peek()) {
@@ -266,6 +286,7 @@ func (lx *Lexer) lexIdent(start Pos) Token {
 	return Token{Kind: kind, Text: text, Pos: start}
 }
 
+//graph2lint:noalloc
 func (lx *Lexer) lexNumber(start Pos) Token {
 	begin := lx.off
 	isFloat := false
@@ -319,10 +340,12 @@ done:
 	return Token{Kind: kind, Text: lx.src[begin:lx.off], Pos: start}
 }
 
+//graph2lint:noalloc
 func isHex(c byte) bool {
 	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
 }
 
+//graph2lint:noalloc
 func (lx *Lexer) lexString(start Pos) (Token, error) {
 	begin := lx.off
 	lx.advance() // opening quote
@@ -342,6 +365,7 @@ func (lx *Lexer) lexString(start Pos) (Token, error) {
 	return Token{}, &Error{Pos: start, Msg: "unterminated string literal"}
 }
 
+//graph2lint:noalloc
 func (lx *Lexer) lexChar(start Pos) (Token, error) {
 	begin := lx.off
 	lx.advance() // opening quote
@@ -379,6 +403,7 @@ func init() {
 	}
 }
 
+//graph2lint:noalloc
 func (lx *Lexer) lexPunct(start Pos) (Token, error) {
 	rest := lx.src[lx.off:]
 	for _, p := range punct3 {
@@ -400,5 +425,5 @@ func (lx *Lexer) lexPunct(start Pos) (Token, error) {
 	if s := punct1[c]; s != "" {
 		return Token{Kind: Punct, Text: s, Pos: start}, nil
 	}
-	return Token{}, &Error{Pos: start, Msg: fmt.Sprintf("unexpected character %q", c)}
+	return Token{}, &Error{Pos: start, Msg: fmt.Sprintf("unexpected character %q", c)} //graph2lint:allow noalloc -- error path: lexing has already failed
 }

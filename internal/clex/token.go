@@ -66,9 +66,13 @@ func (t Token) String() string {
 }
 
 // Is reports whether the token is a Punct with the given spelling.
+//
+//graph2lint:noalloc
 func (t Token) Is(op string) bool { return t.Kind == Punct && t.Text == op }
 
 // IsKeyword reports whether the token is the given keyword.
+//
+//graph2lint:noalloc
 func (t Token) IsKeyword(kw string) bool { return t.Kind == Keyword && t.Text == kw }
 
 // keywords of the supported C subset.
@@ -85,6 +89,8 @@ var keywords = map[string]bool{
 
 // IsTypeKeyword reports whether s is a keyword that can start a type
 // specifier in the supported subset.
+//
+//graph2lint:noalloc
 func IsTypeKeyword(s string) bool {
 	switch s {
 	case "void", "char", "short", "int", "long", "float", "double",

@@ -1,0 +1,73 @@
+package cparse
+
+import (
+	"errors"
+	"testing"
+
+	"graph2par/internal/clex"
+)
+
+// FuzzParse drives the full lex+parse front door with arbitrary input.
+// Whatever the bytes, the parser must not panic, and a rejected input
+// must fail with a position-carrying error (*cparse.Error from the
+// parser, *clex.Error from the lexer) whose coordinates are set.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"int main() { return 0; }",
+		"void f(int n, double *a) { for (int i = 0; i < n; i++) a[i] *= 2; }",
+		"#pragma omp parallel for\nfor (i = 0; i < n; i++) { s += a[i]; }",
+		"struct point { int x; int y; }; struct point p;",
+		"int a[10][20]; int *p = &a[0][0];",
+		"x = c ? f(1, 2) : g(); y = (int)d; z = sizeof(double);",
+		"do { i++; } while (i < n); while (j--) ;",
+		"switch (k) { case 1: break; default: k = 0; }",
+		"goto done; done: return;",
+		"int x = {",
+		"for (;;)",
+		"((((",
+		"int 3bad = 1;",
+		"a +",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s := NewSession()
+		file, err := s.ParseFile(src)
+		if err != nil {
+			checkPositioned(t, err)
+		} else if file == nil {
+			t.Fatal("ParseFile returned nil file and nil error")
+		}
+		// Statement and expression entry points share the token buffer the
+		// file parse grew; they must hold the same no-panic contract on a
+		// recycled session.
+		s.Reset()
+		if _, err := s.ParseStmt(src); err != nil {
+			checkPositioned(t, err)
+		}
+		s.Reset()
+		if _, err := s.ParseExpr(src); err != nil {
+			checkPositioned(t, err)
+		}
+	})
+}
+
+func checkPositioned(t *testing.T, err error) {
+	t.Helper()
+	var pos clex.Pos
+	var parseErr *Error
+	var lexErr *clex.Error
+	switch {
+	case errors.As(err, &parseErr):
+		pos = parseErr.Pos
+	case errors.As(err, &lexErr):
+		pos = lexErr.Pos
+	default:
+		t.Fatalf("error is %T, not a positioned parse/lex error: %v", err, err)
+	}
+	if pos.Line < 1 || pos.Col < 1 {
+		t.Fatalf("error carries unset position %+v: %v", pos, err)
+	}
+}

@@ -52,17 +52,22 @@ func ParseExpr(src string) (cast.Expr, error) {
 // ---------------------------------------------------------------------------
 // token helpers
 
+//graph2lint:noalloc
 func (p *parser) cur() clex.Token {
 	if p.pos < len(p.toks) {
 		return p.toks[p.pos]
 	}
-	last := clex.Pos{}
+	// Synthesize EOF at the last token's position — or at 1:1 when the
+	// input held no tokens at all, so "unexpected EOF" errors always
+	// carry a set position (pinned by FuzzParse).
+	last := clex.Pos{Line: 1, Col: 1}
 	if len(p.toks) > 0 {
 		last = p.toks[len(p.toks)-1].Pos
 	}
 	return clex.Token{Kind: clex.EOF, Pos: last}
 }
 
+//graph2lint:noalloc
 func (p *parser) at(n int) clex.Token {
 	if p.pos+n < len(p.toks) {
 		return p.toks[p.pos+n]
@@ -70,12 +75,14 @@ func (p *parser) at(n int) clex.Token {
 	return clex.Token{Kind: clex.EOF}
 }
 
+//graph2lint:noalloc
 func (p *parser) next() clex.Token {
 	t := p.cur()
 	p.pos++
 	return t
 }
 
+//graph2lint:noalloc
 func (p *parser) accept(op string) bool {
 	if p.cur().Is(op) {
 		p.pos++
@@ -84,6 +91,7 @@ func (p *parser) accept(op string) bool {
 	return false
 }
 
+//graph2lint:noalloc
 func (p *parser) acceptKw(kw string) bool {
 	if p.cur().IsKeyword(kw) {
 		p.pos++
@@ -92,13 +100,15 @@ func (p *parser) acceptKw(kw string) bool {
 	return false
 }
 
+//graph2lint:noalloc
 func (p *parser) expect(op string) error {
 	if p.accept(op) {
 		return nil
 	}
-	return p.errHere(fmt.Sprintf("expected %q, found %q", op, p.cur().Text))
+	return p.errHere(fmt.Sprintf("expected %q, found %q", op, p.cur().Text)) //graph2lint:allow noalloc -- error path: the parse has already failed
 }
 
+//graph2lint:noalloc
 func (p *parser) errHere(msg string) *Error {
 	return &Error{Pos: p.cur().Pos, Msg: msg}
 }
@@ -107,6 +117,8 @@ func (p *parser) errHere(msg string) *Error {
 // types
 
 // atType reports whether the current token can begin a type specifier.
+//
+//graph2lint:noalloc
 func (p *parser) atType() bool {
 	t := p.cur()
 	return t.Kind == clex.Keyword && clex.IsTypeKeyword(t.Text)

@@ -21,6 +21,8 @@ import (
 
 // alloc places v into the slab and returns its stable address (the
 // shared chunked bump allocator lives in internal/slab).
+//
+//graph2lint:noalloc
 func alloc[T any](s *slab.Slab[T], v T) *T {
 	p := s.Get()
 	*p = v
@@ -68,6 +70,7 @@ type astAlloc struct {
 	stringLits slab.Slab[cast.StringLit]
 }
 
+//graph2lint:noalloc
 func (a *astAlloc) reset() {
 	a.files.Reset()
 	a.structDefs.Reset()
@@ -125,6 +128,8 @@ func NewSession() *Session { return &Session{} }
 // cleared — tokens hold substrings of their source, and a stale tail
 // entry would otherwise pin an earlier request's entire source string for
 // the pool's lifetime.
+//
+//graph2lint:noalloc
 func (s *Session) Reset() {
 	s.ast.reset()
 	clear(s.toks[:cap(s.toks)])

@@ -42,6 +42,8 @@ func NewScratch() *Scratch {
 
 // Reset recycles everything the scratch has produced since the previous
 // Reset. All ASTs, graphs and encodings built through it become invalid.
+//
+//graph2lint:noalloc
 func (s *Scratch) Reset() {
 	s.Parse.Reset()
 	s.Graph.Reset()
@@ -57,6 +59,8 @@ type Pool struct {
 }
 
 // Get returns a scratch, creating one if the pool is empty.
+//
+//graph2lint:noalloc
 func (p *Pool) Get() *Scratch {
 	p.mu.Lock()
 	if n := len(p.free); n > 0 {
@@ -66,10 +70,12 @@ func (p *Pool) Get() *Scratch {
 		return s
 	}
 	p.mu.Unlock()
-	return NewScratch()
+	return NewScratch() //graph2lint:allow noalloc -- pool miss constructs the scratch the pool exists to amortize
 }
 
 // Put resets the scratch and parks it for reuse.
+//
+//graph2lint:noalloc
 func (p *Pool) Put(s *Scratch) {
 	s.Reset()
 	p.mu.Lock()

@@ -146,6 +146,8 @@ func New(cfg Config) *Model {
 func (m *Model) RNG() *tensor.RNG { return m.rng }
 
 // clampID maps out-of-vocabulary ids to the reserved <unk> slot.
+//
+//graph2lint:noalloc
 func clampID(id, n int) int {
 	if id < 0 || id >= n {
 		return 0
@@ -225,6 +227,8 @@ func (m *Model) forward(g *nn.Graph, enc *auggraph.Encoded, train bool, rng *ten
 // type; edges outside [0, EdgeTypes) are skipped by the forward pass, so
 // only this count decides between the attention path and the structural
 // fallback.
+//
+//graph2lint:noalloc
 func typedEdges(enc *auggraph.Encoded, edgeTypes int) int {
 	n := 0
 	for _, e := range enc.Edges {

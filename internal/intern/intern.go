@@ -37,11 +37,13 @@ func NewTable() *Table {
 // sources, and a long-lived table must not pin those sources in memory —
 // without the clone, every first-seen spelling would retain the entire
 // source string it points into for the lifetime of the scratch pool.
+//
+//graph2lint:noalloc
 func (t *Table) Intern(s string) Sym {
 	if id, ok := t.ids[s]; ok {
 		return id
 	}
-	s = strings.Clone(s)
+	s = strings.Clone(s) //graph2lint:allow noalloc -- first-sight spelling copy; steady-state lookups hit the map above
 	id := Sym(len(t.names))
 	t.ids[s] = id
 	t.names = append(t.names, s)
@@ -51,11 +53,13 @@ func (t *Table) Intern(s string) Sym {
 // InternBytes is Intern for a byte slice; the lookup is allocation-free
 // (the compiler's map[string(b)] optimization), and the string copy is only
 // made the first time a spelling is seen.
+//
+//graph2lint:noalloc
 func (t *Table) InternBytes(b []byte) Sym {
 	if id, ok := t.ids[string(b)]; ok {
 		return id
 	}
-	s := string(b)
+	s := string(b) //graph2lint:allow noalloc -- first-sight spelling copy; steady-state lookups hit the map above
 	id := Sym(len(t.names))
 	t.ids[s] = id
 	t.names = append(t.names, s)
@@ -63,8 +67,12 @@ func (t *Table) InternBytes(b []byte) Sym {
 }
 
 // Name returns the string a symbol stands for.
+//
+//graph2lint:noalloc
 func (t *Table) Name(id Sym) string { return t.names[id] }
 
 // Len returns the number of registered symbols (including the empty
 // string).
+//
+//graph2lint:noalloc
 func (t *Table) Len() int { return len(t.names) }

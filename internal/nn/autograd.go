@@ -67,6 +67,8 @@ func NewInferenceGraphArena(a *Arena) *Graph {
 // newNode returns a zeroed Node from the tape's slab (the arena's when
 // one is attached, so pooled tapes reuse chunks) and appends it to the
 // tape.
+//
+//graph2lint:noalloc
 func (g *Graph) newNode() *Node {
 	var n *Node
 	if g.arena != nil {
@@ -80,6 +82,8 @@ func (g *Graph) newNode() *Node {
 }
 
 // Constant introduces a value that does not require gradients.
+//
+//graph2lint:noalloc
 func (g *Graph) Constant(m *tensor.Matrix) *Node {
 	n := g.newNode()
 	n.Val = m
@@ -91,6 +95,8 @@ func (g *Graph) Constant(m *tensor.Matrix) *Node {
 // concurrent examples never write the same matrix. On an inference tape the
 // parameter joins as a constant instead. Repeated Param calls for the same
 // parameter share one gradient destination either way.
+//
+//graph2lint:noalloc
 func (g *Graph) Param(p *Param) *Node {
 	n := g.newNode()
 	n.Val = p.W
@@ -109,9 +115,11 @@ func (g *Graph) Param(p *Param) *Node {
 // alloc returns a zeroed matrix, drawn from the tape's arena when one is
 // attached (and then reclaimed by Free). The Matrix header itself comes
 // from the tape's slab.
+//
+//graph2lint:noalloc
 func (g *Graph) alloc(rows, cols int) *tensor.Matrix {
 	if g.arena == nil {
-		return tensor.New(rows, cols)
+		return tensor.New(rows, cols) //graph2lint:allow noalloc -- arena-less (detached) tape; pooled tapes take from the arena below
 	}
 	buf := g.arena.take(rows * cols)
 	g.owned = append(g.owned, buf)
@@ -123,15 +131,18 @@ func (g *Graph) alloc(rows, cols int) *tensor.Matrix {
 // allocVec returns a zeroed length-n float64 scratch vector with the same
 // arena discipline as alloc — ops use it for per-row/per-segment auxiliary
 // state that must live as long as the tape (backward closures read it).
+//
+//graph2lint:noalloc
 func (g *Graph) allocVec(n int) []float64 {
 	if g.arena == nil {
-		return make([]float64, n)
+		return make([]float64, n) //graph2lint:allow noalloc -- arena-less (detached) tape; pooled tapes take from the arena below
 	}
 	buf := g.arena.take(n)
 	g.owned = append(g.owned, buf)
 	return buf
 }
 
+//graph2lint:noalloc
 func (g *Graph) newLike(rows, cols int, needsGrad bool) *Node {
 	n := g.newNode()
 	n.Val = g.alloc(rows, cols)
@@ -146,6 +157,8 @@ func (g *Graph) newLike(rows, cols int, needsGrad bool) *Node {
 // tape's nodes. Call it only after the loss value and the gradients (which
 // live in Param.G or the worker's LocalGrads, never in arena buffers) have
 // been consumed; the Graph must not be used afterwards.
+//
+//graph2lint:noalloc
 func (g *Graph) Free() {
 	if g.arena != nil {
 		for _, buf := range g.owned {

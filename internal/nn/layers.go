@@ -106,6 +106,8 @@ func (ps *ParamSet) Register(params ...*Param) *Param {
 }
 
 // All returns the registered parameters.
+//
+//graph2lint:noalloc
 func (ps *ParamSet) All() []*Param { return ps.params }
 
 // ZeroGrad clears every gradient.

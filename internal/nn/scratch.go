@@ -52,6 +52,8 @@ func (ps *ParamSet) NewLocalGrads() *LocalGrads {
 }
 
 // Zero clears every gradient in the set.
+//
+//graph2lint:noalloc
 func (lg *LocalGrads) Zero() {
 	for _, g := range lg.grads {
 		g.Zero()
@@ -60,6 +62,8 @@ func (lg *LocalGrads) Zero() {
 
 // grad returns the local gradient matrix for p, which must be registered in
 // the ParamSet this set was built from.
+//
+//graph2lint:noalloc
 func (lg *LocalGrads) grad(p *Param) *tensor.Matrix {
 	if p.idx < 0 || p.idx >= len(lg.grads) || lg.ps.params[p.idx] != p {
 		panic("nn: LocalGrads used with a param from a different ParamSet")
@@ -73,6 +77,8 @@ func (lg *LocalGrads) grad(p *Param) *tensor.Matrix {
 // loops use minibatch example order); together with the fixed per-set
 // parameter order that pins the floating-point reduction tree, so the
 // summed gradient is byte-identical for any worker count.
+//
+//graph2lint:noalloc
 func (ps *ParamSet) Accumulate(lg *LocalGrads) {
 	if lg.ps != ps {
 		panic("nn: Accumulate with a LocalGrads from a different ParamSet")
@@ -117,6 +123,8 @@ func NewArena() *Arena { return &Arena{free: map[int][][]float64{}} }
 
 // take returns a zeroed buffer of length n, reusing a reclaimed one when
 // available.
+//
+//graph2lint:noalloc
 func (a *Arena) take(n int) []float64 {
 	if l := a.free[n]; len(l) > 0 {
 		buf := l[len(l)-1]
@@ -124,11 +132,13 @@ func (a *Arena) take(n int) []float64 {
 		a.retained -= 8 * n
 		return buf
 	}
-	return make([]float64, n)
+	return make([]float64, n) //graph2lint:allow noalloc -- free-list miss: first sighting of this shape, recycled thereafter
 }
 
 // reclaim zeroes a buffer and returns it to the free list, unless the
 // retention budget is spent (then the buffer is left to the GC).
+//
+//graph2lint:noalloc
 func (a *Arena) reclaim(buf []float64) {
 	if a.retained+8*len(buf) > arenaBudgetBytes {
 		return
@@ -181,6 +191,8 @@ func NewScratchPool(ps *ParamSet) *ScratchPool {
 }
 
 // Get returns a bundle with zeroed gradients.
+//
+//graph2lint:noalloc
 func (sp *ScratchPool) Get() *Scratch {
 	sp.mu.Lock()
 	if n := len(sp.free); n > 0 {
@@ -190,10 +202,12 @@ func (sp *ScratchPool) Get() *Scratch {
 		return s
 	}
 	sp.mu.Unlock()
-	return NewScratch(sp.ps)
+	return NewScratch(sp.ps) //graph2lint:allow noalloc -- pool miss constructs the bundle the pool exists to amortize
 }
 
 // Put zeroes the bundle's gradients and makes it available again.
+//
+//graph2lint:noalloc
 func (sp *ScratchPool) Put(s *Scratch) {
 	s.Grads.Zero()
 	sp.mu.Lock()

@@ -92,6 +92,8 @@ func (b *microBatcher) analyze(source string) ([]graph2par.LoopReport, error) {
 
 // take detaches the current batch and disarms its window timer. The
 // caller must hold b.mu.
+//
+//graph2lint:noalloc
 func (b *microBatcher) take() []*pendingAnalyze {
 	batch := b.pending
 	b.pending = nil

@@ -34,12 +34,18 @@ func FromSlice(rows, cols int, data []float64) *Matrix {
 }
 
 // At returns element (i, j).
+//
+//graph2lint:noalloc
 func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
 
 // Set assigns element (i, j).
+//
+//graph2lint:noalloc
 func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 
 // Row returns a view of row i.
+//
+//graph2lint:noalloc
 func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
 // Clone deep-copies the matrix.
@@ -50,6 +56,8 @@ func (m *Matrix) Clone() *Matrix {
 }
 
 // Zero clears all elements in place.
+//
+//graph2lint:noalloc
 func (m *Matrix) Zero() {
 	for i := range m.Data {
 		m.Data[i] = 0
@@ -72,6 +80,8 @@ type RNG struct {
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
 // Uint64 returns the next raw 64-bit value (splitmix64).
+//
+//graph2lint:noalloc
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9E3779B97F4A7C15
 	z := r.state
@@ -81,6 +91,8 @@ func (r *RNG) Uint64() uint64 {
 }
 
 // Float64 returns a uniform value in [0, 1).
+//
+//graph2lint:noalloc
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
@@ -89,6 +101,8 @@ func (r *RNG) Float64() float64 {
 // the low residues whenever n does not divide 2^64, so the non-power-of-two
 // path rejects draws from the short top band and retries; the expected
 // retry count is n/2^64 per call, i.e. effectively zero.
+//
+//graph2lint:noalloc
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("tensor: Intn with non-positive n")
@@ -110,6 +124,8 @@ func (r *RNG) Intn(n int) int {
 }
 
 // Norm returns a standard normal sample.
+//
+//graph2lint:noalloc
 func (r *RNG) Norm() float64 {
 	if r.hasSpare {
 		r.hasSpare = false
@@ -230,6 +246,8 @@ const parThreshold = 2 << 20
 // to take a closure-free serial fast path: constructing the fan-out
 // closure only when parallelRows will actually spawn workers keeps small
 // matmuls (the inference hot path) allocation-free.
+//
+//graph2lint:noalloc
 func serialRows(rows, flops int) bool {
 	w := runtime.GOMAXPROCS(0)
 	if w > rows {
@@ -270,6 +288,8 @@ func parallelRows(rows int, flops int, fn func(lo, hi int)) {
 }
 
 // MatMulInto computes out = a·b into an existing matrix.
+//
+//graph2lint:noalloc
 func MatMulInto(out, a, b *Matrix) {
 	if out.Rows != a.Rows || out.Cols != b.Cols {
 		panic("tensor: matmul output shape mismatch")
@@ -279,12 +299,14 @@ func MatMulInto(out, a, b *Matrix) {
 		matMulRange(out, a, b, 0, n)
 		return
 	}
-	parallelRows(n, n*k*m, func(lo, hi int) {
+	parallelRows(n, n*k*m, func(lo, hi int) { //graph2lint:allow noalloc -- parallel fast path: one closure + worker goroutines in exchange for all cores; the serial path above stays allocation-free
 		matMulRange(out, a, b, lo, hi)
 	})
 }
 
 // matMulRange runs the tiled out = a·b kernel over output rows [lo, hi).
+//
+//graph2lint:noalloc
 func matMulRange(out, a, b *Matrix, lo, hi int) {
 	k, m := a.Cols, b.Cols
 	for i0 := lo; i0 < hi; i0 += matMulRowBlock {
@@ -318,6 +340,8 @@ func matMulRange(out, a, b *Matrix, lo, hi int) {
 // are columns of a; splitting them across workers keeps the accumulation
 // into each element serial and in ascending-row order, exactly as the
 // p-outer serial loop ordered it.
+//
+//graph2lint:noalloc
 func MatMulATInto(out, a, b *Matrix) {
 	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
 		panic("tensor: matmulAT shape mismatch")
@@ -327,12 +351,14 @@ func MatMulATInto(out, a, b *Matrix) {
 		matMulATRange(out, a, b, 0, k)
 		return
 	}
-	parallelRows(k, n*k*m, func(lo, hi int) {
+	parallelRows(k, n*k*m, func(lo, hi int) { //graph2lint:allow noalloc -- parallel fast path: one closure + worker goroutines in exchange for all cores; the serial path above stays allocation-free
 		matMulATRange(out, a, b, lo, hi)
 	})
 }
 
 // matMulATRange runs the out += aᵀ·b kernel over output rows [lo, hi).
+//
+//graph2lint:noalloc
 func matMulATRange(out, a, b *Matrix, lo, hi int) {
 	n, k, m := a.Rows, a.Cols, b.Cols
 	for p := 0; p < n; p++ {
@@ -352,6 +378,8 @@ func matMulATRange(out, a, b *Matrix, lo, hi int) {
 }
 
 // MatMulBTInto computes out += a·bᵀ (used by backward passes).
+//
+//graph2lint:noalloc
 func MatMulBTInto(out, a, b *Matrix) {
 	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
 		panic("tensor: matmulBT shape mismatch")
@@ -361,12 +389,14 @@ func MatMulBTInto(out, a, b *Matrix) {
 		matMulBTRange(out, a, b, 0, n)
 		return
 	}
-	parallelRows(n, n*k*m, func(lo, hi int) {
+	parallelRows(n, n*k*m, func(lo, hi int) { //graph2lint:allow noalloc -- parallel fast path: one closure + worker goroutines in exchange for all cores; the serial path above stays allocation-free
 		matMulBTRange(out, a, b, lo, hi)
 	})
 }
 
 // matMulBTRange runs the out += a·bᵀ kernel over output rows [lo, hi).
+//
+//graph2lint:noalloc
 func matMulBTRange(out, a, b *Matrix, lo, hi int) {
 	k, m := a.Cols, b.Rows
 	for i := lo; i < hi; i++ {
@@ -384,6 +414,8 @@ func matMulBTRange(out, a, b *Matrix, lo, hi int) {
 }
 
 // AddInPlace computes a += b.
+//
+//graph2lint:noalloc
 func AddInPlace(a, b *Matrix) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		panic("tensor: add shape mismatch")
@@ -394,6 +426,8 @@ func AddInPlace(a, b *Matrix) {
 }
 
 // Scale multiplies every element by s in place.
+//
+//graph2lint:noalloc
 func (m *Matrix) Scale(s float64) *Matrix {
 	for i := range m.Data {
 		m.Data[i] *= s
@@ -402,6 +436,8 @@ func (m *Matrix) Scale(s float64) *Matrix {
 }
 
 // SoftmaxRows applies a numerically stable softmax to each row in place.
+//
+//graph2lint:noalloc
 func SoftmaxRows(m *Matrix) {
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)

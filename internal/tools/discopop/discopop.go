@@ -82,6 +82,7 @@ type aggState struct {
 	aggs slab.Slab[addrAgg]
 }
 
+//graph2lint:noalloc
 func (st *aggState) alloc() *addrAgg { return st.aggs.Get() }
 
 func (st *aggState) reset() {

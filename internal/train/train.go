@@ -23,6 +23,8 @@ import (
 type LabelFunc func(*dataset.Sample) int
 
 // ParallelLabel is the pragma-existence task of Tables 2–4.
+//
+//graph2lint:noalloc
 func ParallelLabel(s *dataset.Sample) int {
 	if s.Parallel {
 		return 1
@@ -193,6 +195,7 @@ func snapshotWeights(ps *nn.ParamSet) [][]float64 {
 	return out
 }
 
+//graph2lint:noalloc
 func restoreWeights(ps *nn.ParamSet, weights [][]float64) {
 	for i, p := range ps.All() {
 		copy(p.W.Data, weights[i])
