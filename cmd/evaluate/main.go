@@ -31,6 +31,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for the per-sample sweeps (0 = GOMAXPROCS)")
 	trainWorkers := flag.Int("train-workers", 0, "data-parallel training workers (0 = GOMAXPROCS); any value trains bit-identically")
 	all := flag.Bool("all", false, "run everything")
+	verifier := flag.Bool("verifier", false, "run the static-verifier agreement/precision report")
 	ablations := flag.Bool("ablations", false, "run the DESIGN.md ablations")
 	appendix := flag.Bool("appendix", false, "run the appendix training-dynamics report")
 	verbose := flag.Bool("v", false, "per-epoch training loss")
@@ -76,6 +77,7 @@ func main() {
 	runIf(*all || *table == 4, "table 4", func() string { return suite.Table4().Format() })
 	runIf(*all || *table == 5, "table 5", func() string { return suite.Table5().Format() })
 	runIf(*all, "overhead (6.5)", func() string { return suite.Overhead().Format() })
+	runIf(*all || *verifier, "static verifier", func() string { return suite.Verifier().Format() })
 	runIf(*all, "case study (6.6)", func() string { return suite.CaseStudy().Format() })
 	runIf(*ablations, "ablation edges", func() string { return suite.AblationEdges().Format() })
 	runIf(*ablations, "ablation heterogeneity", func() string { return suite.AblationHeterogeneity().Format() })

@@ -28,6 +28,7 @@ func main() {
 	seed := flag.Uint64("seed", 1234, "training seed")
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 	trainWorkers := flag.Int("train-workers", 0, "data-parallel training workers (0 = GOMAXPROCS); any value trains bit-identically")
+	doVerify := flag.Bool("verify", false, "statically verify every suggested pragma and print the verdict")
 	dotDir := flag.String("dot", "", "write one Graphviz .dot file per loop to this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run (training + analysis) to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -57,6 +58,7 @@ func main() {
 		Seed:         *seed,
 		Workers:      *workers,
 		TrainWorkers: *trainWorkers,
+		Verify:       *doVerify,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graph2par:", err)

@@ -46,6 +46,7 @@ func main() {
 	batchSize := flag.Int("batch", 0, "inference batch size: loops per HGT forward pass (0 = default, 1 disables)")
 	batchWindow := flag.Duration("batch-window", 0, "micro-batch window: coalesce concurrent /analyze requests arriving within this duration into shared forward passes (0 disables)")
 	maxBatch := flag.Int("max-batch", 0, "max requests coalesced per micro-batch window (0 = default)")
+	doVerify := flag.Bool("verify", false, "statically verify every suggested pragma; verdicts ride the response reports")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/ (off by default; enable only on trusted networks)")
 	quiet := flag.Bool("quiet", false, "suppress the training progress line")
 	flag.Parse()
@@ -60,6 +61,7 @@ func main() {
 		CacheSize:    *cacheSize,
 		BatchSize:    *batchSize,
 		Quiet:        *quiet,
+		Verify:       *doVerify,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graph2serve:", err)

@@ -1,6 +1,8 @@
 // Toolcompare reproduces the paper's section 2 motivation: it runs the
 // reimplemented autoPar, PLUTO and DiscoPoP on the paper's Listings 1-8 and
-// prints which tool misses which loop, and why.
+// prints which tool misses which loop, and why — plus, as a fourth column,
+// this repo's static pragma-safety verifier (internal/verify in derive
+// mode), showing where pure static reasoning lands between the tools.
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"graph2par/internal/tools/autopar"
 	"graph2par/internal/tools/discopop"
 	"graph2par/internal/tools/pluto"
+	"graph2par/internal/tools/staticverify"
 )
 
 // Each listing is embedded in a minimal runnable program so the dynamic
@@ -98,7 +101,7 @@ int main() {
 }
 
 func main() {
-	kit := []tools.Tool{autopar.New(), pluto.New(), discopop.New()}
+	kit := []tools.Tool{autopar.New(), pluto.New(), discopop.New(), staticverify.New()}
 	fmt.Println("Paper section 2: what the algorithm-based tools miss")
 	fmt.Println("(every loop below is genuinely parallel)")
 	fmt.Println()
@@ -117,7 +120,7 @@ func main() {
 			} else if v.Parallel {
 				verdict = "detects"
 			}
-			fmt.Printf("  %-9s %-15s %s\n", tool.Name(), verdict, v.Reason)
+			fmt.Printf("  %-12s %-15s %s\n", tool.Name(), verdict, v.Reason)
 		}
 		fmt.Println()
 	}

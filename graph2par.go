@@ -25,6 +25,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"graph2par/internal/auggraph"
 	"graph2par/internal/cache"
@@ -39,6 +40,7 @@ import (
 	"graph2par/internal/tools/discopop"
 	"graph2par/internal/tools/pluto"
 	"graph2par/internal/train"
+	"graph2par/internal/verify"
 )
 
 // EngineConfig controls engine construction.
@@ -80,6 +82,12 @@ type EngineConfig struct {
 	// DefaultBatchSize; 1 disables batching (one forward pass per loop,
 	// the pre-batching behaviour).
 	BatchSize int
+	// Verify enables the post-inference static verification stage: every
+	// suggested pragma is re-checked by internal/verify's flow-sensitive
+	// analyses and the verdict (safe / unknown / unsafe, with reasons and
+	// positions) is attached to the report — and cached alongside it, since
+	// the content-addressed key already fingerprints every verdict input.
+	Verify bool
 }
 
 // DefaultBatchSize is the inference batch bound used when
@@ -108,6 +116,13 @@ type Engine struct {
 	// never serve results computed by a different model.
 	cache       *cache.Cache[LoopReport]
 	fingerprint string
+
+	// verify gates the static pragma-safety stage; vstats counts issued
+	// verdicts per level. The counters are held by pointer for the same
+	// reason fe is: benchmarks copy an Engine to retune knobs, and a copied
+	// atomic counter would silently fork the tally.
+	verify bool
+	vstats *verifyStats
 
 	// fe recycles per-worker front-end scratches (token buffers, AST
 	// slabs, graph and encoding storage, symbol tables) across Analyze*
@@ -151,6 +166,9 @@ type LoopReport struct {
 	GraphStats string
 	// DOT is the Graphviz rendering of the loop's aug-AST.
 	DOT string
+	// Verdict is the static verifier's ruling on Suggestion (nil when
+	// verification is disabled or the loop is not predicted parallel).
+	Verdict *verify.Verdict
 }
 
 // NewEngine builds an engine: either loading ModelPath or training a fresh
@@ -160,6 +178,8 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		tools:   []tools.Tool{autopar.New(), pluto.New(), discopop.New()},
 		workers: parallel.Workers(cfg.Workers),
 		fe:      &frontend.Pool{},
+		verify:  cfg.Verify,
+		vstats:  &verifyStats{},
 	}
 	e.SetBatchSize(cfg.BatchSize)
 	if cfg.ModelPath != "" {
@@ -246,6 +266,55 @@ func (e *Engine) CacheStats() (st cache.Stats, ok bool) {
 	return e.cache.Stats(), true
 }
 
+// verifyStats tallies issued verdicts per lattice level. Counters are
+// atomic because finishLoop runs concurrently across the worker pool.
+type verifyStats struct {
+	safe    atomic.Uint64
+	unknown atomic.Uint64
+	unsafe  atomic.Uint64
+}
+
+func (s *verifyStats) count(l verify.Level) {
+	switch l {
+	case verify.Safe:
+		s.safe.Add(1)
+	case verify.Unknown:
+		s.unknown.Add(1)
+	case verify.Unsafe:
+		s.unsafe.Add(1)
+	}
+}
+
+// VerifyStats is a snapshot of the verdicts issued so far, keyed by level.
+type VerifyStats struct {
+	Safe    uint64
+	Unknown uint64
+	Unsafe  uint64
+}
+
+// SetVerify toggles the static verification stage. It must not be called
+// concurrently with Analyze* methods. Note that with caching enabled a
+// report computed while verification was off (and therefore carrying no
+// verdict) can be served from the cache afterwards; flip the stage before
+// the first request, or call SetCacheSize to drop stale entries.
+func (e *Engine) SetVerify(on bool) { e.verify = on }
+
+// VerifyEnabled reports whether suggestions are statically verified.
+func (e *Engine) VerifyEnabled() bool { return e.verify }
+
+// VerifyStats returns the issued-verdict counters; ok is false when the
+// verification stage is disabled.
+func (e *Engine) VerifyStats() (st VerifyStats, ok bool) {
+	if !e.verify {
+		return VerifyStats{}, false
+	}
+	return VerifyStats{
+		Safe:    e.vstats.safe.Load(),
+		Unknown: e.vstats.unknown.Load(),
+		Unsafe:  e.vstats.unsafe.Load(),
+	}, true
+}
+
 // modelFingerprint hashes everything the analysis result depends on
 // besides the input source: hyperparameters, every weight matrix, the
 // vocabulary tables and the graph options. Folding it into each cache key
@@ -306,6 +375,13 @@ func cloneReport(r LoopReport) LoopReport {
 	}
 	if r.Tools != nil {
 		r.Tools = append([]ToolVerdict(nil), r.Tools...)
+	}
+	if r.Verdict != nil {
+		v := *r.Verdict
+		if v.Findings != nil {
+			v.Findings = append([]verify.Finding(nil), v.Findings...)
+		}
+		r.Verdict = &v
 	}
 	return r
 }
@@ -655,6 +731,15 @@ func (e *Engine) finishLoop(job loopJob, g *auggraph.Graph, key string, pred int
 	if report.Parallel {
 		report.Categories = classifyCategories(loop)
 		report.Suggestion = buildSuggestion(loop, report.Categories)
+		if e.verify {
+			// Static re-check of the suggestion just built. The verdict is
+			// cached with the report below: the cache key already covers the
+			// file content and loop source (every verify input), so a cached
+			// verdict can never go stale relative to its loop.
+			v := verify.Verify(verify.Request{Loop: loop, File: file, Pragma: report.Suggestion})
+			report.Verdict = &v
+			e.vstats.count(v.Level)
+		}
 	}
 	for _, tool := range e.tools {
 		v := tool.Analyze(tools.Sample{
@@ -711,6 +796,13 @@ func (r *LoopReport) Format() string {
 	out := fmt.Sprintf("loop at line %d: %s (confidence %.2f)\n", r.Line, verdict, r.Confidence)
 	if r.Suggestion != "" {
 		out += "  suggestion: " + r.Suggestion + "\n"
+	}
+	if r.Verdict != nil {
+		out += "  verify:    " + r.Verdict.Level.String()
+		if r.Verdict.Reason != "" {
+			out += " — " + r.Verdict.Reason
+		}
+		out += "\n"
 	}
 	for _, tv := range r.Tools {
 		state := "not parallel"

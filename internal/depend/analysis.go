@@ -20,9 +20,16 @@ type ArrayDep struct {
 func AnalyzeArrays(body cast.Stmt, iv string) []ArrayDep {
 	accesses := CollectAccesses(body)
 	byBase := map[string][]Access{}
+	inCall := map[string]bool{}
 	var order []string
 	for _, a := range accesses {
 		if len(a.Subscripts) == 0 {
+			if a.InCall {
+				// A bare identifier passed to a call: if the name is also
+				// subscripted in the body it is an array escaping into
+				// unknown code, which may read or write any element.
+				inCall[a.Base] = true
+			}
 			continue
 		}
 		if _, ok := byBase[a.Base]; !ok {
@@ -39,6 +46,16 @@ func AnalyzeArrays(body cast.Stmt, iv string) []ArrayDep {
 			if a.Write {
 				hasWrite = true
 			}
+		}
+		if inCall[base] {
+			// The callee may touch any element in any iteration; even a
+			// syntactically read-only array can be written behind the call.
+			deps = append(deps, ArrayDep{
+				Base:   base,
+				Why:    base + ": escapes into a function call",
+				Result: Dependent,
+			})
+			continue
 		}
 		if !hasWrite {
 			continue // read-only array: no dependence
@@ -98,7 +115,7 @@ func analyzeBase(base string, accs []Access, iv string) *ArrayDep {
 				r = Dependent
 				why = fmt.Sprintf("%s: mixed dimensionality", base)
 			default:
-				r = testVectors(a.forms, b.forms, iv)
+				r = TestSubscriptVectors(a.forms, b.forms, iv)
 				if r == Dependent {
 					why = fmt.Sprintf("%s: possible cross-iteration overlap", base)
 				}
@@ -114,13 +131,16 @@ func analyzeBase(base string, accs []Access, iv string) *ArrayDep {
 	return nil
 }
 
-// testVectors applies the per-dimension test. A dependence requires the
-// subscripts to coincide in EVERY dimension for some iteration pair
-// (i1, i2): one Independent dimension rules it out entirely, and one
-// SameIteration dimension (coincidence only when i1 == i2) confines any
-// overlap to within an iteration — so a[i][j] written under an outer i-loop
-// carries no cross-i dependence regardless of the j dimension.
-func testVectors(f, g []Affine, iv string) DependenceResult {
+// TestSubscriptVectors applies the per-dimension pair test to two equal-
+// length subscript vectors of the same (or an as-if-aliased) array. A
+// dependence requires the subscripts to coincide in EVERY dimension for
+// some iteration pair (i1, i2): one Independent dimension rules it out
+// entirely, and one SameIteration dimension (coincidence only when
+// i1 == i2) confines any overlap to within an iteration — so a[i][j]
+// written under an outer i-loop carries no cross-i dependence regardless
+// of the j dimension. The verifier's alias check reuses this for pairs of
+// distinct pointer parameters treated as one array.
+func TestSubscriptVectors(f, g []Affine, iv string) DependenceResult {
 	anySame := false
 	for d := range f {
 		switch TestSubscriptPair(f[d], g[d], iv) {

@@ -328,8 +328,8 @@ func (c *collector) expr(e cast.Expr, write bool) {
 			c.expr(x.X, false) // reads the old value first
 			c.expr(x.X, true)
 		case "*":
-			// pointer dereference: read+possible alias, conservative
-			c.exprPtr(x.X)
+			// pointer dereference: possible alias, conservative
+			c.exprPtr(x.X, write)
 		case "&":
 			c.expr(x.X, false)
 		default:
@@ -375,11 +375,12 @@ func (c *collector) expr(e cast.Expr, write bool) {
 	}
 }
 
-func (c *collector) exprPtr(e cast.Expr) {
-	// A *p access: record as a pointer access on the base identifier.
+func (c *collector) exprPtr(e cast.Expr, write bool) {
+	// A *p access: record as a pointer access on the base identifier,
+	// keeping the write flag — `*p = v` stores through p.
 	if id, ok := e.(*cast.Ident); ok {
 		c.accesses = append(c.accesses, Access{
-			Base: id.Name, Write: false, ViaPointer: true,
+			Base: id.Name, Write: write, ViaPointer: true,
 			InCall: c.inCall > 0, Conditional: c.cond > 0, Node: id,
 		})
 		return

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"graph2par/internal/metrics"
+	"graph2par/internal/tools/staticverify"
+	"graph2par/internal/verify"
+)
+
+// ---------------------------------------------------------------------------
+// Static-verifier evaluation — not a paper table: the verifier is this
+// repo's addition on top of Graph2Par, and this harness answers the two
+// questions that matter for it. Is the verdict lattice calibrated
+// (precision/recall of "safe" against ground truth — Safe should be nearly
+// always right, at the cost of recall), and how often does the purely
+// static verdict agree with each algorithm-based comparator, DiscoPoP in
+// particular (the paper's strongest tool, and the only dynamic one).
+
+// VerifierAgreement summarizes the verifier against one comparator tool
+// over the samples that tool can process.
+type VerifierAgreement struct {
+	ToolName string
+	Compared int // samples the tool could process
+	Agree    int // identical parallel/not-parallel calls
+	// OnlyVerifier / OnlyTool split the disagreements by which side said
+	// parallel.
+	OnlyVerifier int
+	OnlyTool     int
+}
+
+// AgreementRate is Agree/Compared (0 when nothing was comparable).
+func (a *VerifierAgreement) AgreementRate() float64 {
+	if a.Compared == 0 {
+		return 0
+	}
+	return float64(a.Agree) / float64(a.Compared)
+}
+
+// VerifierResult is the static-verifier evaluation over the full corpus.
+type VerifierResult struct {
+	Total int
+	// ByLevel counts verdicts per lattice level, keyed by the canonical
+	// verify.Level strings.
+	ByLevel map[string]int
+	// Confusion scores "verdict == safe" as a parallelism detector
+	// against ground truth: its precision is the verifier's headline
+	// guarantee (a safe verdict must not be wrong), its recall is the
+	// price of conservatism.
+	Confusion *metrics.Confusion
+	// Agreements compares the verifier with every comparator tool of the
+	// suite, in suite order (DiscoPoP last, as in the paper's tables).
+	Agreements []VerifierAgreement
+}
+
+// Verifier runs the static verifier over the whole corpus (through the
+// same cached RunTool path as the comparators) and scores it.
+func (st *Suite) Verifier() *VerifierResult {
+	vv := st.RunTool(staticverify.New())
+	res := &VerifierResult{
+		Total:     len(st.Corpus.Samples),
+		ByLevel:   map[string]int{},
+		Confusion: &metrics.Confusion{},
+	}
+	for _, l := range []verify.Level{verify.Safe, verify.Unknown, verify.Unsafe} {
+		res.ByLevel[l.String()] = 0
+	}
+	for i, v := range vv {
+		res.ByLevel[v.Level]++
+		res.Confusion.Add(v.Parallel, st.Corpus.Samples[i].Parallel)
+	}
+	for _, tool := range st.Tools {
+		ts := st.RunTool(tool)
+		agr := VerifierAgreement{ToolName: tool.Name()}
+		for i, tv := range ts {
+			if !tv.Processable {
+				continue
+			}
+			agr.Compared++
+			switch {
+			case vv[i].Parallel == tv.Parallel:
+				agr.Agree++
+			case vv[i].Parallel:
+				agr.OnlyVerifier++
+			default:
+				agr.OnlyTool++
+			}
+		}
+		res.Agreements = append(res.Agreements, agr)
+	}
+	return res
+}
+
+// Format renders the evaluation block.
+func (r *VerifierResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Static verifier: verdicts over %d loops\n", r.Total)
+	b.WriteString(row("Level", "#loops") + "\n")
+	for _, l := range []verify.Level{verify.Safe, verify.Unknown, verify.Unsafe} {
+		fmt.Fprintf(&b, "%s\t%d\n", l.String(), r.ByLevel[l.String()])
+	}
+	c := r.Confusion
+	fmt.Fprintf(&b, "safe-as-parallel vs ground truth: TP=%d TN=%d FP=%d FN=%d P%%=%s R%%=%s F1%%=%s\n",
+		c.TP, c.TN, c.FP, c.FN, pct(c.Precision()), pct(c.Recall()), pct(c.F1()))
+	b.WriteString(row("Tool", "compared", "agree", "agree%", "only-verifier", "only-tool") + "\n")
+	for _, a := range r.Agreements {
+		fmt.Fprintf(&b, "%s\t%d\t%d\t%s\t%d\t%d\n",
+			a.ToolName, a.Compared, a.Agree, pct(a.AgreementRate()), a.OnlyVerifier, a.OnlyTool)
+	}
+	return b.String()
+}

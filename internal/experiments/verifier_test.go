@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerifierReport(t *testing.T) {
+	st := testSuite(t)
+	res := st.Verifier()
+
+	if res.Total != len(st.Corpus.Samples) {
+		t.Fatalf("total = %d, corpus has %d", res.Total, len(st.Corpus.Samples))
+	}
+	levelSum := 0
+	for _, l := range []string{"safe", "unknown", "unsafe"} {
+		if _, ok := res.ByLevel[l]; !ok {
+			t.Errorf("ByLevel missing %q", l)
+		}
+		levelSum += res.ByLevel[l]
+	}
+	if levelSum != res.Total {
+		t.Errorf("level counts sum to %d of %d loops", levelSum, res.Total)
+	}
+	if res.Confusion.Total() != res.Total {
+		t.Errorf("confusion covers %d of %d loops", res.Confusion.Total(), res.Total)
+	}
+
+	// The suite's comparator set is pinned at 3 tools elsewhere; the
+	// verifier must report agreement against each without joining it.
+	if len(res.Agreements) != len(st.Tools) {
+		t.Fatalf("agreements = %d, tools = %d", len(res.Agreements), len(st.Tools))
+	}
+	sawDiscoPoP := false
+	for _, a := range res.Agreements {
+		if a.ToolName == "DiscoPoP" {
+			sawDiscoPoP = true
+		}
+		if a.Agree+a.OnlyVerifier+a.OnlyTool != a.Compared {
+			t.Errorf("%s: %d+%d+%d != compared %d",
+				a.ToolName, a.Agree, a.OnlyVerifier, a.OnlyTool, a.Compared)
+		}
+		if r := a.AgreementRate(); r < 0 || r > 1 {
+			t.Errorf("%s: agreement rate %v out of range", a.ToolName, r)
+		}
+	}
+	if !sawDiscoPoP {
+		t.Error("no DiscoPoP agreement row")
+	}
+
+	// The verifier's headline property: on this corpus a safe verdict
+	// implies an actually-parallel loop far more reliably than chance —
+	// conservatism trades recall for precision.
+	if res.Confusion.TP+res.Confusion.FP > 0 && res.Confusion.Precision() < res.Confusion.Recall() {
+		t.Logf("note: precision %.2f < recall %.2f (tiny corpus)",
+			res.Confusion.Precision(), res.Confusion.Recall())
+	}
+
+	out := res.Format()
+	for _, want := range []string{"Static verifier", "safe", "DiscoPoP", "agree%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+
+	// RunTool caching must make the second run cheap and identical.
+	again := st.Verifier()
+	if again.Total != res.Total || again.ByLevel["safe"] != res.ByLevel["safe"] {
+		t.Error("second Verifier() run disagrees with the first")
+	}
+}

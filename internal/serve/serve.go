@@ -260,6 +260,17 @@ type statsResponse struct {
 	Requests      reqStats      `json:"requests"`
 	Cache         cacheStats    `json:"cache"`
 	Batching      batchingStats `json:"batching"`
+	Verify        verifyInfo    `json:"verify"`
+}
+
+// verifyInfo reports the static verification stage: whether suggestions
+// carry verdicts, and how many of each lattice level have been issued
+// (cache hits replay their stored verdict without re-counting).
+type verifyInfo struct {
+	Enabled bool   `json:"enabled"`
+	Safe    uint64 `json:"safe"`
+	Unknown uint64 `json:"unknown"`
+	Unsafe  uint64 `json:"unsafe"`
 }
 
 // batchingStats reports whether request coalescing is actually happening:
@@ -308,6 +319,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Cache = cacheStats{
 			Enabled: true, Capacity: st.Capacity, Entries: st.Entries,
 			Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
+		}
+	}
+	if st, ok := s.engine.VerifyStats(); ok {
+		resp.Verify = verifyInfo{
+			Enabled: true, Safe: st.Safe, Unknown: st.Unknown, Unsafe: st.Unsafe,
 		}
 	}
 	if s.batcher != nil {

@@ -1,0 +1,99 @@
+package staticverify
+
+import (
+	"strings"
+	"testing"
+
+	"graph2par/internal/cast"
+	"graph2par/internal/cparse"
+	"graph2par/internal/tools"
+	"graph2par/internal/verify"
+)
+
+// analyze parses src and runs the adapter on its first loop.
+func analyze(t *testing.T, src string) tools.Verdict {
+	t.Helper()
+	file, err := cparse.ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loop cast.Stmt
+	for _, fn := range file.Funcs {
+		cast.Walk(fn.Body, func(n cast.Node) bool {
+			if loop != nil {
+				return false
+			}
+			switch n.(type) {
+			case *cast.For, *cast.While:
+				loop = n.(cast.Stmt)
+			}
+			return true
+		})
+	}
+	if loop == nil {
+		t.Fatal("no loop found")
+	}
+	return New().Analyze(tools.Sample{Loop: loop, File: file, Compilable: true, Runnable: true})
+}
+
+func TestSafeLoopIsParallel(t *testing.T) {
+	v := analyze(t, `void f(int n, double a[]) {
+		for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; }
+	}`)
+	if !v.Processable || !v.Parallel {
+		t.Fatalf("verdict: %+v", v)
+	}
+	if v.Level != verify.Safe.String() {
+		t.Errorf("level %q, want the canonical safe encoding %q", v.Level, verify.Safe.String())
+	}
+	if !strings.HasPrefix(v.Reason, "StaticVerify: safe") {
+		t.Errorf("reason %q", v.Reason)
+	}
+}
+
+func TestUnsafeAndUnknownMapToNotParallel(t *testing.T) {
+	v := analyze(t, `void f(int n, double a[]) {
+		for (int i = 1; i < n; i++) { a[i] = a[i - 1]; }
+	}`)
+	if !v.Processable || v.Parallel || v.Level != verify.Unsafe.String() {
+		t.Fatalf("recurrence verdict: %+v", v)
+	}
+	if !strings.Contains(v.Reason, "StaticVerify: unsafe") {
+		t.Errorf("reason %q", v.Reason)
+	}
+
+	// The lattice maps conservatively: Unknown is NOT parallel.
+	v = analyze(t, `void f(int n, double a[]) {
+		for (int i = 0; i < n; i++) { a[i] = ext(a[i]); }
+	}`)
+	if v.Parallel || v.Level != verify.Unknown.String() {
+		t.Fatalf("unknown-call verdict: %+v", v)
+	}
+}
+
+func TestClauseLists(t *testing.T) {
+	v := analyze(t, `double f(int n, double a[], double b[], double t) {
+		double s = 0;
+		for (int i = 0; i < n; i++) {
+			t = a[i] + 1.0;
+			b[i] = t;
+			s += a[i];
+		}
+		return s;
+	}`)
+	if v.Reductions["s"] != "+" {
+		t.Errorf("reductions = %v, want s:+", v.Reductions)
+	}
+	if len(v.Private) != 1 || v.Private[0] != "t" {
+		t.Errorf("private = %v, want [t]", v.Private)
+	}
+}
+
+func TestWhileUnprocessableLattice(t *testing.T) {
+	// A while loop is still processable — the verifier always has an
+	// answer — it is just never safe.
+	v := analyze(t, `void f(int n) { int i = 0; while (i < n) { i++; } }`)
+	if !v.Processable || v.Parallel || v.Level != verify.Unsafe.String() {
+		t.Fatalf("while verdict: %+v", v)
+	}
+}

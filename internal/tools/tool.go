@@ -38,6 +38,12 @@ type Verdict struct {
 	Reductions map[string]string
 	// Private lists scalars the tool would place in a private clause.
 	Private []string
+	// Level is the verdict's safety-lattice level in the canonical
+	// verify.Level encoding ("safe" / "unknown" / "unsafe"). Only the
+	// static verifier adapter sets it; the classic comparators leave it
+	// empty. Kept a plain string so this package needs no verify import,
+	// with the single source of truth being verify.Level.String().
+	Level string
 	// Reason explains the decision, for diagnostics and the case study.
 	Reason string
 }

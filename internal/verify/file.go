@@ -1,0 +1,70 @@
+package verify
+
+import (
+	"sort"
+	"strings"
+
+	"graph2par/internal/cast"
+	"graph2par/internal/cparse"
+)
+
+// LoopVerdict pairs one loop of a translation unit with its verdict: the
+// unit of the graph2verify CLI output and of the golden-verdict corpus.
+// Loops carrying a source pragma are verified against it; bare loops are
+// verified in derive mode (could ANY parallel for legally land here).
+type LoopVerdict struct {
+	File    string  `json:"file,omitempty"`
+	Line    int     `json:"line"`
+	Func    string  `json:"func,omitempty"`
+	Kind    string  `json:"kind"`
+	Pragma  string  `json:"pragma,omitempty"`
+	Verdict Verdict `json:"verdict"`
+}
+
+// VerifyFile verifies every for/while loop of a parsed translation unit
+// (the same loop set the engine analyzes), sorted by source line.
+func VerifyFile(file *cast.File) []LoopVerdict {
+	return VerifyFileWith(file, Checks())
+}
+
+// VerifyFileWith is VerifyFile restricted to a chosen check subset.
+func VerifyFileWith(file *cast.File, checks []*Check) []LoopVerdict {
+	var out []LoopVerdict
+	for _, fn := range file.Funcs {
+		if fn.Body == nil {
+			continue
+		}
+		fname := fn.Name
+		cast.Walk(fn.Body, func(n cast.Node) bool {
+			var loop cast.Stmt
+			var prag string
+			switch l := n.(type) {
+			case *cast.For:
+				loop, prag = l, l.Pragma
+			case *cast.While:
+				loop, prag = l, l.Pragma
+			default:
+				return true
+			}
+			out = append(out, LoopVerdict{
+				Line:    loop.Pos().Line,
+				Func:    fname,
+				Kind:    loop.Kind(),
+				Pragma:  strings.TrimSpace(prag),
+				Verdict: VerifyWith(Request{Loop: loop, File: file, Pragma: prag}, checks),
+			})
+			return true
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Line < out[j].Line })
+	return out
+}
+
+// VerifySource parses one C source and verifies its loops.
+func VerifySource(src string) ([]LoopVerdict, error) {
+	file, err := cparse.ParseFile(src)
+	if err != nil {
+		return nil, err
+	}
+	return VerifyFile(file), nil
+}

@@ -1,0 +1,45 @@
+package verify
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzVerify feeds arbitrary C sources through the full parse+verify
+// pipeline. The properties under test: never panic, and the verdict for a
+// given input is deterministic (two independent runs produce byte-identical
+// JSON).
+func FuzzVerify(f *testing.F) {
+	f.Add(`void f(int n, double a[]) { for (int i = 0; i < n; i++) { a[i] = a[i] + 1; } }`)
+	f.Add(`void f(int n, double a[]) { for (int i = 1; i < n; i++) { a[i] = a[i-1]; } }`)
+	f.Add("double s(int n, double a[]) {\n  double t = 0;\n  #pragma omp parallel for reduction(+:t)\n  for (int i = 0; i < n; i++) t += a[i];\n  return t;\n}")
+	f.Add(`void f() { while (1) { break; } }`)
+	f.Add(`int g(int x) { return g(x - 1); } void f(int n, int a[]) { for (int i = 0; i < n; i++) a[i] = g(i); }`)
+	f.Add(`#pragma omp parallel for private(q) ordered`)
+	f.Fuzz(func(t *testing.T, src string) {
+		vs, err := VerifySource(src)
+		if err != nil {
+			return // unparseable input: nothing to verify
+		}
+		b1, err := json.Marshal(vs)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		vs2, err := VerifySource(src)
+		if err != nil {
+			t.Fatalf("second parse failed where first succeeded: %v", err)
+		}
+		b2, err := json.Marshal(vs2)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if string(b1) != string(b2) {
+			t.Fatalf("nondeterministic verdict for %q:\n%s\n--- vs ---\n%s", src, b1, b2)
+		}
+		for _, v := range vs {
+			if v.Verdict.Level != Safe && v.Verdict.Level != Unknown && v.Verdict.Level != Unsafe {
+				t.Fatalf("verdict outside the lattice: %+v", v)
+			}
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package verify
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"graph2par/internal/cparse"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/examples_golden.json from the current corpus")
+
+// TestExamplesGolden pins a verdict for every loop of the examples/c
+// corpus. The golden file is byte-identical to
+// `graph2verify -json examples/c` run from the repo root, which is what
+// the CI lint job diffs it against; regenerate with `go test -update`
+// after an intentional verifier change.
+func TestExamplesGolden(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "c")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []LoopVerdict
+	files := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".c") {
+			continue
+		}
+		files++
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		file, err := cparse.ParseFile(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		vs := VerifyFile(file)
+		for i := range vs {
+			vs[i].File = "examples/c/" + e.Name()
+		}
+		all = append(all, vs...)
+	}
+	if files < 10 {
+		t.Fatalf("corpus shrank to %d files; the golden gate needs the full verdict spectrum", files)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].File != all[j].File {
+			return all[i].File < all[j].File
+		}
+		return all[i].Line < all[j].Line
+	})
+
+	// Every lattice level must be exercised, or the gate proves nothing.
+	byLevel := map[Level]int{}
+	for _, v := range all {
+		byLevel[v.Verdict.Level]++
+	}
+	for _, l := range []Level{Safe, Unknown, Unsafe} {
+		if byLevel[l] == 0 {
+			t.Errorf("corpus has no %s loop", l)
+		}
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(all); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "examples_golden.json")
+	if *update {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d loops)", goldenPath, len(all))
+		return
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run `go test -update ./internal/verify` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Errorf("verdicts drifted from %s; run `go test -update ./internal/verify` if intentional\ngot:\n%s",
+			goldenPath, buf.String())
+	}
+}
