@@ -294,6 +294,28 @@ func BenchmarkAnalyzeFilesCached(b *testing.B) {
 	}
 }
 
+// BenchmarkRewriteFile measures the full analyze-plus-rewrite path over
+// the shared corpus at Workers=1, batch 1 — the same configuration as
+// BenchmarkAnalyzeFilesSerial, so the ratio between the two rows is the
+// measured cost of the rewrite stage itself (clause derivation, verify
+// gating, dynamic validation and the splice) on top of plain analysis.
+// CI pins that ratio with a within-run benchjson gate.
+func BenchmarkRewriteFile(b *testing.B) {
+	e := *analysisEngine(b)
+	e.SetWorkers(1)
+	e.SetBatchSize(1)
+	e.SetRewrite(true)
+	files := corpusFiles(benchCorpusSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, src := range files {
+			if _, err := e.RewriteSource(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkToolAnalysis isolates the per-loop cost of each comparator.
 func BenchmarkToolAnalysis(b *testing.B) {
 	st := suite()

@@ -20,10 +20,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
-	"strings"
 
 	"graph2par/internal/analysis"
+	"graph2par/internal/cli"
 )
 
 func main() {
@@ -42,9 +41,9 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
-			return 0
+			return cli.ExitClean
 		}
-		return 2
+		return cli.ExitError
 	}
 
 	analyzers := analysis.All()
@@ -56,29 +55,12 @@ func run(args []string, stdout, stderr *os.File) int {
 			}
 			fmt.Fprintf(stdout, "%-16s (%s)\n    %s\n", a.Name, scope, a.Doc)
 		}
-		return 0
+		return cli.ExitClean
 	}
-	if *only != "" {
-		byName := make(map[string]*analysis.Analyzer)
-		for _, a := range analyzers {
-			byName[a.Name] = a
-		}
-		var picked []*analysis.Analyzer
-		for _, name := range strings.Split(*only, ",") {
-			a, ok := byName[strings.TrimSpace(name)]
-			if !ok {
-				names := make([]string, 0, len(byName))
-				for n := range byName {
-					names = append(names, n)
-				}
-				sort.Strings(names)
-				fmt.Fprintf(stderr, "graph2lint: unknown analyzer %q (have %s)\n",
-					name, strings.Join(names, ", "))
-				return 2
-			}
-			picked = append(picked, a)
-		}
-		analyzers = picked
+	analyzers, err := cli.SelectOnly(analyzers, func(a *analysis.Analyzer) string { return a.Name }, *only, "analyzer")
+	if err != nil {
+		fmt.Fprintf(stderr, "graph2lint: %v\n", err)
+		return cli.ExitError
 	}
 
 	patterns := fs.Args()
@@ -89,12 +71,12 @@ func run(args []string, stdout, stderr *os.File) int {
 	pkgs, err := analysis.LoadPatterns(".", patterns)
 	if err != nil {
 		fmt.Fprintf(stderr, "graph2lint: %v\n", err)
-		return 2
+		return cli.ExitError
 	}
 	diags, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(stderr, "graph2lint: %v\n", err)
-		return 2
+		return cli.ExitError
 	}
 
 	if *jsonOut {
@@ -105,7 +87,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		if err := enc.Encode(diags); err != nil {
 			fmt.Fprintf(stderr, "graph2lint: %v\n", err)
-			return 2
+			return cli.ExitError
 		}
 	} else {
 		for _, d := range diags {
@@ -117,7 +99,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 	if len(diags) > 0 {
-		return 1
+		return cli.ExitFindings
 	}
-	return 0
+	return cli.ExitClean
 }

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"graph2par"
 	"graph2par/internal/profiling"
@@ -29,6 +30,8 @@ func main() {
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 	trainWorkers := flag.Int("train-workers", 0, "data-parallel training workers (0 = GOMAXPROCS); any value trains bit-identically")
 	doVerify := flag.Bool("verify", false, "statically verify every suggested pragma and print the verdict")
+	doRewrite := flag.Bool("rewrite", false, "plan a verified source-to-source rewrite for every predicted-parallel loop and print its status")
+	rewriteOut := flag.String("rewrite-out", "", "write the transformed source of every input into this directory (implies -rewrite)")
 	dotDir := flag.String("dot", "", "write one Graphviz .dot file per loop to this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run (training + analysis) to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -59,6 +62,7 @@ func main() {
 		Workers:      *workers,
 		TrainWorkers: *trainWorkers,
 		Verify:       *doVerify,
+		Rewrite:      *doRewrite || *rewriteOut != "",
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graph2par:", err)
@@ -104,6 +108,29 @@ func main() {
 					fmt.Fprintln(os.Stderr, "graph2par: writing dot:", err)
 					exit = 1
 				}
+			}
+		}
+	}
+	if *rewriteOut != "" {
+		if err := os.MkdirAll(*rewriteOut, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "graph2par:", err)
+			fail()
+		}
+		for _, path := range flag.Args() {
+			src, ok := sources[path]
+			if !ok {
+				continue
+			}
+			res, err := engine.RewriteSource(src)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "graph2par:", err)
+				exit = 1
+				continue
+			}
+			dst := filepath.Join(*rewriteOut, filepath.Base(path))
+			if err := os.WriteFile(dst, []byte(res.Output), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "graph2par:", err)
+				exit = 1
 			}
 		}
 	}

@@ -12,6 +12,7 @@
 //
 //	POST /analyze        {"source": "int main() { ... }", "dot": false}
 //	POST /analyze/batch  {"files": {"a.c": "...", "b.c": "..."}}
+//	POST /rewrite        {"source": "..."} (requires -rewrite)
 //	GET  /healthz
 //	GET  /stats
 //
@@ -47,6 +48,7 @@ func main() {
 	batchWindow := flag.Duration("batch-window", 0, "micro-batch window: coalesce concurrent /analyze requests arriving within this duration into shared forward passes (0 disables)")
 	maxBatch := flag.Int("max-batch", 0, "max requests coalesced per micro-batch window (0 = default)")
 	doVerify := flag.Bool("verify", false, "statically verify every suggested pragma; verdicts ride the response reports")
+	doRewrite := flag.Bool("rewrite", false, "enable the source-to-source rewrite stage and the POST /rewrite endpoint")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/ (off by default; enable only on trusted networks)")
 	quiet := flag.Bool("quiet", false, "suppress the training progress line")
 	flag.Parse()
@@ -62,6 +64,7 @@ func main() {
 		BatchSize:    *batchSize,
 		Quiet:        *quiet,
 		Verify:       *doVerify,
+		Rewrite:      *doRewrite,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graph2serve:", err)

@@ -21,12 +21,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io/fs"
 	"os"
-	"path/filepath"
-	"sort"
-	"strings"
 
+	"graph2par/internal/cli"
 	"graph2par/internal/cparse"
 	"graph2par/internal/parallel"
 	"graph2par/internal/verify"
@@ -57,9 +54,9 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
-			return 0
+			return cli.ExitClean
 		}
-		return 2
+		return cli.ExitError
 	}
 
 	checks := verify.Checks()
@@ -67,37 +64,23 @@ func run(args []string, stdout, stderr *os.File) int {
 		for _, c := range checks {
 			fmt.Fprintf(stdout, "%-12s %s\n", c.Name, c.Doc)
 		}
-		return 0
+		return cli.ExitClean
 	}
-	if *only != "" {
-		byName := make(map[string]*verify.Check)
-		var names []string
-		for _, c := range checks {
-			byName[c.Name] = c
-			names = append(names, c.Name)
-		}
-		var picked []*verify.Check
-		for _, name := range strings.Split(*only, ",") {
-			c, ok := byName[strings.TrimSpace(name)]
-			if !ok {
-				fmt.Fprintf(stderr, "graph2verify: unknown check %q (have %s)\n",
-					name, strings.Join(names, ", "))
-				return 2
-			}
-			picked = append(picked, c)
-		}
-		checks = picked
-	}
-
-	paths, err := collectSources(fs.Args())
+	checks, err := cli.SelectOnly(checks, func(c *verify.Check) string { return c.Name }, *only, "check")
 	if err != nil {
 		fmt.Fprintf(stderr, "graph2verify: %v\n", err)
-		return 2
+		return cli.ExitError
+	}
+
+	paths, err := cli.CollectSources(fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "graph2verify: %v\n", err)
+		return cli.ExitError
 	}
 	if len(paths) == 0 {
 		fmt.Fprintf(stderr, "graph2verify: no C sources given\n")
 		fs.Usage()
-		return 2
+		return cli.ExitError
 	}
 
 	// Verify files concurrently into a slot-indexed result slice: output
@@ -111,7 +94,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	for _, r := range results {
 		if r.err != nil {
 			fmt.Fprintf(stderr, "graph2verify: %s: %v\n", r.path, r.err)
-			return 2
+			return cli.ExitError
 		}
 		all = append(all, r.loops...)
 	}
@@ -131,7 +114,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		if err := enc.Encode(all); err != nil {
 			fmt.Fprintf(stderr, "graph2verify: %v\n", err)
-			return 2
+			return cli.ExitError
 		}
 	} else {
 		for _, v := range all {
@@ -147,47 +130,9 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 	if unsafe > 0 {
-		return 1
+		return cli.ExitFindings
 	}
-	return 0
-}
-
-// collectSources expands file and directory arguments into a sorted,
-// deduplicated list of .c files (directories are walked recursively).
-func collectSources(args []string) ([]string, error) {
-	seen := map[string]bool{}
-	var paths []string
-	add := func(p string) {
-		p = filepath.ToSlash(p)
-		if !seen[p] {
-			seen[p] = true
-			paths = append(paths, p)
-		}
-	}
-	for _, arg := range args {
-		info, err := os.Stat(arg)
-		if err != nil {
-			return nil, err
-		}
-		if !info.IsDir() {
-			add(arg)
-			continue
-		}
-		err = filepath.WalkDir(arg, func(p string, d fs.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if !d.IsDir() && strings.HasSuffix(p, ".c") {
-				add(p)
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	sort.Strings(paths)
-	return paths, nil
+	return cli.ExitClean
 }
 
 // verifyPath parses one C file and verifies its loops.

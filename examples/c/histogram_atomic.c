@@ -1,0 +1,8 @@
+/* A histogram: two iterations hitting the same bin collide, so no clause
+ * list makes the bare loop safe — but the single shared update is exactly
+ * the shape `#pragma omp atomic` protects, and the rewriter rescues it. */
+void hist(int n, int b[], double w[], double h[]) {
+    for (int i = 0; i < n; i++) {
+        h[b[i]] += w[i];
+    }
+}

@@ -1,0 +1,12 @@
+/* A perfect rectangular nest: both levels canonical, the inner bounds
+ * independent of the outer index, so a collapse(2) may fuse the
+ * iteration space. The inner index must be privatized. */
+void smooth(int n, int m, double a[][8], double b[][8]) {
+    int i;
+    int j;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < m; j++) {
+            b[i][j] = a[i][j] * 0.5;
+        }
+    }
+}

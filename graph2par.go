@@ -35,6 +35,7 @@ import (
 	"graph2par/internal/hgt"
 	"graph2par/internal/parallel"
 	"graph2par/internal/pragma"
+	"graph2par/internal/rewrite"
 	"graph2par/internal/tools"
 	"graph2par/internal/tools/autopar"
 	"graph2par/internal/tools/discopop"
@@ -88,6 +89,14 @@ type EngineConfig struct {
 	// positions) is attached to the report — and cached alongside it, since
 	// the content-addressed key already fingerprints every verdict input.
 	Verify bool
+	// Rewrite enables the source-to-source output stage: every loop the
+	// model predicts parallel gets a rewrite plan — derived clause lists
+	// gated through the static verifier and validated dynamically (see
+	// internal/rewrite) — attached to its report, and Engine.RewriteSource
+	// splices the accepted plans into transformed C. Independent of Verify:
+	// the rewriter always runs the full check suite on its own derived
+	// pragmas.
+	Rewrite bool
 }
 
 // DefaultBatchSize is the inference batch bound used when
@@ -123,6 +132,11 @@ type Engine struct {
 	// atomic counter would silently fork the tally.
 	verify bool
 	vstats *verifyStats
+
+	// rewrite gates the source-to-source output stage; rstats counts
+	// issued rewrite plans per status (same pointer rationale as vstats).
+	rewrite bool
+	rstats  *rewriteStats
 
 	// fe recycles per-worker front-end scratches (token buffers, AST
 	// slabs, graph and encoding storage, symbol tables) across Analyze*
@@ -169,6 +183,11 @@ type LoopReport struct {
 	// Verdict is the static verifier's ruling on Suggestion (nil when
 	// verification is disabled or the loop is not predicted parallel).
 	Verdict *verify.Verdict
+	// Rewrite is the source-to-source plan for this loop (nil when the
+	// rewrite stage is disabled or the loop is not predicted parallel).
+	// Its status reflects the per-loop gates; Engine.RewriteSource may
+	// still demote it at splice time (nesting, byte-level checks).
+	Rewrite *rewrite.LoopPlan
 }
 
 // NewEngine builds an engine: either loading ModelPath or training a fresh
@@ -180,6 +199,8 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		fe:      &frontend.Pool{},
 		verify:  cfg.Verify,
 		vstats:  &verifyStats{},
+		rewrite: cfg.Rewrite,
+		rstats:  &rewriteStats{},
 	}
 	e.SetBatchSize(cfg.BatchSize)
 	if cfg.ModelPath != "" {
@@ -299,6 +320,54 @@ type VerifyStats struct {
 // the first request, or call SetCacheSize to drop stale entries.
 func (e *Engine) SetVerify(on bool) { e.verify = on }
 
+// rewriteStats tallies issued rewrite plans per status. Counters are
+// atomic because finishLoop runs concurrently across the worker pool.
+type rewriteStats struct {
+	rewritten  atomic.Uint64
+	atomic     atomic.Uint64
+	suggestion atomic.Uint64
+}
+
+func (s *rewriteStats) count(st rewrite.Status) {
+	switch st {
+	case rewrite.StatusRewritten:
+		s.rewritten.Add(1)
+	case rewrite.StatusAtomic:
+		s.atomic.Add(1)
+	case rewrite.StatusSuggestion:
+		s.suggestion.Add(1)
+	}
+}
+
+// RewriteStats is a snapshot of the rewrite plans issued so far, keyed by
+// the status PlanLoop assigned (splice-time demotions are not re-counted).
+type RewriteStats struct {
+	Rewritten  uint64
+	Atomic     uint64
+	Suggestion uint64
+}
+
+// SetRewrite toggles the source-to-source rewrite stage. It must not be
+// called concurrently with Analyze* methods; the cache-staleness caveat on
+// SetVerify applies to rewrite plans the same way.
+func (e *Engine) SetRewrite(on bool) { e.rewrite = on }
+
+// RewriteEnabled reports whether loops get source-to-source rewrite plans.
+func (e *Engine) RewriteEnabled() bool { return e.rewrite }
+
+// RewriteStats returns the issued-plan counters; ok is false when the
+// rewrite stage is disabled.
+func (e *Engine) RewriteStats() (st RewriteStats, ok bool) {
+	if !e.rewrite {
+		return RewriteStats{}, false
+	}
+	return RewriteStats{
+		Rewritten:  e.rstats.rewritten.Load(),
+		Atomic:     e.rstats.atomic.Load(),
+		Suggestion: e.rstats.suggestion.Load(),
+	}, true
+}
+
 // VerifyEnabled reports whether suggestions are statically verified.
 func (e *Engine) VerifyEnabled() bool { return e.verify }
 
@@ -383,6 +452,7 @@ func cloneReport(r LoopReport) LoopReport {
 		}
 		r.Verdict = &v
 	}
+	r.Rewrite = r.Rewrite.Clone()
 	return r
 }
 
@@ -440,6 +510,41 @@ func (e *Engine) AnalyzeSource(src string) ([]LoopReport, error) {
 		fileKey = sourceCacheKey(src)
 	}
 	return e.analyzeFileLoops(file, fileKey, ss), nil
+}
+
+// RewriteResult is one translation unit's source-to-source rewrite: the
+// transformed source (equal to the input when nothing was accepted) and
+// the full per-loop reports whose Rewrite plans carry the final,
+// splice-checked statuses.
+type RewriteResult struct {
+	Output  string
+	Changed bool
+	Reports []LoopReport
+}
+
+// RewriteSource analyzes a translation unit with the model in the loop —
+// only loops predicted parallel get rewrite plans — and splices the
+// accepted plans into the source. Requires the rewrite stage (see
+// EngineConfig.Rewrite / SetRewrite).
+func (e *Engine) RewriteSource(src string) (*RewriteResult, error) {
+	if !e.rewrite {
+		return nil, fmt.Errorf("graph2par: rewrite stage is disabled")
+	}
+	reports, err := e.AnalyzeSource(src)
+	if err != nil {
+		return nil, err
+	}
+	var plans []*rewrite.LoopPlan
+	for i := range reports {
+		if reports[i].Rewrite != nil {
+			plans = append(plans, reports[i].Rewrite)
+		}
+	}
+	out, changed, err := rewrite.Apply(src, plans)
+	if err != nil {
+		return nil, err
+	}
+	return &RewriteResult{Output: out, Changed: changed, Reports: reports}, nil
 }
 
 // collectLoops harvests a parsed file's loops and its defined-function
@@ -740,6 +845,14 @@ func (e *Engine) finishLoop(job loopJob, g *auggraph.Graph, key string, pred int
 			report.Verdict = &v
 			e.vstats.count(v.Level)
 		}
+		if e.rewrite {
+			// Full per-loop rewrite plan: derived clauses, static gate,
+			// atomic rescue, dynamic validation. Like the verdict, it is
+			// cached with the report — PlanLoop reads nothing the cache key
+			// does not already fingerprint.
+			report.Rewrite = rewrite.PlanLoop(loop, file)
+			e.rstats.count(report.Rewrite.Status)
+		}
 	}
 	for _, tool := range e.tools {
 		v := tool.Analyze(tools.Sample{
@@ -801,6 +914,16 @@ func (r *LoopReport) Format() string {
 		out += "  verify:    " + r.Verdict.Level.String()
 		if r.Verdict.Reason != "" {
 			out += " — " + r.Verdict.Reason
+		}
+		out += "\n"
+	}
+	if r.Rewrite != nil {
+		out += "  rewrite:   " + string(r.Rewrite.Status)
+		switch {
+		case r.Rewrite.Status != rewrite.StatusSuggestion:
+			out += " — " + r.Rewrite.Pragma
+		case r.Rewrite.Reason != "":
+			out += " — " + r.Rewrite.Reason
 		}
 		out += "\n"
 	}

@@ -1,0 +1,26 @@
+package auggraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Canon serializes every field of every node and edge into a stable
+// plain-text form: the canonical byte representation of a graph. Two
+// graphs encode identically for the model — same vocabulary rows, same
+// cache-key contribution — exactly when their Canon strings are equal, so
+// the golden-graph test pins this form and the rewriter's round-trip
+// validator compares original and re-parsed loops through it.
+func (g *Graph) Canon() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "root=%d vars=%d funcs=%d nodes=%d edges=%d\n",
+		g.Root, g.NumVars, g.NumFuncs, len(g.Nodes), len(g.Edges))
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "  node %d kind=%q attr=%q raw=%q type=%q order=%d depth=%d leaf=%t\n",
+			n.ID, n.Kind, n.Attr, n.RawText, n.TypeAttr, n.Order, n.Depth, n.IsLeaf)
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "  edge %d->%d %s\n", e.Src, e.Dst, e.Type)
+	}
+	return b.String()
+}

@@ -65,18 +65,12 @@ var goldenConfigs = []struct {
 }
 
 // dumpGraph serializes every field of every node and edge in a stable
-// plain-text form. Anything byte-relevant to vocab encoding, cache keys or
-// DOT rendering appears here.
+// plain-text form — Graph.Canon, which is the production serialization the
+// rewriter's round-trip validator compares loops through. Anything
+// byte-relevant to vocab encoding, cache keys or DOT rendering appears in
+// it, and this golden pins it.
 func dumpGraph(b *strings.Builder, g *Graph) {
-	fmt.Fprintf(b, "root=%d vars=%d funcs=%d nodes=%d edges=%d\n",
-		g.Root, g.NumVars, g.NumFuncs, len(g.Nodes), len(g.Edges))
-	for _, n := range g.Nodes {
-		fmt.Fprintf(b, "  node %d kind=%q attr=%q raw=%q type=%q order=%d depth=%d leaf=%t\n",
-			n.ID, n.Kind, n.Attr, n.RawText, n.TypeAttr, n.Order, n.Depth, n.IsLeaf)
-	}
-	for _, e := range g.Edges {
-		fmt.Fprintf(b, "  edge %d->%d %s\n", e.Src, e.Dst, e.Type)
-	}
+	b.WriteString(g.Canon())
 }
 
 func buildFromSource(t *testing.T, src, file string, opts Options) *Graph {

@@ -1,0 +1,53 @@
+package cast_test
+
+import (
+	"testing"
+
+	"graph2par/internal/cast"
+	"graph2par/internal/cparse"
+)
+
+// FuzzPrintRoundTrip holds the printer to its contract on arbitrary
+// parseable input: Print(parse(src)) must itself parse, a second
+// print must be a byte-identical fixpoint, and the reparsed tree must
+// carry set positions on every loop — the anchors the rewriter splices
+// against. Inputs the parser rejects are out of scope (FuzzParse covers
+// that front door).
+func FuzzPrintRoundTrip(f *testing.F) {
+	seeds := []string{
+		"int main() { return 0; }",
+		"void f(int n, double *a) { for (int i = 0; i < n; i++) a[i] *= 2; }",
+		"void g(int n, double a[][8]) {\n    int i;\n    int j;\n    for (i = 0; i < n; i++)\n        for (j = 0; j < 8; j++)\n            a[i][j] = a[i][j] * 0.5;\n}",
+		"#pragma omp parallel for reduction(+:s)\nfor (i = 0; i < n; i++) s += a[i];",
+		"int main() { int x = 3; switch (x) { case 1: x = 10; break; default: x = 20; } do { x--; } while (x > 0); return x; }",
+		"int a[10][20]; int *p;",
+		"x = c ? f(1, 2) : g(); y = (int)d; z = sizeof(double) - (-w);",
+		"void h() { goto done; done: return; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := cparse.ParseFile(src)
+		if err != nil {
+			t.Skip()
+		}
+		p1 := cast.Print(file)
+		back, err := cparse.ParseFile(p1)
+		if err != nil {
+			t.Fatalf("printed source does not reparse: %v\n--- source ---\n%s\n--- printed ---\n%s", err, src, p1)
+		}
+		if p2 := cast.Print(back); p2 != p1 {
+			t.Fatalf("print not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", p1, p2)
+		}
+		cast.Walk(back, func(n cast.Node) bool {
+			switch n.(type) {
+			case *cast.For, *cast.While, *cast.DoWhile:
+				if p := n.Pos(); p.Line < 1 || p.Col < 1 {
+					t.Fatalf("reparsed loop carries unset position %+v:\n%s", p, p1)
+				}
+			}
+			return true
+		})
+	})
+}

@@ -122,6 +122,22 @@ type Interp struct {
 	WatchNames []string
 	Watched    map[string]Addr
 
+	// CaptureNames asks for a snapshot of these variables' values when the
+	// instrumented loop exits (on any path); results land in Captured.
+	// Names that do not resolve at the loop's scope are simply absent.
+	CaptureNames []string
+	Captured     map[string]Capture
+
+	// ReverseOrder executes the instrumented loop's iterations back to
+	// front: the induction-variable sequence is simulated first (condition
+	// and post expression only), then the bodies run last iteration first.
+	// This is the rewrite validator's parallel-order probe — any
+	// cross-iteration dependence the serial order hid changes the observable
+	// state. ReverseIndVar names the induction variable; it must resolve to
+	// a scalar at the loop's scope.
+	ReverseOrder  bool
+	ReverseIndVar string
+
 	nextID int
 }
 
@@ -469,6 +485,15 @@ func (in *Interp) execFor(sc *scope, f *cast.For, st *execState) error {
 				}
 			}
 		}
+	}
+	if isTraced && len(in.CaptureNames) > 0 {
+		// Snapshot on every exit path — normal termination, break, return,
+		// even an error — so the validator always sees the final state the
+		// loop left behind.
+		defer in.captureNow(inner)
+	}
+	if isTraced && in.ReverseOrder {
+		return in.execForReversed(inner, f, st)
 	}
 	iterCount := 0
 	for {

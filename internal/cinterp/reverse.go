@@ -1,0 +1,90 @@
+package cinterp
+
+import "graph2par/internal/cast"
+
+// Capture is the final value of one captured variable at instrumented-loop
+// exit: a scalar's value, or a dense copy of an array's elements.
+type Capture struct {
+	Scalar *Value
+	Array  []Value
+}
+
+// captureNow snapshots every CaptureNames binding visible at the
+// instrumented loop's scope into Captured.
+func (in *Interp) captureNow(sc *scope) {
+	in.Captured = map[string]Capture{}
+	for _, name := range in.CaptureNames {
+		b, ok := sc.lookup(name)
+		if !ok {
+			continue
+		}
+		switch {
+		case b.cell != nil:
+			v := b.cell.val
+			in.Captured[name] = Capture{Scalar: &v}
+		case b.arr != nil:
+			in.Captured[name] = Capture{Array: append([]Value(nil), b.arr.data...)}
+		}
+	}
+}
+
+// execForReversed runs the instrumented loop back to front. Phase one
+// simulates the induction-variable sequence by evaluating only the
+// condition and post expression — for the canonical loops the rewriter
+// feeds it, those touch nothing but the induction variable. Phase two
+// replays the recorded values last to first, executing the body once per
+// value. Early exits (break, return) cannot be replayed out of order and
+// surface as ErrUnsupported; continue only ends the current iteration.
+func (in *Interp) execForReversed(inner *scope, f *cast.For, st *execState) error {
+	if f.Cond == nil || f.Post == nil {
+		return &ErrUnsupported{What: "reversed execution needs a loop condition and post expression"}
+	}
+	b, ok := inner.lookup(in.ReverseIndVar)
+	if !ok || b.cell == nil {
+		return &ErrUnsupported{What: "reversed execution needs a scalar induction variable"}
+	}
+	var ivs []Value
+	for {
+		if err := in.step(); err != nil {
+			return err
+		}
+		c, err := in.eval(inner, f.Cond)
+		if err != nil {
+			return err
+		}
+		if !c.Truthy() {
+			break
+		}
+		if in.IterCap > 0 && len(ivs) >= in.IterCap {
+			break
+		}
+		ivs = append(ivs, b.cell.val)
+		if _, err := in.eval(inner, f.Post); err != nil {
+			return err
+		}
+	}
+	exit := b.cell.val
+	for k := len(ivs) - 1; k >= 0; k-- {
+		if err := in.step(); err != nil {
+			return err
+		}
+		b.cell.val = ivs[k]
+		in.inLoop = true
+		in.iter = k
+		err := in.execStmt(inner, f.Body, st)
+		in.inLoop = false
+		if err != nil {
+			return err
+		}
+		if st.sig != sigNone {
+			sig := st.sig
+			st.sig = sigNone
+			if sig == sigContinue {
+				continue
+			}
+			return &ErrUnsupported{What: "early exit during reversed execution"}
+		}
+	}
+	b.cell.val = exit
+	return nil
+}

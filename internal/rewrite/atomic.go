@@ -1,0 +1,232 @@
+package rewrite
+
+import (
+	"sort"
+	"strings"
+
+	"graph2par/internal/cast"
+	"graph2par/internal/depend"
+)
+
+// atomicCand is one statement the splicer may protect with
+// `#pragma omp atomic`: a compound update (or ++/--) of an array element.
+type atomicCand struct {
+	stmt cast.Stmt
+	base string
+	line int
+	col  int
+}
+
+// atomicOps are the compound-assignment operators `omp atomic` covers.
+var atomicOps = map[string]bool{
+	"+=": true, "-=": true, "*=": true, "&=": true, "|=": true, "^=": true,
+}
+
+// atomicCandidates finds the array updates that can rescue an otherwise
+// Unsafe loop. A statement qualifies only when protecting it really
+// serializes every touch of its target:
+//
+//   - it is a compound update of an array element, and a direct item of a
+//     block (a pragma line attaches to the single statement after it, so a
+//     brace-less branch body would swallow the statement out of the loop);
+//   - the target base is touched nowhere else in the loop body — every
+//     access of it is this statement's own left-hand side;
+//   - every other variable the statement mentions is read-only across the
+//     whole body, so the unprotected part of the statement races with
+//     nothing;
+//   - the statement starts its source line (checked again against the
+//     bytes at splice time), since the inserted pragma line protects the
+//     first statement that follows it.
+func atomicCandidates(f *cast.For) []atomicCand {
+	accs := depend.CollectAccesses(f.Body)
+	var stmts []cast.Stmt
+	cast.Walk(f.Body, func(n cast.Node) bool {
+		c, ok := n.(*cast.Compound)
+		if !ok {
+			return true
+		}
+		for i, it := range c.Items {
+			// A statement already sitting under an `omp atomic` line is
+			// protected; re-protecting it would stack pragmas on re-runs.
+			if i > 0 {
+				if p, isPragma := c.Items[i-1].(*cast.PragmaStmt); isPragma &&
+					strings.Contains(p.Text, "omp atomic") {
+					continue
+				}
+			}
+			stmts = append(stmts, it)
+		}
+		return true
+	})
+
+	var cands []atomicCand
+	for _, s := range stmts {
+		es, ok := s.(*cast.ExprStmt)
+		if !ok {
+			continue
+		}
+		var target *cast.Index
+		switch x := es.X.(type) {
+		case *cast.Assign:
+			if idx, isIdx := x.LHS.(*cast.Index); isIdx && atomicOps[x.Op] {
+				target = idx
+			}
+		case *cast.Unary:
+			if idx, isIdx := x.X.(*cast.Index); isIdx && (x.Op == "++" || x.Op == "--") {
+				target = idx
+			}
+		}
+		if target == nil {
+			continue
+		}
+		base, _, viaPtr := targetBase(target)
+		if base == "" || viaPtr {
+			continue
+		}
+		// Every access of the base anywhere in the body must be this very
+		// left-hand side (read and write of a compound op share the node).
+		exclusive := true
+		for _, a := range accs {
+			if a.Base == base && a.Node != cast.Node(target) {
+				exclusive = false
+				break
+			}
+		}
+		if !exclusive {
+			continue
+		}
+		// Everything else the statement reads must be read-only body-wide.
+		if !otherReadsReadOnly(es, target, accs) {
+			continue
+		}
+		if !firstOnLine(f, es) {
+			continue
+		}
+		cands = append(cands, atomicCand{
+			stmt: es, base: base, line: es.Pos().Line, col: es.Pos().Col,
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].line < cands[j].line })
+	return cands
+}
+
+// targetBase unwraps an index expression to its base variable.
+func targetBase(idx *cast.Index) (base string, depth int, viaPtr bool) {
+	cur := cast.Expr(idx)
+	for {
+		switch x := cur.(type) {
+		case *cast.Index:
+			depth++
+			cur = x.Arr
+		case *cast.Ident:
+			return x.Name, depth, false
+		default:
+			return "", depth, true
+		}
+	}
+}
+
+// otherReadsReadOnly checks that every base the candidate statement
+// mentions, other than the protected target, is never written in the loop
+// body — including by the candidate itself.
+func otherReadsReadOnly(es *cast.ExprStmt, target *cast.Index, accs []depend.Access) bool {
+	mentioned := map[string]bool{}
+	cast.Walk(es, func(n cast.Node) bool {
+		if id, ok := n.(*cast.Ident); ok {
+			mentioned[id.Name] = true
+		}
+		return true
+	})
+	tb, _, _ := targetBase(target)
+	delete(mentioned, tb)
+	for _, a := range accs {
+		if a.Write && mentioned[a.Base] {
+			return false
+		}
+	}
+	return true
+}
+
+// firstOnLine reports whether no other statement of the loop (the loop
+// header included) starts earlier on the candidate's source line.
+func firstOnLine(f *cast.For, cand cast.Stmt) bool {
+	line, col := cand.Pos().Line, cand.Pos().Col
+	ok := true
+	cast.Walk(f, func(n cast.Node) bool {
+		if s, isStmt := n.(cast.Stmt); isStmt && s != cand {
+			if p := s.Pos(); p.Line == line && p.Col < col {
+				ok = false
+			}
+		}
+		return ok
+	})
+	if p := f.Pos(); p.Line == line && p.Col < col {
+		ok = false
+	}
+	return ok
+}
+
+// cloneStmt is a statement-level deep copy: container statements are
+// duplicated, expressions are shared (nothing mutates them). Statements in
+// drop are replaced by an empty statement; with stripPragmas, PragmaStmt
+// block items are omitted entirely — the shape the graph-identity
+// comparison needs, since an inserted `omp atomic` line re-parses as a
+// PragmaStmt the original never had.
+func cloneStmt(s cast.Stmt, drop map[cast.Stmt]bool, stripPragmas bool) cast.Stmt {
+	if s == nil {
+		return nil
+	}
+	if drop != nil && drop[s] {
+		return &cast.Empty{P: s.Pos()}
+	}
+	switch x := s.(type) {
+	case *cast.Compound:
+		n := &cast.Compound{P: x.P}
+		for _, it := range x.Items {
+			if stripPragmas {
+				if _, isPragma := it.(*cast.PragmaStmt); isPragma {
+					continue
+				}
+			}
+			n.Items = append(n.Items, cloneStmt(it, drop, stripPragmas))
+		}
+		return n
+	case *cast.If:
+		n := *x
+		n.Then = cloneStmt(x.Then, drop, stripPragmas)
+		n.Else = cloneStmt(x.Else, drop, stripPragmas)
+		return &n
+	case *cast.For:
+		n := *x
+		n.Body = cloneStmt(x.Body, drop, stripPragmas)
+		return &n
+	case *cast.While:
+		n := *x
+		n.Body = cloneStmt(x.Body, drop, stripPragmas)
+		return &n
+	case *cast.DoWhile:
+		n := *x
+		n.Body = cloneStmt(x.Body, drop, stripPragmas)
+		return &n
+	case *cast.Switch:
+		n := *x
+		n.Body = cloneStmt(x.Body, drop, stripPragmas)
+		return &n
+	default:
+		return s
+	}
+}
+
+// loopWithoutStmts clones the loop with the candidate statements blanked
+// out: the shape whose verification decides whether protecting those
+// statements rescues the loop.
+func loopWithoutStmts(f *cast.For, cands []atomicCand) *cast.For {
+	drop := map[cast.Stmt]bool{}
+	for _, c := range cands {
+		drop[c.stmt] = true
+	}
+	n := *f
+	n.Pragma = ""
+	n.Body = cloneStmt(f.Body, drop, false)
+	return &n
+}

@@ -1,0 +1,138 @@
+package rewrite
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graph2par/internal/cparse"
+	"graph2par/internal/verify"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/ goldens from the current corpus")
+
+// TestExamplesGolden pins the rewriter's full output for the examples/c
+// corpus: the per-loop plan summary (byte-identical to
+// `graph2rewrite -json examples/c` run from the repo root, which the CI
+// rewrite-gate diffs it against) and the transformed source of every
+// file, pinned as testdata/<name>.c. Regenerate with `go test -update`
+// after an intentional rewriter change.
+func TestExamplesGolden(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "c")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []*FileResult
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".c") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RewriteSource(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		res.Path = "examples/c/" + e.Name()
+		results = append(results, res)
+	}
+	if len(results) < 10 {
+		t.Fatalf("corpus shrank to %d files; the golden gate needs the full status spectrum", len(results))
+	}
+
+	byStatus := map[Status]int{}
+	rewritten := 0
+	for _, r := range results {
+		if _, perr := cparse.ParseFile(r.Output); perr != nil {
+			t.Errorf("%s: rewritten source does not re-parse: %v", r.Path, perr)
+			continue
+		}
+		if r.Changed {
+			rewritten++
+		}
+		for _, p := range r.Loops {
+			byStatus[p.Status]++
+			if p.active() {
+				if !p.Validation.GraphIdentical {
+					t.Errorf("%s:%d: rewritten loop without graph identity", r.Path, p.Line)
+				}
+				if p.Validation.Dynamic != "checked" &&
+					!strings.HasPrefix(p.Validation.Dynamic, "skipped:") {
+					t.Errorf("%s:%d: rewritten loop with dynamic = %q", r.Path, p.Line, p.Validation.Dynamic)
+				}
+			}
+			// The acceptance bar: every Safe loop rewrites, except an inner
+			// loop a rewritten enclosing loop already covers.
+			if p.Verdict.Level == verify.Safe && !p.active() &&
+				!strings.Contains(p.Reason, "enclosing loop") {
+				t.Errorf("%s:%d: safe loop left unrewritten: %q", r.Path, p.Line, p.Reason)
+			}
+		}
+		// The rewrite must be a fixpoint: running it again changes nothing.
+		again, err := RewriteSource(r.Output)
+		if err != nil {
+			t.Errorf("%s: second pass: %v", r.Path, err)
+		} else if again.Output != r.Output {
+			t.Errorf("%s: second rewrite pass is not a fixpoint", r.Path)
+		}
+	}
+	for _, s := range []Status{StatusRewritten, StatusAtomic, StatusSuggestion} {
+		if byStatus[s] == 0 {
+			t.Errorf("corpus exercises no %s loop", s)
+		}
+	}
+	if rewritten == 0 {
+		t.Error("corpus rewrote no file at all")
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		t.Fatal(err)
+	}
+	plansPath := filepath.Join("testdata", "examples_plans.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(plansPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range results {
+			name := filepath.Base(r.Path)
+			if err := os.WriteFile(filepath.Join("testdata", name), []byte(r.Output), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("rewrote %s and %d transformed sources", plansPath, len(results))
+		return
+	}
+	golden, err := os.ReadFile(plansPath)
+	if err != nil {
+		t.Fatalf("%v (run `go test -update ./internal/rewrite` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Errorf("plans drifted from %s; run `go test -update ./internal/rewrite` if intentional\ngot:\n%s",
+			plansPath, buf.String())
+	}
+	for _, r := range results {
+		name := filepath.Base(r.Path)
+		want, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Errorf("%v (run `go test -update ./internal/rewrite`)", err)
+			continue
+		}
+		if string(want) != r.Output {
+			t.Errorf("transformed %s drifted from testdata/%s; run `go test -update ./internal/rewrite` if intentional",
+				r.Path, name)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+/* Two pointer parameters with a shifted cross-access: if dst and src
+ * alias, iteration i writes the cell iteration i+1 reads. Without
+ * restrict the verifier cannot rule that out. */
+void shift(int n, double dst[], double src[]) {
+    #pragma omp parallel for
+    for (int i = 1; i < n; i++) {
+        dst[i] = src[i - 1];
+    }
+}

@@ -1,0 +1,13 @@
+/* An early exit: the iteration count is not computable on entry, so the
+ * loop is not in OpenMP canonical form. */
+int find(int n, int a[], int key) {
+    int where = 0 - 1;
+    #pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+        if (a[i] == key) {
+            where = i;
+            break;
+        }
+    }
+    return where;
+}

@@ -1,0 +1,10 @@
+/* A guarded elementwise update: safe, but the branch makes per-iteration
+ * cost uneven, which is what a dynamic schedule is for. */
+void clamp(int n, double a[], double lo) {
+    #pragma omp parallel for simd schedule(dynamic)
+    for (int i = 0; i < n; i++) {
+        if (a[i] < lo) {
+            a[i] = lo;
+        }
+    }
+}

@@ -1,0 +1,8 @@
+/* A call to a function defined elsewhere: the verifier cannot prove it
+ * pure or impure, so the verdict degrades to unknown, not unsafe. */
+void transform(int n, double a[]) {
+    #pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+        a[i] = blend(a[i]);
+    }
+}

@@ -1,0 +1,10 @@
+/* A recognized reduction update with no reduction clause: the declared
+ * clause lists do not cover what the dependence analysis derives. */
+double total(int n, double a[]) {
+    double s = 0;
+    #pragma omp parallel for schedule(static) reduction(+:s)
+    for (int i = 0; i < n; i++) {
+        s += a[i];
+    }
+    return s;
+}

@@ -1,0 +1,8 @@
+/* I/O inside the body: printf is in the vetted impure table, and running
+ * iterations concurrently would interleave the output. */
+void dump(int n, double a[]) {
+    #pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+        printf("%d %f\n", i, a[i]);
+    }
+}

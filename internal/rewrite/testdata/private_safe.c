@@ -1,0 +1,9 @@
+/* A scratch scalar written before read each iteration, correctly declared
+ * private. Verified against the clause the dependence analysis derives. */
+void scale(int n, double a[], double b[], double t) {
+    #pragma omp parallel for schedule(static) private(t)
+    for (int i = 0; i < n; i++) {
+        t = a[i] * 2.0;
+        b[i] = t + 1.0;
+    }
+}

@@ -1,0 +1,13 @@
+/* A helper defined in the same translation unit: the verifier analyzes its
+ * body (locals only, no pointer-parameter or global writes) and admits it. */
+double sq(double x) {
+    double y = x * x;
+    return y;
+}
+
+void apply(int n, double a[]) {
+    #pragma omp parallel for simd schedule(static)
+    for (int i = 0; i < n; i++) {
+        a[i] = sq(a[i]);
+    }
+}

@@ -1,0 +1,8 @@
+/* A first-order recurrence: a[i] depends on a[i-1] from the previous
+ * iteration. The dependence check must reject the pragma. */
+void prefix(int n, double a[]) {
+    #pragma omp parallel for
+    for (int i = 1; i < n; i++) {
+        a[i] = a[i - 1] + a[i];
+    }
+}

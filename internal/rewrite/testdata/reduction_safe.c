@@ -1,0 +1,10 @@
+/* A sum reduction with the matching clause, plus a vetted-pure math call:
+ * both the clause check and the purity check come back clean. */
+double norm2(int n, double a[]) {
+    double s = 0;
+    #pragma omp parallel for schedule(static) reduction(+:s)
+    for (int i = 0; i < n; i++) {
+        s += sqrt(fabs(a[i]));
+    }
+    return s;
+}

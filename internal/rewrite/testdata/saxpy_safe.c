@@ -1,0 +1,8 @@
+/* The canonical safe loop: disjoint element-wise update, read-only input.
+ * The pragma carries no clauses and needs none. */
+void saxpy(int n, double a, double x[], double y[]) {
+    #pragma omp parallel for schedule(static)
+    for (int i = 0; i < n; i++) {
+        y[i] = y[i] + a * x[i];
+    }
+}

@@ -1,0 +1,9 @@
+/* Worksharing requires a canonical for loop; a while loop has no
+ * (syntactically recognizable) iteration space to divide. */
+void drain(int n, double a[]) {
+    int i = 0;
+    while (i < n) {
+        a[i] = 0.0;
+        i = i + 1;
+    }
+}

@@ -9,6 +9,7 @@
 //
 //	POST /analyze        {"source": "...", "dot": false} → reports for one translation unit
 //	POST /analyze/batch  {"files": {"a.c": "..."}}       → per-file reports, mirroring Engine.AnalyzeFiles
+//	POST /rewrite        {"source": "..."}               → transformed OpenMP C plus per-loop plans
 //	GET  /healthz        liveness probe
 //	GET  /stats          cache, micro-batch, worker and request counters
 //
@@ -61,6 +62,7 @@ type Server struct {
 
 	analyzeReqs atomic.Uint64
 	batchReqs   atomic.Uint64
+	rewriteReqs atomic.Uint64
 	errorReqs   atomic.Uint64
 }
 
@@ -105,6 +107,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/analyze", s.handleAnalyze)
 	mux.HandleFunc("/analyze/batch", s.handleBatch)
+	mux.HandleFunc("/rewrite", s.handleRewrite)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	return mux
@@ -136,6 +139,23 @@ type batchRequest struct {
 type batchResponse struct {
 	Results     map[string][]graph2par.LoopReport `json:"results"`
 	ParseErrors string                            `json:"parseErrors,omitempty"`
+}
+
+// rewriteRequest is the POST /rewrite body.
+type rewriteRequest struct {
+	// Source is one C translation unit.
+	Source string `json:"source"`
+	// DOT includes each loop's Graphviz rendering in the response.
+	DOT bool `json:"dot"`
+}
+
+// rewriteResponse is the POST /rewrite result: the transformed source
+// (equal to the input when no loop was accepted) and the reports whose
+// Rewrite plans carry the final splice-checked statuses.
+type rewriteResponse struct {
+	Changed bool                   `json:"changed"`
+	Output  string                 `json:"output"`
+	Reports []graph2par.LoopReport `json:"reports"`
 }
 
 // errorResponse is the uniform error body.
@@ -212,6 +232,38 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, s)
+		return
+	}
+	s.rewriteReqs.Add(1)
+	if !s.engine.RewriteEnabled() {
+		s.writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: "rewrite stage disabled (start graph2serve with -rewrite)"})
+		return
+	}
+	var req rewriteRequest
+	if err := decodeInto(r, &req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if req.Source == "" {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing \"source\""})
+		return
+	}
+	res, err := s.engine.RewriteSource(req.Source)
+	if err != nil {
+		s.writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, rewriteResponse{
+		Changed: res.Changed,
+		Output:  res.Output,
+		Reports: stripDOT(res.Reports, req.DOT),
+	})
+}
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		methodNotAllowed(w, s)
@@ -261,6 +313,18 @@ type statsResponse struct {
 	Cache         cacheStats    `json:"cache"`
 	Batching      batchingStats `json:"batching"`
 	Verify        verifyInfo    `json:"verify"`
+	Rewrite       rewriteInfo   `json:"rewrite"`
+}
+
+// rewriteInfo reports the source-to-source stage: whether predicted-
+// parallel loops get rewrite plans, and how many plans of each status
+// have been issued (cache hits replay their stored plan without
+// re-counting).
+type rewriteInfo struct {
+	Enabled    bool   `json:"enabled"`
+	Rewritten  uint64 `json:"rewritten"`
+	Atomic     uint64 `json:"atomic"`
+	Suggestion uint64 `json:"suggestion"`
 }
 
 // verifyInfo reports the static verification stage: whether suggestions
@@ -289,6 +353,7 @@ type batchingStats struct {
 type reqStats struct {
 	Analyze uint64 `json:"analyze"`
 	Batch   uint64 `json:"batch"`
+	Rewrite uint64 `json:"rewrite"`
 	Errors  uint64 `json:"errors"`
 }
 
@@ -312,6 +377,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Requests: reqStats{
 			Analyze: s.analyzeReqs.Load(),
 			Batch:   s.batchReqs.Load(),
+			Rewrite: s.rewriteReqs.Load(),
 			Errors:  s.errorReqs.Load(),
 		},
 	}
@@ -324,6 +390,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if st, ok := s.engine.VerifyStats(); ok {
 		resp.Verify = verifyInfo{
 			Enabled: true, Safe: st.Safe, Unknown: st.Unknown, Unsafe: st.Unsafe,
+		}
+	}
+	if st, ok := s.engine.RewriteStats(); ok {
+		resp.Rewrite = rewriteInfo{
+			Enabled: true, Rewritten: st.Rewritten, Atomic: st.Atomic, Suggestion: st.Suggestion,
 		}
 	}
 	if s.batcher != nil {

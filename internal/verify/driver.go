@@ -117,6 +117,9 @@ func newPass(req Request) *Pass {
 		}
 		p.Fn = enclosingFunc(req.File, req.Loop)
 	}
+	if req.Fn != nil {
+		p.Fn = req.Fn
+	}
 	if req.Pragma != "" {
 		p.Pragma = pragma.Parse(req.Pragma)
 	}

@@ -122,6 +122,12 @@ type Request struct {
 	Loop   cast.Stmt
 	File   *cast.File
 	Pragma string
+
+	// Fn, when non-nil, overrides the enclosing-function lookup. The
+	// rewriter verifies statement-level clones that are not reachable from
+	// File, so the identity walk that normally finds the surrounding
+	// function cannot see them; the caller names it explicitly instead.
+	Fn *cast.FuncDecl
 }
 
 // Verify runs the full check suite over one request. The result is a pure
