@@ -7,14 +7,22 @@
 //
 //	graph2serve [-addr :8080] [-model ckpt] [-scale 0.02] [-epochs 6]
 //	            [-workers N] [-cache 4096] [-batch 16] [-batch-window 2ms]
+//	            [-max-inflight N] [-max-queue N] [-rate R] [-burst B]
+//	            [-max-body BYTES] [-peers url,url] [-self url]
 //
-// Endpoints:
+// Endpoints (v1 API; the unversioned spellings are deprecated aliases):
 //
-//	POST /analyze        {"source": "int main() { ... }", "dot": false}
-//	POST /analyze/batch  {"files": {"a.c": "...", "b.c": "..."}}
-//	POST /rewrite        {"source": "..."} (requires -rewrite)
-//	GET  /healthz
-//	GET  /stats
+//	POST /v1/analyze        {"source": "...", "options": {"dot": false}, "deadline_ms": 0, "client_id": ""}
+//	POST /v1/analyze/batch  {"files": {"a.c": "...", "b.c": "..."}}
+//	POST /v1/rewrite        {"source": "..."} (requires -rewrite)
+//	GET  /v1/healthz
+//	GET  /v1/stats
+//	GET  /v1/cache/<key>    replica cache-peer protocol (see -peers)
+//
+// Scale-out: starting each replica of a fleet with the same checkpoint
+// (-model), its own -self URL and the other replicas under -peers turns
+// the per-process analysis caches into a shared tier — a local miss asks
+// the key's owning replica (rendezvous hashing) before recomputing.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to 10 seconds.
@@ -28,10 +36,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"graph2par"
+	"graph2par/internal/peercache"
 	"graph2par/internal/serve"
 )
 
@@ -45,10 +55,19 @@ func main() {
 	trainWorkers := flag.Int("train-workers", 0, "data-parallel training workers for from-scratch training (0 = GOMAXPROCS); any value trains bit-identically")
 	cacheSize := flag.Int("cache", 4096, "analysis cache capacity in loop reports (0 disables)")
 	batchSize := flag.Int("batch", 0, "inference batch size: loops per HGT forward pass (0 = default, 1 disables)")
-	batchWindow := flag.Duration("batch-window", 0, "micro-batch window: coalesce concurrent /analyze requests arriving within this duration into shared forward passes (0 disables)")
+	batchWindow := flag.Duration("batch-window", 0, "micro-batch window: coalesce concurrent /v1/analyze requests arriving within this duration into shared forward passes (0 disables)")
 	maxBatch := flag.Int("max-batch", 0, "max requests coalesced per micro-batch window (0 = default)")
+	maxBody := flag.Int64("max-body", 0, "max request-body bytes; larger bodies get 413 (0 = 16 MiB default)")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: max concurrently processed API requests (0 disables)")
+	maxQueue := flag.Int("max-queue", 0, "admission queue watermark: requests waiting beyond this are shed with 429 (needs -max-inflight)")
+	retryAfter := flag.Duration("retry-after", 0, "Retry-After hint on shed responses (0 = 1s default)")
+	rate := flag.Float64("rate", 0, "per-client rate limit in requests/second, keyed on client id (0 disables)")
+	burst := flag.Float64("burst", 0, "per-client burst allowance for -rate (0 = same as -rate)")
+	peers := flag.String("peers", "", "comma-separated base URLs of the other replicas; local cache misses ask the key's owning replica before recomputing (requires -self)")
+	self := flag.String("self", "", "this replica's own advertised base URL, as the peers list it (required with -peers)")
+	peerTimeout := flag.Duration("peer-timeout", 0, "per-exchange timeout for peer cache fills (0 = 500ms default)")
 	doVerify := flag.Bool("verify", false, "statically verify every suggested pragma; verdicts ride the response reports")
-	doRewrite := flag.Bool("rewrite", false, "enable the source-to-source rewrite stage and the POST /rewrite endpoint")
+	doRewrite := flag.Bool("rewrite", false, "enable the source-to-source rewrite stage and the POST /v1/rewrite endpoint")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/ (off by default; enable only on trusted networks)")
 	quiet := flag.Bool("quiet", false, "suppress the training progress line")
 	flag.Parse()
@@ -71,13 +90,54 @@ func main() {
 		os.Exit(1)
 	}
 
+	cfg := serve.ServeConfig{
+		BatchWindow: *batchWindow,
+		MaxBatch:    *maxBatch,
+		MaxBody:     *maxBody,
+		MaxInflight: *maxInflight,
+		MaxQueue:    *maxQueue,
+		RetryAfter:  *retryAfter,
+		RatePerSec:  *rate,
+		RateBurst:   *burst,
+	}
+	if *peers != "" {
+		if *self == "" {
+			fmt.Fprintln(os.Stderr, "graph2serve: -peers requires -self (this replica's own base URL)")
+			os.Exit(1)
+		}
+		if *cacheSize <= 0 {
+			fmt.Fprintln(os.Stderr, "graph2serve: -peers requires a cache (-cache > 0)")
+			os.Exit(1)
+		}
+		var list []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				list = append(list, p)
+			}
+		}
+		peerClient, err := peercache.New(peercache.Config{
+			Self: *self, Peers: list, Timeout: *peerTimeout,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graph2serve:", err)
+			os.Exit(1)
+		}
+		engine.SetCacheFiller(peerClient.Fill)
+		cfg.PeerStats = func() serve.PeerStats {
+			n, hits, misses, errs := peerClient.Stats()
+			return serve.PeerStats{Peers: n, Hits: hits, Misses: misses, Errors: errs}
+		}
+		if *modelPath == "" {
+			fmt.Println("graph2serve: note: -peers without -model — peers only share cache entries when their fingerprints match (same -scale/-epochs/-seed, or a shared checkpoint)")
+		}
+		fmt.Printf("graph2serve: peer-fill tier enabled (%d peers, fingerprint %.12s…)\n",
+			len(peerClient.Peers()), engine.Fingerprint())
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	server := serve.NewWithConfig(engine, serve.ServeConfig{
-		BatchWindow: *batchWindow,
-		MaxBatch:    *maxBatch,
-	})
+	server := serve.NewWithConfig(engine, cfg)
 	handler := server.Handler()
 	if *pprofOn {
 		// Opt-in live profiling: the pprof handlers are registered on an

@@ -18,6 +18,7 @@
 package graph2par
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -125,6 +126,16 @@ type Engine struct {
 	// never serve results computed by a different model.
 	cache       *cache.Cache[LoopReport]
 	fingerprint string
+
+	// fill, when set, is consulted on a local cache miss before the loop
+	// is recomputed: the peer-fill tier (internal/peercache) plugs in here
+	// so a miss on this replica can be served from the owning replica's
+	// cache. A successful fill is stored locally and is required to be
+	// byte-identical to a local recompute (the content-addressed key
+	// covers every analysis input, including the model fingerprint, so
+	// only a same-model replica can ever answer). Nil when no peer tier
+	// is configured; only consulted when the cache is enabled.
+	fill CacheFiller
 
 	// verify gates the static pragma-safety stage; vstats counts issued
 	// verdicts per level. The counters are held by pointer for the same
@@ -286,6 +297,41 @@ func (e *Engine) CacheStats() (st cache.Stats, ok bool) {
 	}
 	return e.cache.Stats(), true
 }
+
+// CacheFiller is the peer-fill hook: given a loop's content-addressed
+// cache key it either produces the finished report (ok true) or reports
+// a miss, in which case the engine recomputes locally. Implementations
+// must be safe for concurrent use and should bound their own latency —
+// the analysis pipeline blocks on them per cache-missing loop.
+type CacheFiller func(key string) (LoopReport, bool)
+
+// SetCacheFiller installs (or, with nil, removes) the peer-fill hook
+// consulted on local cache misses. It must not be called concurrently
+// with Analyze* methods. The hook is only consulted while the cache is
+// enabled: a fill is immediately stored locally, so it is pointless —
+// and therefore skipped — without somewhere to put it.
+func (e *Engine) SetCacheFiller(f CacheFiller) { e.fill = f }
+
+// PeekCached returns the cached report for a raw content-addressed key
+// without touching the hit/miss counters or the LRU order — the lookup
+// the /v1/cache/<key> peer protocol serves, which must not distort the
+// replica's own cache telemetry. ok is false when caching is disabled or
+// the key is absent.
+func (e *Engine) PeekCached(key string) (LoopReport, bool) {
+	if e.cache == nil {
+		return LoopReport{}, false
+	}
+	r, ok := e.cache.Peek(key)
+	if !ok {
+		return LoopReport{}, false
+	}
+	return cloneReport(r), true
+}
+
+// Fingerprint returns the model fingerprint folded into every cache key
+// ("" until SetCacheSize computes it). Replicas exchange it at peer-fill
+// setup to assert they serve the same model.
+func (e *Engine) Fingerprint() string { return e.fingerprint }
 
 // verifyStats tallies issued verdicts per lattice level. Counters are
 // atomic because finishLoop runs concurrently across the worker pool.
@@ -499,6 +545,20 @@ func (e *Engine) stageWorkers(items int) int {
 // returned reports are sorted by source line regardless of worker count,
 // so results are identical to a serial run.
 func (e *Engine) AnalyzeSource(src string) ([]LoopReport, error) {
+	return e.AnalyzeSourceContext(context.Background(), src)
+}
+
+// AnalyzeSourceContext is AnalyzeSource with cooperative cancellation:
+// the pipeline checks ctx between stages and between loops, so a caller
+// whose deadline has passed (or whose client hung up) stops burning CPU
+// at the next stage boundary instead of completing the whole analysis.
+// On cancellation it returns ctx's error and no reports; an individual
+// forward pass or tool run is never interrupted mid-flight, so partial
+// results already computed still land in the cache for the next caller.
+func (e *Engine) AnalyzeSourceContext(ctx context.Context, src string) ([]LoopReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ss := &scratchSet{pool: e.fe}
 	defer ss.release()
 	file, err := ss.ensure(1)[0].Parse.ParseFile(src)
@@ -509,7 +569,11 @@ func (e *Engine) AnalyzeSource(src string) ([]LoopReport, error) {
 	if e.cache != nil {
 		fileKey = sourceCacheKey(src)
 	}
-	return e.analyzeFileLoops(file, fileKey, ss), nil
+	reports := e.analyzeFileLoops(ctx, file, fileKey, ss)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return reports, nil
 }
 
 // RewriteResult is one translation unit's source-to-source rewrite: the
@@ -527,11 +591,20 @@ type RewriteResult struct {
 // accepted plans into the source. Requires the rewrite stage (see
 // EngineConfig.Rewrite / SetRewrite).
 func (e *Engine) RewriteSource(src string) (*RewriteResult, error) {
+	return e.RewriteSourceContext(context.Background(), src)
+}
+
+// RewriteSourceContext is RewriteSource with cooperative cancellation
+// (see AnalyzeSourceContext for the semantics).
+func (e *Engine) RewriteSourceContext(ctx context.Context, src string) (*RewriteResult, error) {
 	if !e.rewrite {
 		return nil, fmt.Errorf("graph2par: rewrite stage is disabled")
 	}
-	reports, err := e.AnalyzeSource(src)
+	reports, err := e.AnalyzeSourceContext(ctx, src)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	var plans []*rewrite.LoopPlan
@@ -571,13 +644,13 @@ func collectLoops(file *cast.File) (map[string]*cast.FuncDecl, []cast.Stmt) {
 
 // analyzeFileLoops fans loop analysis of one parsed file out over the
 // worker pool, preserving line-sorted output.
-func (e *Engine) analyzeFileLoops(file *cast.File, fileKey string, ss *scratchSet) []LoopReport {
+func (e *Engine) analyzeFileLoops(ctx context.Context, file *cast.File, fileKey string, ss *scratchSet) []LoopReport {
 	funcs, loops := collectLoops(file)
 	jobs := make([]loopJob, len(loops))
 	for i, loop := range loops {
 		jobs[i] = loopJob{loop: loop, file: file, funcs: funcs, fileKey: fileKey}
 	}
-	reports := e.analyzeJobs(jobs, ss)
+	reports := e.analyzeJobs(ctx, jobs, ss)
 	sort.SliceStable(reports, func(i, j int) bool { return reports[i].Line < reports[j].Line })
 	return reports
 }
@@ -601,7 +674,12 @@ type loopJob struct {
 // produce byte-identical reports — PredictBatch is bit-identical to
 // Predict — and identical cache-counter trajectories (one Get per loop,
 // one Put per miss).
-func (e *Engine) analyzeJobs(jobs []loopJob, ss *scratchSet) []LoopReport {
+//
+// Cancellation is cooperative: ctx is checked at every stage boundary and
+// between per-loop work items, never inside a forward pass. Once ctx is
+// done the remaining work is skipped; the caller discards the (partial)
+// result after its own ctx check, so a half-filled slice never escapes.
+func (e *Engine) analyzeJobs(ctx context.Context, jobs []loopJob, ss *scratchSet) []LoopReport {
 	reports := make([]LoopReport, len(jobs))
 	if len(jobs) == 0 {
 		return reports
@@ -609,6 +687,9 @@ func (e *Engine) analyzeJobs(jobs []loopJob, ss *scratchSet) []LoopReport {
 	scrs := ss.ensure(e.stageWorkers(len(jobs)))
 	if e.batch <= 1 {
 		parallel.ForEachWorker(e.workers, len(jobs), func(w, i int) {
+			if ctx.Err() != nil {
+				return
+			}
 			reports[i] = e.analyzeLoop(jobs[i], scrs[w])
 		})
 		return reports
@@ -626,6 +707,9 @@ func (e *Engine) analyzeJobs(jobs []loopJob, ss *scratchSet) []LoopReport {
 	}
 	preps := make([]prepared, len(jobs))
 	parallel.ForEachWorker(e.workers, len(jobs), func(w, i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		if e.cache != nil {
 			preps[i].key = e.loopCacheKey(jobs[i].loop, jobs[i].fileKey)
 			if r, ok := e.cache.Get(preps[i].key); ok {
@@ -633,9 +717,17 @@ func (e *Engine) analyzeJobs(jobs []loopJob, ss *scratchSet) []LoopReport {
 				preps[i].hit = true
 				return
 			}
+			if r, ok := e.peerFill(preps[i].key); ok {
+				reports[i] = r
+				preps[i].hit = true
+				return
+			}
 		}
 		preps[i].g, preps[i].enc = e.buildGraph(jobs[i], scrs[w])
 	})
+	if ctx.Err() != nil {
+		return reports
+	}
 
 	// Stage B: size-bucketed batched inference. Sorting misses by node
 	// count groups similar-sized graphs so each forward pass does evenly
@@ -665,6 +757,9 @@ func (e *Engine) analyzeJobs(jobs []loopJob, ss *scratchSet) []LoopReport {
 	}
 	numBatches := (len(miss) + chunk - 1) / chunk
 	parallel.ForEach(e.workers, numBatches, func(bi int) {
+		if ctx.Err() != nil {
+			return
+		}
 		lo := bi * chunk
 		hi := lo + chunk
 		if hi > len(miss) {
@@ -680,13 +775,35 @@ func (e *Engine) analyzeJobs(jobs []loopJob, ss *scratchSet) []LoopReport {
 			preds[i], probs[i] = ps[k], prb[k]
 		}
 	})
+	if ctx.Err() != nil {
+		return reports
+	}
 
 	// Stage C: per-loop report assembly, tool cross-checks and cache fill.
 	parallel.ForEach(e.workers, len(miss), func(k int) {
+		if ctx.Err() != nil {
+			return
+		}
 		i := miss[k]
 		reports[i] = e.finishLoop(jobs[i], preps[i].g, preps[i].key, preds[i], probs[i])
 	})
 	return reports
+}
+
+// peerFill consults the peer-fill hook for one cache-missing key and, on
+// success, stores the fetched report locally so the next identical loop
+// is a plain local hit. The returned report is detached from the cached
+// copy the same way a Get hit is.
+func (e *Engine) peerFill(key string) (LoopReport, bool) {
+	if e.fill == nil {
+		return LoopReport{}, false
+	}
+	r, ok := e.fill(key)
+	if !ok {
+		return LoopReport{}, false
+	}
+	e.cache.Put(key, cloneReport(r))
+	return r, true
 }
 
 // AnalyzeFiles analyzes a whole corpus of C sources, keyed by file name,
@@ -699,6 +816,16 @@ func (e *Engine) analyzeJobs(jobs []loopJob, ss *scratchSet) []LoopReport {
 // combined (in file-name order, so the message is deterministic) into the
 // returned error alongside the successful results.
 func (e *Engine) AnalyzeFiles(sources map[string]string) (map[string][]LoopReport, error) {
+	return e.AnalyzeFilesContext(context.Background(), sources)
+}
+
+// AnalyzeFilesContext is AnalyzeFiles with cooperative cancellation (see
+// AnalyzeSourceContext for the semantics): on cancellation it returns
+// ctx's error and no results.
+func (e *Engine) AnalyzeFilesContext(ctx context.Context, sources map[string]string) (map[string][]LoopReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	names := make([]string, 0, len(sources))
 	for name := range sources {
 		names = append(names, name)
@@ -714,8 +841,14 @@ func (e *Engine) AnalyzeFiles(sources map[string]string) (map[string][]LoopRepor
 	files := make([]*cast.File, len(names))
 	errs := make([]error, len(names))
 	parallel.ForEachWorker(e.workers, len(names), func(w, i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		files[i], errs[i] = scrs[w].Parse.ParseFile(sources[names[i]])
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Stage 2: flatten loops of every parsed file into one work list so
 	// a file with many loops keeps every worker busy.
@@ -740,7 +873,10 @@ func (e *Engine) AnalyzeFiles(sources map[string]string) (map[string][]LoopRepor
 	// size-bucketed batched inference when batching is enabled, one
 	// forward pass per loop otherwise. Each report lands in its own slot
 	// so output order is scheduling-independent either way.
-	loopReports := e.analyzeJobs(jobs, ss)
+	loopReports := e.analyzeJobs(ctx, jobs, ss)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Stage 4: regroup per file and sort by line.
 	out := make(map[string][]LoopReport, len(names))
@@ -802,6 +938,9 @@ func (e *Engine) analyzeLoop(job loopJob, scr *frontend.Scratch) LoopReport {
 		key = e.loopCacheKey(job.loop, job.fileKey)
 		if r, ok := e.cache.Get(key); ok {
 			return cloneReport(r)
+		}
+		if r, ok := e.peerFill(key); ok {
+			return r
 		}
 	}
 	g, enc := e.buildGraph(job, scr)

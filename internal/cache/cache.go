@@ -137,6 +137,22 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	return c.shardFor(key).get(key)
 }
 
+// Peek returns the cached value for key without counting a hit or miss
+// and without promoting the entry in the LRU order. It exists for
+// out-of-band readers — the peer-fill cache protocol serves other
+// replicas' lookups through it — whose traffic must not distort the
+// owner's own recency ordering or telemetry.
+func (c *Cache[V]) Peek(key string) (V, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		return el.Value.(*entry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
 // Put inserts or refreshes key → val, evicting cold entries as needed.
 func (c *Cache[V]) Put(key string, val V) {
 	c.shardFor(key).put(key, val)

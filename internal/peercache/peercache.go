@@ -1,0 +1,225 @@
+// Package peercache is the client side of the replica cache-peer
+// protocol: a horizontal tier that lets a fleet of graph2serve replicas
+// share their content-addressed loop caches instead of each recomputing
+// the same analyses.
+//
+// The protocol is one GET. Every cache key (sha256 of model fingerprint
+// + file content + loop position + normalized source) has a single owner
+// replica, chosen by rendezvous hashing over the static replica list —
+// every replica computes the same owner for a key with no coordination
+// traffic. On a local cache miss, the engine's CacheFiller hook calls
+// Fill, which asks the owner's GET /v1/cache/<key>; a 200 carries the
+// raw cached LoopReport (byte-identical to a local recompute, because
+// keys embed the model fingerprint and replicas share a checkpoint), a
+// 404 means the owner has not computed it either and the caller
+// recomputes locally. Peer failures degrade to local recompute too:
+// the tier is an accelerator, never a dependency.
+//
+// Concurrent identical misses are deduplicated in-process: one peer
+// exchange per key is in flight at a time, later callers wait for and
+// share its result.
+package peercache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graph2par"
+)
+
+// DefaultTimeout bounds one peer exchange when Config.Timeout is left
+// zero. It is deliberately tight: past it, recomputing locally is the
+// better bet, and a slow peer must not stall the whole pipeline stage.
+const DefaultTimeout = 500 * time.Millisecond
+
+// Config describes this replica's place in the fleet.
+type Config struct {
+	// Self is this replica's own advertised base URL. It participates in
+	// ownership (so the fleet's key space is spread over every replica)
+	// but is never dialed: keys this replica owns are simply recomputed
+	// locally and then served to the others.
+	Self string
+	// Peers lists the other replicas' base URLs (e.g.
+	// "http://10.0.0.2:8080"). Order is irrelevant — ownership comes from
+	// rendezvous hashing, so every replica may list the fleet in any
+	// order and still agree.
+	Peers []string
+	// Timeout bounds one peer exchange (0 means DefaultTimeout).
+	Timeout time.Duration
+}
+
+// Client resolves cache keys to owning replicas and fetches their cached
+// reports. Its Fill method is a graph2par.CacheFiller.
+type Client struct {
+	self  string
+	peers []string
+	http  *http.Client
+
+	mu       sync.Mutex
+	inflight map[string]*call
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	errors atomic.Uint64
+}
+
+// call is one in-flight peer exchange; latecomers for the same key wait
+// on wg and share the result.
+type call struct {
+	wg     sync.WaitGroup
+	report graph2par.LoopReport
+	ok     bool
+}
+
+// New builds a peer-fill client. Base URLs are normalized (scheme
+// defaulted to http, trailing slashes trimmed) so equivalent spellings
+// of the same replica hash identically fleet-wide.
+func New(cfg Config) (*Client, error) {
+	self, err := normalizeBase(cfg.Self)
+	if err != nil {
+		return nil, fmt.Errorf("peercache: self: %w", err)
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	c := &Client{
+		self:     self,
+		http:     &http.Client{Timeout: timeout},
+		inflight: make(map[string]*call),
+	}
+	seen := map[string]bool{self: true}
+	for _, p := range cfg.Peers {
+		base, err := normalizeBase(p)
+		if err != nil {
+			return nil, fmt.Errorf("peercache: peer %q: %w", p, err)
+		}
+		if seen[base] {
+			continue
+		}
+		seen[base] = true
+		c.peers = append(c.peers, base)
+	}
+	return c, nil
+}
+
+// normalizeBase canonicalizes one replica base URL.
+func normalizeBase(raw string) (string, error) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return "", fmt.Errorf("empty base URL")
+	}
+	if !strings.Contains(raw, "://") {
+		raw = "http://" + raw
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", err
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("no host in %q", raw)
+	}
+	return u.Scheme + "://" + u.Host + strings.TrimRight(u.Path, "/"), nil
+}
+
+// Peers returns the normalized peer list (self excluded).
+func (c *Client) Peers() []string { return append([]string(nil), c.peers...) }
+
+// Owner returns the replica owning key under rendezvous (highest random
+// weight) hashing over self + peers, and whether that owner is a peer
+// (false: this replica owns the key itself and should just compute it).
+func (c *Client) Owner(key string) (string, bool) {
+	best, bestScore := c.self, rendezvousScore(c.self, key)
+	isPeer := false
+	for _, p := range c.peers {
+		if s := rendezvousScore(p, key); s > bestScore || (s == bestScore && p > best) {
+			best, bestScore = p, s
+			isPeer = true
+		}
+	}
+	return best, isPeer
+}
+
+// rendezvousScore is the HRW weight of (replica, key): the first eight
+// bytes of sha256(replica NUL key). A weak sequential hash (FNV) is not
+// enough here — for keys sharing a long prefix, the score difference
+// between two replicas stays nearly constant across keys, so one replica
+// wins every key; sha256's avalanche makes the per-key winner uniform.
+func rendezvousScore(replica, key string) uint64 {
+	sum := sha256.Sum256([]byte(replica + "\x00" + key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Fill implements graph2par.CacheFiller: on this replica's local cache
+// miss, fetch the report from the key's owner. ok=false (wrong owner,
+// owner also missing it, any transport or decode failure) tells the
+// engine to recompute locally.
+func (c *Client) Fill(key string) (graph2par.LoopReport, bool) {
+	owner, isPeer := c.Owner(key)
+	if !isPeer {
+		return graph2par.LoopReport{}, false
+	}
+
+	// Single-flight: the first caller for a key does the exchange, the
+	// rest wait for its result. (The map never holds channel operations
+	// under mu — only map writes and WaitGroup bookkeeping.)
+	c.mu.Lock()
+	if existing, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		existing.wg.Wait()
+		return existing.report, existing.ok
+	}
+	cl := &call{}
+	cl.wg.Add(1)
+	c.inflight[key] = cl
+	c.mu.Unlock()
+
+	cl.report, cl.ok = c.fetch(owner, key)
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	cl.wg.Done()
+	return cl.report, cl.ok
+}
+
+// fetch performs one GET /v1/cache/<key> against the owner.
+func (c *Client) fetch(owner, key string) (graph2par.LoopReport, bool) {
+	resp, err := c.http.Get(owner + "/v1/cache/" + key)
+	if err != nil {
+		c.errors.Add(1)
+		return graph2par.LoopReport{}, false
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		c.misses.Add(1)
+		io.Copy(io.Discard, resp.Body)
+		return graph2par.LoopReport{}, false
+	default:
+		c.errors.Add(1)
+		io.Copy(io.Discard, resp.Body)
+		return graph2par.LoopReport{}, false
+	}
+	var report graph2par.LoopReport
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		c.errors.Add(1)
+		return graph2par.LoopReport{}, false
+	}
+	c.hits.Add(1)
+	return report, true
+}
+
+// Stats snapshots the client-side counters for /v1/stats.
+func (c *Client) Stats() (peers int, hits, misses, errors uint64) {
+	return len(c.peers), c.hits.Load(), c.misses.Load(), c.errors.Load()
+}

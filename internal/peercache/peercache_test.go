@@ -1,0 +1,267 @@
+package peercache
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"graph2par"
+	"graph2par/internal/serve"
+)
+
+func TestNormalizeBase(t *testing.T) {
+	cases := map[string]string{
+		"http://10.0.0.2:8080/": "http://10.0.0.2:8080",
+		"10.0.0.2:8080":         "http://10.0.0.2:8080",
+		"https://replica-b":     "https://replica-b",
+	}
+	for in, want := range cases {
+		got, err := normalizeBase(in)
+		if err != nil {
+			t.Errorf("normalizeBase(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("normalizeBase(%q) = %q, want %q", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "   ", "http://"} {
+		if _, err := normalizeBase(bad); err == nil {
+			t.Errorf("normalizeBase(%q) should fail", bad)
+		}
+	}
+}
+
+// TestOwnerAgreement is the rendezvous property the fleet depends on:
+// replicas configured with the same fleet in different orders (and
+// different selves) compute the same owner for every key, and the keys
+// spread over more than one replica.
+func TestOwnerAgreement(t *testing.T) {
+	fleet := []string{"http://a:1", "http://b:1", "http://c:1"}
+	clients := make([]*Client, len(fleet))
+	for i, self := range fleet {
+		var peers []string
+		// Deliberately permuted peer order per client.
+		for j := range fleet {
+			if p := fleet[(i+j+1)%len(fleet)]; p != self {
+				peers = append(peers, p)
+			}
+		}
+		c, err := New(Config{Self: self, Peers: peers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+	}
+	owners := map[string]bool{}
+	for k := 0; k < 64; k++ {
+		key := fmt.Sprintf("%064x", k)
+		owner, _ := clients[0].Owner(key)
+		owners[owner] = true
+		for _, c := range clients[1:] {
+			if got, _ := c.Owner(key); got != owner {
+				t.Fatalf("key %s: owner %q vs %q — replicas disagree", key, owner, got)
+			}
+		}
+	}
+	if len(owners) < 2 {
+		t.Errorf("64 keys all landed on one replica; rendezvous is not spreading")
+	}
+}
+
+// TestSingleFlight checks concurrent identical misses collapse to one
+// peer exchange: 16 goroutines fill the same key, the owner sees one GET.
+func TestSingleFlight(t *testing.T) {
+	var gets, waiting sync.WaitGroup
+	waiting.Add(16)
+	var requests atomic.Int32
+	canned, _ := json.Marshal(graph2par.LoopReport{Line: 7, Source: "for"})
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		waiting.Wait() // park until every caller is committed to this key
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(canned)
+	}))
+	defer owner.Close()
+
+	c, err := New(Config{Self: "http://self.invalid:1", Peers: []string{owner.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a key the peer owns (ownership is deterministic, so scan).
+	key := ""
+	for k := 0; k < 256; k++ {
+		cand := fmt.Sprintf("%064x", k)
+		if _, isPeer := c.Owner(cand); isPeer {
+			key = cand
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no peer-owned key in 256 candidates")
+	}
+
+	results := make([]bool, 16)
+	for i := 0; i < 16; i++ {
+		gets.Add(1)
+		go func(i int) {
+			defer gets.Done()
+			waiting.Done()
+			r, ok := c.Fill(key)
+			results[i] = ok && r.Line == 7
+		}(i)
+	}
+	gets.Wait()
+	for i, ok := range results {
+		if !ok {
+			t.Errorf("caller %d did not get the shared result", i)
+		}
+	}
+	if n := requests.Load(); n != 1 {
+		t.Errorf("owner saw %d GETs for one key, want 1 (single-flight)", n)
+	}
+	if _, hits, _, _ := c.Stats(); hits != 1 {
+		t.Errorf("hits = %d, want 1 — waiters must share, not re-count", hits)
+	}
+}
+
+// TestFillDegradesGracefully: owner 404s and owner-down both return
+// ok=false (local recompute), never an error the pipeline could trip on.
+func TestFillDegradesGracefully(t *testing.T) {
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":{"code":"not_found"}}`, http.StatusNotFound)
+	}))
+	c, err := New(Config{Self: "http://self.invalid:1", Peers: []string{owner.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := peerOwnedKey(t, c)
+	if _, ok := c.Fill(key); ok {
+		t.Error("404 from owner reported as a hit")
+	}
+	owner.Close()
+	if _, ok := c.Fill(key); ok {
+		t.Error("dead owner reported as a hit")
+	}
+	_, _, misses, errors := c.Stats()
+	if misses != 1 || errors != 1 {
+		t.Errorf("misses=%d errors=%d, want 1 and 1", misses, errors)
+	}
+}
+
+func peerOwnedKey(t *testing.T, c *Client) string {
+	t.Helper()
+	for k := 0; k < 256; k++ {
+		cand := fmt.Sprintf("%064x", k)
+		if _, isPeer := c.Owner(cand); isPeer {
+			return cand
+		}
+	}
+	t.Fatal("no peer-owned key in 256 candidates")
+	return ""
+}
+
+// TestTwoReplicaPeerFill is the tier's acceptance test: replica A and
+// replica B share a checkpoint (so their fingerprints — and therefore
+// their cache keys — agree), B has analyzed a corpus, and A's misses on
+// that corpus are served out of B's cache byte-identically to what a
+// local recompute would have produced.
+func TestTwoReplicaPeerFill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	// Replica B trains the fleet's model and serves it.
+	engineB, err := graph2par.NewEngine(graph2par.EngineConfig{
+		TrainScale: 0.008, Epochs: 2, Seed: 11, Quiet: true, CacheSize: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "fleet.ckpt")
+	if err := engineB.Save(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	serverB := httptest.NewServer(serve.New(engineB).Handler())
+	defer serverB.Close()
+
+	// Replica A loads the shared checkpoint: same fingerprint, same keys.
+	engineA, err := graph2par.NewEngine(graph2par.EngineConfig{
+		ModelPath: ckpt, Quiet: true, CacheSize: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engineA.Fingerprint() != engineB.Fingerprint() {
+		t.Fatalf("checkpoint round-trip changed the fingerprint:\n  A %s\n  B %s",
+			engineA.Fingerprint(), engineB.Fingerprint())
+	}
+	clientA, err := New(Config{Self: "http://replica-a.invalid:1", Peers: []string{serverB.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engineA.SetCacheFiller(clientA.Fill)
+
+	// A corpus of distinct multi-loop files: with 2 replicas each loop key
+	// is peer-owned with probability 1/2, so across ~12 keys the peer path
+	// engages deterministically (ownership is a pure hash — no flake).
+	var corpus []string
+	for i := 0; i < 3; i++ {
+		var b strings.Builder
+		fmt.Fprintf(&b, "int main() {\n    int a[%d], b[%d];\n    int i, s = 0;\n", 64+i, 64+i)
+		fmt.Fprintf(&b, "    for (i = 0; i < %d; i++) b[i] = i;\n", 64+i)
+		fmt.Fprintf(&b, "    for (i = 0; i < %d; i++) a[i] = b[i] * 2;\n", 64+i)
+		fmt.Fprintf(&b, "    for (i = 1; i < %d; i++) a[i] = a[i-1] + 1;\n", 64+i)
+		fmt.Fprintf(&b, "    for (i = 0; i < %d; i++) s += a[i];\n    return s;\n}\n", 64+i)
+		corpus = append(corpus, b.String())
+	}
+
+	// B computes the corpus (warming its cache); an engine with no filler
+	// provides the reference answers A's peer-filled reports must match.
+	reference := make([][]graph2par.LoopReport, len(corpus))
+	for i, src := range corpus {
+		if reference[i], err = engineB.AnalyzeSource(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i, src := range corpus {
+		got, err := engineA.AnalyzeSource(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Byte-identical, not just semantically equal: marshal both sides.
+		gotJSON, _ := json.Marshal(got)
+		wantJSON, _ := json.Marshal(reference[i])
+		if !reflect.DeepEqual(got, reference[i]) || string(gotJSON) != string(wantJSON) {
+			t.Errorf("file %d: peer-filled reports differ from local recompute\n got: %s\nwant: %s",
+				i, gotJSON, wantJSON)
+		}
+	}
+
+	_, hits, misses, errors := clientA.Stats()
+	if hits == 0 {
+		t.Error("peer tier never engaged: 0 hits across 12 peer-eligible keys")
+	}
+	if errors != 0 {
+		t.Errorf("peer exchanges errored %d times", errors)
+	}
+	t.Logf("peer stats: hits=%d misses=%d", hits, misses)
+
+	// Repeat analyses are now local cache hits on A: the peer results were
+	// installed into A's cache, so the tier is not re-consulted.
+	before := hits + misses
+	if _, err := engineA.AnalyzeSource(corpus[0]); err != nil {
+		t.Fatal(err)
+	}
+	_, hits2, misses2, _ := clientA.Stats()
+	if hits2+misses2 != before {
+		t.Error("repeat analysis consulted the peer tier despite a warm local cache")
+	}
+}

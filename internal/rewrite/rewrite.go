@@ -65,9 +65,11 @@ type LoopPlan struct {
 	Verdict     verify.Verdict `json:"verdict"`
 	Validation  Validation     `json:"validation"`
 
-	// atomicCols carries the candidates' start columns to the splicer's
-	// byte-level first-on-line re-check.
-	atomicCols []int
+	// AtomicCols carries the candidates' start columns to the splicer's
+	// byte-level first-on-line re-check. It is part of the wire format
+	// (unlike meta) because a plan fetched from a peer replica's cache
+	// must splice byte-identically to a locally computed one.
+	AtomicCols []int `json:"atomicCols,omitempty"`
 	// meta holds the clause derivation the dynamic validator used; the
 	// splicer does not need it, but Clone must not share slices.
 	meta clausePlan
@@ -83,8 +85,8 @@ func (p *LoopPlan) Clone() *LoopPlan {
 	if p.AtomicLines != nil {
 		n.AtomicLines = append([]int(nil), p.AtomicLines...)
 	}
-	if p.atomicCols != nil {
-		n.atomicCols = append([]int(nil), p.atomicCols...)
+	if p.AtomicCols != nil {
+		n.AtomicCols = append([]int(nil), p.AtomicCols...)
 	}
 	if p.Verdict.Findings != nil {
 		n.Verdict.Findings = append([]verify.Finding(nil), p.Verdict.Findings...)
@@ -165,7 +167,7 @@ func PlanLoopWith(loop cast.Stmt, file *cast.File, checks []*verify.Check) *Loop
 	case "failed":
 		plan.Status = StatusSuggestion
 		plan.AtomicLines = nil
-		plan.atomicCols = nil
+		plan.AtomicCols = nil
 		plan.Reason = "dynamic validation: " + out.detail
 		plan.Validation.Dynamic = "failed: " + out.detail
 	case "skipped":
@@ -195,7 +197,7 @@ func tryAtomicRescue(plan *LoopPlan, f *cast.For, file *cast.File, fn *cast.Func
 	}
 	for _, c := range cands {
 		plan.AtomicLines = append(plan.AtomicLines, c.line)
-		plan.atomicCols = append(plan.atomicCols, c.col)
+		plan.AtomicCols = append(plan.AtomicCols, c.col)
 		cp.atomicBases = append(cp.atomicBases, c.base)
 	}
 	sort.Strings(cp.atomicBases)

@@ -119,7 +119,7 @@ func (p *LoopPlan) demote(reason string) {
 	p.Status = StatusSuggestion
 	p.Reason = reason
 	p.AtomicLines = nil
-	p.atomicCols = nil
+	p.AtomicCols = nil
 	p.Validation.GraphIdentical = false
 }
 
@@ -224,7 +224,7 @@ func planEdits(lines []string, actives []*LoopPlan, loops []cast.Stmt, byOffset 
 				ok = false
 				break
 			}
-			col := p.atomicCols[i]
+			col := p.AtomicCols[i]
 			stLine := lines[al-1]
 			if col < 1 || col-1 > len(stLine) || strings.TrimSpace(stLine[:col-1]) != "" {
 				ok = false

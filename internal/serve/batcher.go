@@ -1,7 +1,8 @@
 package serve
 
 import (
-	"fmt"
+	"context"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,14 +65,20 @@ func newMicroBatcher(engine *graph2par.Engine, window time.Duration, max int) *m
 }
 
 // analyze queues one source into the open batch window (opening one if
-// none is open) and blocks until its batch has been analyzed. After
-// close, requests fall through to the direct engine call.
-func (b *microBatcher) analyze(source string) ([]graph2par.LoopReport, error) {
+// none is open) and blocks until its batch has been analyzed or ctx
+// ends. An abandoned member's batch still runs — its result lands in the
+// buffered done channel and is dropped, so a deadline that expires while
+// parked frees the handler without stalling the window. After close,
+// requests fall through to the direct engine call.
+func (b *microBatcher) analyze(ctx context.Context, source string) ([]graph2par.LoopReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p := &pendingAnalyze{source: source, done: make(chan analyzeResult, 1)}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
-		return b.engine.AnalyzeSource(source)
+		return b.engine.AnalyzeSourceContext(ctx, source)
 	}
 	b.pending = append(b.pending, p)
 	if len(b.pending) == 1 {
@@ -86,8 +93,12 @@ func (b *microBatcher) analyze(source string) ([]graph2par.LoopReport, error) {
 	if full != nil {
 		b.run(full)
 	}
-	r := <-p.done
-	return r.reports, r.err
+	select {
+	case r := <-p.done:
+		return r.reports, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // take detaches the current batch and disarms its window timer. The
@@ -120,10 +131,9 @@ func (b *microBatcher) flushExpired(gen uint64) {
 	b.run(batch)
 }
 
-// flush dispatches whatever the current window holds, immediately. It is
-// the shutdown hook: wiring it to http.Server.RegisterOnShutdown (as
-// cmd/graph2serve does) guarantees parked requests are analyzed and
-// answered during a graceful drain instead of waiting out their window.
+// flush dispatches whatever the current window holds, immediately.
+// Coalescing continues afterwards — the shutdown hook is close, which
+// also keeps requests admitted mid-drain from parking in a fresh window.
 func (b *microBatcher) flush() {
 	b.mu.Lock()
 	batch := b.take()
@@ -168,5 +178,37 @@ func (b *microBatcher) run(batch []*pendingAnalyze) {
 	}
 }
 
+// batchReqNames holds the precomputed keys for every index a default-
+// sized window can reach, so steady-state batch dispatch allocates no
+// name strings at all (batches larger than the table fall back to a
+// strconv append that renders the identical "req_%06d" shape).
+var batchReqNames = func() [64]string {
+	var names [64]string
+	for i := range names {
+		names[i] = formatBatchReqName(i)
+	}
+	return names
+}()
+
 // batchReqName keys batch member i inside the synthetic AnalyzeFiles map.
-func batchReqName(i int) string { return fmt.Sprintf("req_%06d", i) }
+func batchReqName(i int) string {
+	if i >= 0 && i < len(batchReqNames) {
+		return batchReqNames[i]
+	}
+	return formatBatchReqName(i)
+}
+
+// formatBatchReqName renders "req_%06d" without fmt: a fixed prefix,
+// zero padding to six digits, then the decimal index.
+func formatBatchReqName(i int) string {
+	buf := make([]byte, 0, 10)
+	buf = append(buf, "req_"...)
+	digits := 1
+	for n := i; n >= 10; n /= 10 {
+		digits++
+	}
+	for ; digits < 6; digits++ {
+		buf = append(buf, '0')
+	}
+	return string(strconv.AppendInt(buf, int64(i), 10))
+}

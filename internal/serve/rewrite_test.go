@@ -22,7 +22,7 @@ func TestRewriteOverHTTP(t *testing.T) {
 	t.Cleanup(ts.Close)
 
 	var resp rewriteResponse
-	if code := postJSON(t, ts.URL+"/rewrite", rewriteRequest{Source: program}, &resp); code != http.StatusOK {
+	if code := postJSON(t, ts.URL+"/v1/rewrite", requestEnvelope{Source: program}, &resp); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
 	if resp.Output == "" {
@@ -45,7 +45,7 @@ func TestRewriteOverHTTP(t *testing.T) {
 	}
 
 	var stats statsResponse
-	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
 		t.Fatalf("stats status = %d", code)
 	}
 	if !stats.Rewrite.Enabled {
@@ -61,15 +61,15 @@ func TestRewriteOverHTTP(t *testing.T) {
 
 func TestRewriteDisabledReturns503(t *testing.T) {
 	ts := server(t)
-	var errResp errorResponse
-	if code := postJSON(t, ts.URL+"/rewrite", rewriteRequest{Source: program}, &errResp); code != http.StatusServiceUnavailable {
+	var errResp errorEnvelope
+	if code := postJSON(t, ts.URL+"/v1/rewrite", requestEnvelope{Source: program}, &errResp); code != http.StatusServiceUnavailable {
 		t.Fatalf("status = %d, want 503", code)
 	}
-	if !strings.Contains(errResp.Error, "-rewrite") {
-		t.Errorf("error %q does not point at the -rewrite flag", errResp.Error)
+	if errResp.Error.Code != codeRewriteDisabled || !strings.Contains(errResp.Error.Message, "-rewrite") {
+		t.Errorf("error %+v does not carry %q pointing at the -rewrite flag", errResp.Error, codeRewriteDisabled)
 	}
 	var stats statsResponse
-	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
 		t.Fatalf("stats status = %d", code)
 	}
 	if stats.Rewrite.Enabled {
@@ -84,14 +84,14 @@ func TestRewriteRejectsBadRequests(t *testing.T) {
 	ts := httptest.NewServer(New(e).Handler())
 	t.Cleanup(ts.Close)
 
-	var errResp errorResponse
-	if code := postJSON(t, ts.URL+"/rewrite", rewriteRequest{}, &errResp); code != http.StatusBadRequest {
+	var errResp errorEnvelope
+	if code := postJSON(t, ts.URL+"/v1/rewrite", requestEnvelope{}, &errResp); code != http.StatusBadRequest {
 		t.Errorf("missing source: status = %d, want 400", code)
 	}
-	if code := postJSON(t, ts.URL+"/rewrite", rewriteRequest{Source: "int f( {"}, &errResp); code != http.StatusUnprocessableEntity {
+	if code := postJSON(t, ts.URL+"/v1/rewrite", requestEnvelope{Source: "int f( {"}, &errResp); code != http.StatusUnprocessableEntity {
 		t.Errorf("unparseable source: status = %d, want 422", code)
 	}
-	resp, err := http.Get(ts.URL + "/rewrite")
+	resp, err := http.Get(ts.URL + "/v1/rewrite")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,24 +2,35 @@
 // graph2par.Engine: one long-running warm model serves concurrent analyze
 // requests, with the engine's content-addressed cache giving repeat
 // queries sub-millisecond latency and an optional micro-batcher
-// (ServeConfig.BatchWindow) coalescing concurrent /analyze requests into
-// shared batched-inference passes.
+// (ServeConfig.BatchWindow) coalescing concurrent /v1/analyze requests
+// into shared batched-inference passes.
 //
-// Endpoints:
+// The v1 API (one uniform request envelope, one structured error
+// envelope — see api.go):
 //
-//	POST /analyze        {"source": "...", "dot": false} → reports for one translation unit
-//	POST /analyze/batch  {"files": {"a.c": "..."}}       → per-file reports, mirroring Engine.AnalyzeFiles
-//	POST /rewrite        {"source": "..."}               → transformed OpenMP C plus per-loop plans
-//	GET  /healthz        liveness probe
-//	GET  /stats          cache, micro-batch, worker and request counters
+//	POST /v1/analyze        {"source": "...", "options": {"dot": false}, "deadline_ms": 0, "client_id": ""}
+//	POST /v1/analyze/batch  {"files": {"a.c": "..."}, ...}
+//	POST /v1/rewrite        {"source": "...", ...}
+//	GET  /v1/healthz        liveness probe
+//	GET  /v1/stats          cache, admission, rate-limit, peer, batching and request counters
+//	GET  /v1/cache/<key>    raw cached loop report by content-addressed key (the peer-fill protocol)
 //
-// The handlers only call the engine's concurrent-safe Analyze* methods,
-// so one Server may sit behind any number of in-flight requests.
+// The unversioned routes (/analyze, /analyze/batch, /rewrite, /healthz,
+// /stats) are deprecated aliases of their /v1 successors: same handlers,
+// same envelopes, plus a Deprecation header naming the replacement.
+//
+// Production ingress hygiene is uniform across the API endpoints:
+// requests must be application/json (415), bodies are capped (413),
+// wrong methods get a 405 with an Allow header, per-client token buckets
+// rate-limit by client id (429 + Retry-After), a bounded admission queue
+// sheds load once the configured watermark is exceeded (429 +
+// Retry-After), and client-supplied deadlines propagate as
+// context.Context through the engine so a dead request stops burning CPU
+// at the next pipeline stage boundary.
 package serve
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -29,14 +40,36 @@ import (
 	"graph2par"
 )
 
-// maxBodyBytes bounds request bodies (source code is small; this mostly
-// guards the decoder against junk).
-const maxBodyBytes = 16 << 20
+// DefaultMaxBody bounds request bodies when ServeConfig.MaxBody is left
+// zero (source code is small; this mostly guards the decoder against
+// junk).
+const DefaultMaxBody = 16 << 20
+
+// DefaultMaxBatch is the per-window request cap used when
+// ServeConfig.MaxBatch is left zero.
+const DefaultMaxBatch = 16
+
+// DefaultRetryAfter is the Retry-After hint on shed responses when
+// ServeConfig.RetryAfter is left zero.
+const DefaultRetryAfter = time.Second
+
+// PeerStats is the peer-fill client's counter snapshot, supplied by
+// ServeConfig.PeerStats so /stats can report the cluster tier without
+// this package importing the peer client.
+type PeerStats struct {
+	// Peers is the replica-list size (self excluded).
+	Peers int
+	// Hits counts misses served from the owning replica's cache;
+	// Misses counts peer lookups that came back empty (local recompute
+	// followed); Errors counts failed peer exchanges (network, decode —
+	// also followed by local recompute).
+	Hits, Misses, Errors uint64
+}
 
 // ServeConfig tunes the server's request handling.
 type ServeConfig struct {
 	// BatchWindow > 0 enables server-side micro-batching of POST
-	// /analyze: the first request of a quiet period opens a batch that
+	// /v1/analyze: the first request of a quiet period opens a batch that
 	// collects concurrent requests for up to this duration (or until
 	// MaxBatch requests have joined), then the whole group shares one
 	// batched-inference engine pass. Responses are byte-identical to
@@ -48,32 +81,81 @@ type ServeConfig struct {
 	// batch dispatches immediately, without waiting out the window).
 	// 0 means DefaultMaxBatch.
 	MaxBatch int
-}
 
-// DefaultMaxBatch is the per-window request cap used when
-// ServeConfig.MaxBatch is left zero.
-const DefaultMaxBatch = 16
+	// MaxBody caps request-body bytes (0 means DefaultMaxBody). Larger
+	// bodies get 413 with code "body_too_large".
+	MaxBody int64
+
+	// MaxInflight > 0 enables admission control: at most this many API
+	// requests are processed concurrently, at most MaxQueue more wait for
+	// a slot, and requests beyond that watermark are shed with 429 +
+	// Retry-After instead of queueing without bound behind a backed-up
+	// batcher. 0 disables admission control.
+	MaxInflight int
+	// MaxQueue is the admission-queue watermark (only meaningful with
+	// MaxInflight > 0; 0 means shed as soon as every slot is busy).
+	MaxQueue int
+	// RetryAfter is the hint sent with shed responses (0 means
+	// DefaultRetryAfter).
+	RetryAfter time.Duration
+
+	// RatePerSec > 0 enables per-client token-bucket rate limiting keyed
+	// on the client id (envelope client_id, else the X-Client-ID header,
+	// else the remote address): each client earns RatePerSec tokens per
+	// second up to RateBurst (0 means RatePerSec, min 1) and each API
+	// request spends one. Over-limit requests get 429 with code
+	// "rate_limited" and a Retry-After naming the next token's arrival.
+	RatePerSec float64
+	RateBurst  float64
+
+	// PeerStats, when set, feeds the /v1/stats peer section with the
+	// peer-fill client's counters (see graph2par.Engine.SetCacheFiller
+	// and internal/peercache).
+	PeerStats func() PeerStats
+}
 
 // Server carries the shared engine and request counters.
 type Server struct {
-	engine  *graph2par.Engine
-	started time.Time
-	batcher *microBatcher // nil when micro-batching is disabled
+	engine    *graph2par.Engine
+	started   time.Time
+	batcher   *microBatcher // nil when micro-batching is disabled
+	admission *admission    // nil when admission control is disabled
+	limiter   *rateLimiter  // nil when rate limiting is disabled
 
-	analyzeReqs atomic.Uint64
-	batchReqs   atomic.Uint64
-	rewriteReqs atomic.Uint64
-	errorReqs   atomic.Uint64
+	maxBody    int64
+	retryAfter time.Duration
+	peerStats  func() PeerStats
+
+	analyzeReqs   atomic.Uint64
+	batchReqs     atomic.Uint64
+	rewriteReqs   atomic.Uint64
+	errorReqs     atomic.Uint64
+	deprecated    atomic.Uint64 // requests arriving via unversioned aliases
+	cacheServed   atomic.Uint64 // /v1/cache/<key> hits served to peers
+	cacheNotFound atomic.Uint64
 }
 
-// New wraps an engine for serving with micro-batching disabled.
+// New wraps an engine for serving with micro-batching, admission control
+// and rate limiting disabled.
 func New(engine *graph2par.Engine) *Server {
 	return NewWithConfig(engine, ServeConfig{})
 }
 
 // NewWithConfig wraps an engine for serving.
 func NewWithConfig(engine *graph2par.Engine, cfg ServeConfig) *Server {
-	s := &Server{engine: engine, started: time.Now()}
+	s := &Server{
+		engine:     engine,
+		started:    time.Now(),
+		maxBody:    cfg.MaxBody,
+		retryAfter: cfg.RetryAfter,
+		peerStats:  cfg.PeerStats,
+	}
+	if s.maxBody <= 0 {
+		s.maxBody = DefaultMaxBody
+	}
+	if s.retryAfter <= 0 {
+		s.retryAfter = DefaultRetryAfter
+	}
 	if cfg.BatchWindow > 0 {
 		max := cfg.MaxBatch
 		if max <= 0 {
@@ -81,13 +163,22 @@ func NewWithConfig(engine *graph2par.Engine, cfg ServeConfig) *Server {
 		}
 		s.batcher = newMicroBatcher(engine, cfg.BatchWindow, max)
 	}
+	if cfg.MaxInflight > 0 {
+		s.admission = newAdmission(cfg.MaxInflight, cfg.MaxQueue)
+	}
+	if cfg.RatePerSec > 0 {
+		burst := cfg.RateBurst
+		if burst <= 0 {
+			burst = cfg.RatePerSec
+		}
+		s.limiter = newRateLimiter(cfg.RatePerSec, burst)
+	}
 	return s
 }
 
 // Flush dispatches the micro-batcher's open window immediately (no-op
-// when micro-batching is off). Register it with
-// http.Server.RegisterOnShutdown so a graceful drain answers parked
-// requests at once instead of waiting out their window.
+// when micro-batching is off). Coalescing continues; for shutdown use
+// Close instead.
 func (s *Server) Flush() {
 	if s.batcher != nil {
 		s.batcher.flush()
@@ -95,225 +186,103 @@ func (s *Server) Flush() {
 }
 
 // Close flushes the open window and disables coalescing; subsequent
-// requests are served directly. The server remains usable.
+// requests are served directly. The server remains usable. Register it
+// with http.Server.RegisterOnShutdown (as cmd/graph2serve does) so a
+// graceful drain answers parked requests at once AND keeps late
+// stragglers — e.g. admission-queue waiters admitted mid-drain — from
+// parking in a fresh window nobody will flush.
 func (s *Server) Close() {
 	if s.batcher != nil {
 		s.batcher.close()
 	}
 }
 
-// Handler returns the routed HTTP handler.
+// Handler returns the routed HTTP handler: the /v1 route family plus the
+// deprecated unversioned aliases.
 func (s *Server) Handler() http.Handler {
+	analyze := s.endpoint(&s.analyzeReqs, s.analyzeAPI)
+	batch := s.endpoint(&s.batchReqs, s.batchAPI)
+	rewriteH := s.endpoint(&s.rewriteReqs, s.rewriteAPI)
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("/analyze", s.handleAnalyze)
-	mux.HandleFunc("/analyze/batch", s.handleBatch)
-	mux.HandleFunc("/rewrite", s.handleRewrite)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/v1/analyze", analyze)
+	mux.HandleFunc("/v1/analyze/batch", batch)
+	mux.HandleFunc("/v1/rewrite", rewriteH)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/cache/", s.handleCacheKey)
+
+	// Deprecated unversioned aliases: same handlers, same envelopes, plus
+	// a Deprecation header pointing clients at the successor route.
+	mux.HandleFunc("/analyze", s.legacy("/v1/analyze", analyze))
+	mux.HandleFunc("/analyze/batch", s.legacy("/v1/analyze/batch", batch))
+	mux.HandleFunc("/rewrite", s.legacy("/v1/rewrite", rewriteH))
+	mux.HandleFunc("/healthz", s.legacy("/v1/healthz", s.handleHealthz))
+	mux.HandleFunc("/stats", s.legacy("/v1/stats", s.handleStats))
 	return mux
 }
 
-// analyzeRequest is the POST /analyze body.
-type analyzeRequest struct {
-	// Source is one C translation unit.
-	Source string `json:"source"`
-	// DOT includes each loop's Graphviz rendering in the response
-	// (omitted by default: it dominates response size).
-	DOT bool `json:"dot"`
+// legacy wraps a v1 handler for its unversioned alias: it announces the
+// deprecation (RFC 8594-style Deprecation + successor Link headers) and
+// counts the hit so operators can watch legacy traffic drain before
+// removing the routes.
+func (s *Server) legacy(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.deprecated.Add(1)
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h(w, r)
+	}
 }
 
-// analyzeResponse is the POST /analyze result.
-type analyzeResponse struct {
-	Loops   int                    `json:"loops"`
-	Reports []graph2par.LoopReport `json:"reports"`
-}
-
-// batchRequest is the POST /analyze/batch body.
-type batchRequest struct {
-	Files map[string]string `json:"files"`
-	DOT   bool              `json:"dot"`
-}
-
-// batchResponse is the POST /analyze/batch result. Files that fail to
-// parse are absent from Results and described in ParseErrors.
-type batchResponse struct {
-	Results     map[string][]graph2par.LoopReport `json:"results"`
-	ParseErrors string                            `json:"parseErrors,omitempty"`
-}
-
-// rewriteRequest is the POST /rewrite body.
-type rewriteRequest struct {
-	// Source is one C translation unit.
-	Source string `json:"source"`
-	// DOT includes each loop's Graphviz rendering in the response.
-	DOT bool `json:"dot"`
-}
-
-// rewriteResponse is the POST /rewrite result: the transformed source
-// (equal to the input when no loop was accepted) and the reports whose
-// Rewrite plans carry the final splice-checked statuses.
-type rewriteResponse struct {
-	Changed bool                   `json:"changed"`
-	Output  string                 `json:"output"`
-	Reports []graph2par.LoopReport `json:"reports"`
-}
-
-// errorResponse is the uniform error body.
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
-	if code >= 400 {
-		s.errorReqs.Add(1)
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-// decodeInto strictly decodes the request body, translating the failure
-// modes into one client-readable message.
-func decodeInto(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("malformed request body: %v", err)
-	}
-	return nil
-}
-
-func methodNotAllowed(w http.ResponseWriter, s *Server) {
-	s.writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed"})
-}
-
-// stripDOT blanks the bulky DOT field unless the client asked for it.
-func stripDOT(reports []graph2par.LoopReport, keep bool) []graph2par.LoopReport {
-	if keep {
-		return reports
-	}
-	out := make([]graph2par.LoopReport, len(reports))
-	copy(out, reports)
-	for i := range out {
-		out[i].DOT = ""
-	}
-	return out
-}
-
-func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		methodNotAllowed(w, s)
-		return
-	}
-	s.analyzeReqs.Add(1)
-	var req analyzeRequest
-	if err := decodeInto(r, &req); err != nil {
-		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
-	}
-	if req.Source == "" {
-		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing \"source\""})
-		return
-	}
-	var reports []graph2par.LoopReport
-	var err error
-	if s.batcher != nil {
-		reports, err = s.batcher.analyze(req.Source)
-	} else {
-		reports, err = s.engine.AnalyzeSource(req.Source)
-	}
-	if err != nil {
-		s.writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
-		return
-	}
-	s.writeJSON(w, http.StatusOK, analyzeResponse{
-		Loops:   len(reports),
-		Reports: stripDOT(reports, req.DOT),
-	})
-}
-
-func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		methodNotAllowed(w, s)
-		return
-	}
-	s.rewriteReqs.Add(1)
-	if !s.engine.RewriteEnabled() {
-		s.writeJSON(w, http.StatusServiceUnavailable,
-			errorResponse{Error: "rewrite stage disabled (start graph2serve with -rewrite)"})
-		return
-	}
-	var req rewriteRequest
-	if err := decodeInto(r, &req); err != nil {
-		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
-	}
-	if req.Source == "" {
-		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing \"source\""})
-		return
-	}
-	res, err := s.engine.RewriteSource(req.Source)
-	if err != nil {
-		s.writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
-		return
-	}
-	s.writeJSON(w, http.StatusOK, rewriteResponse{
-		Changed: res.Changed,
-		Output:  res.Output,
-		Reports: stripDOT(res.Reports, req.DOT),
-	})
-}
-
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		methodNotAllowed(w, s)
-		return
-	}
-	s.batchReqs.Add(1)
-	var req batchRequest
-	if err := decodeInto(r, &req); err != nil {
-		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
-	}
-	if len(req.Files) == 0 {
-		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing \"files\""})
-		return
-	}
-	results, err := s.engine.AnalyzeFiles(req.Files)
-	if err != nil && len(results) == 0 {
-		// Every file failed to parse: same contract as /analyze.
-		s.writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
-		return
-	}
-	resp := batchResponse{Results: make(map[string][]graph2par.LoopReport, len(results))}
-	for name, reports := range results {
-		resp.Results[name] = stripDOT(reports, req.DOT)
-	}
-	if err != nil {
-		// Partial failure: parsable files were analyzed, the rest are
-		// reported per file in one deterministic message.
-		resp.ParseErrors = err.Error()
-	}
-	s.writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		methodNotAllowed(w, s)
-		return
-	}
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-}
-
-// statsResponse is the GET /stats body.
+// statsResponse is the GET /v1/stats body.
 type statsResponse struct {
 	UptimeSeconds float64       `json:"uptimeSeconds"`
 	Workers       int           `json:"workers"`
 	Requests      reqStats      `json:"requests"`
+	Admission     admissionInfo `json:"admission"`
+	RateLimit     rateLimitInfo `json:"rateLimit"`
 	Cache         cacheStats    `json:"cache"`
+	Peer          peerInfo      `json:"peer"`
 	Batching      batchingStats `json:"batching"`
 	Verify        verifyInfo    `json:"verify"`
 	Rewrite       rewriteInfo   `json:"rewrite"`
+}
+
+// admissionInfo reports the load-shedding tier: live queue depths and how
+// many requests were admitted versus shed since start. Shedding engaging
+// under overload (shed > 0 while inflight pins at maxInflight) is the
+// designed behaviour — the alternative is unbounded queue growth.
+type admissionInfo struct {
+	Enabled     bool   `json:"enabled"`
+	MaxInflight int    `json:"maxInflight,omitempty"`
+	MaxQueue    int    `json:"maxQueue,omitempty"`
+	Inflight    int    `json:"inflight"`
+	Queued      int    `json:"queued"`
+	Admitted    uint64 `json:"admitted"`
+	Shed        uint64 `json:"shed"`
+}
+
+// rateLimitInfo reports the per-client token-bucket tier.
+type rateLimitInfo struct {
+	Enabled    bool    `json:"enabled"`
+	RatePerSec float64 `json:"ratePerSec,omitempty"`
+	Burst      float64 `json:"burst,omitempty"`
+	Clients    int     `json:"clients"`
+	Limited    uint64  `json:"limited"`
+}
+
+// peerInfo reports the peer-fill cache tier from both sides: as a client
+// (hits/misses/errors against owning replicas) and as an owner (cache
+// lookups served to — or 404ed for — other replicas).
+type peerInfo struct {
+	Enabled  bool   `json:"enabled"`
+	Peers    int    `json:"peers,omitempty"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Errors   uint64 `json:"errors"`
+	Served   uint64 `json:"served"`
+	NotFound uint64 `json:"notFound"`
 }
 
 // rewriteInfo reports the source-to-source stage: whether predicted-
@@ -339,9 +308,9 @@ type verifyInfo struct {
 
 // batchingStats reports whether request coalescing is actually happening:
 // batches is how many windows were dispatched, coalescedRequests how many
-// /analyze requests rode them, and meanBatchSize their ratio — 1.0 means
-// every window held a single request (no concurrency to coalesce), higher
-// means clients are genuinely sharing forward passes.
+// /v1/analyze requests rode them, and meanBatchSize their ratio — 1.0
+// means every window held a single request (no concurrency to coalesce),
+// higher means clients are genuinely sharing forward passes.
 type batchingStats struct {
 	Enabled           bool    `json:"enabled"`
 	WindowMillis      float64 `json:"windowMillis,omitempty"`
@@ -355,6 +324,9 @@ type reqStats struct {
 	Batch   uint64 `json:"batch"`
 	Rewrite uint64 `json:"rewrite"`
 	Errors  uint64 `json:"errors"`
+	// Deprecated counts requests that arrived via the unversioned alias
+	// routes; it reaching zero is the signal the aliases can be retired.
+	Deprecated uint64 `json:"deprecated"`
 }
 
 type cacheStats struct {
@@ -367,25 +339,60 @@ type cacheStats struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		methodNotAllowed(w, s)
+	if ae := checkMethod(r, http.MethodGet); ae != nil {
+		s.writeError(w, ae)
 		return
 	}
 	resp := statsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Workers:       s.engine.Workers(),
 		Requests: reqStats{
-			Analyze: s.analyzeReqs.Load(),
-			Batch:   s.batchReqs.Load(),
-			Rewrite: s.rewriteReqs.Load(),
-			Errors:  s.errorReqs.Load(),
+			Analyze:    s.analyzeReqs.Load(),
+			Batch:      s.batchReqs.Load(),
+			Rewrite:    s.rewriteReqs.Load(),
+			Errors:     s.errorReqs.Load(),
+			Deprecated: s.deprecated.Load(),
 		},
+	}
+	if s.admission != nil {
+		inflight, queued, admitted, shed := s.admission.snapshot()
+		resp.Admission = admissionInfo{
+			Enabled:     true,
+			MaxInflight: cap(s.admission.slots),
+			MaxQueue:    int(s.admission.maxQueue),
+			Inflight:    inflight,
+			Queued:      queued,
+			Admitted:    admitted,
+			Shed:        shed,
+		}
+	}
+	if s.limiter != nil {
+		clients, limited := s.limiter.snapshot()
+		resp.RateLimit = rateLimitInfo{
+			Enabled:    true,
+			RatePerSec: s.limiter.rate,
+			Burst:      s.limiter.burst,
+			Clients:    clients,
+			Limited:    limited,
+		}
 	}
 	if st, ok := s.engine.CacheStats(); ok {
 		resp.Cache = cacheStats{
 			Enabled: true, Capacity: st.Capacity, Entries: st.Entries,
 			Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
 		}
+	}
+	resp.Peer = peerInfo{
+		Served:   s.cacheServed.Load(),
+		NotFound: s.cacheNotFound.Load(),
+	}
+	if s.peerStats != nil {
+		ps := s.peerStats()
+		resp.Peer.Enabled = true
+		resp.Peer.Peers = ps.Peers
+		resp.Peer.Hits = ps.Hits
+		resp.Peer.Misses = ps.Misses
+		resp.Peer.Errors = ps.Errors
 	}
 	if st, ok := s.engine.VerifyStats(); ok {
 		resp.Verify = verifyInfo{

@@ -60,6 +60,19 @@ int main() {
 // out, returning the status code.
 func postJSON(t *testing.T, url string, body any, out any) int {
 	t.Helper()
+	resp := postJSONResp(t, url, body)
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// postJSONResp is postJSON exposing the raw response (header checks).
+func postJSONResp(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
 	raw, err := json.Marshal(body)
 	if err != nil {
 		t.Fatal(err)
@@ -68,13 +81,7 @@ func postJSON(t *testing.T, url string, body any, out any) int {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			t.Fatalf("decoding response: %v", err)
-		}
-	}
-	return resp.StatusCode
+	return resp
 }
 
 func getJSON(t *testing.T, url string, out any) int {
@@ -95,7 +102,7 @@ func getJSON(t *testing.T, url string, out any) int {
 func TestAnalyzeEndpoint(t *testing.T) {
 	ts := server(t)
 	var resp analyzeResponse
-	if code := postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: program}, &resp); code != http.StatusOK {
+	if code := postJSON(t, ts.URL+"/v1/analyze", requestEnvelope{Source: program}, &resp); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
 	if resp.Loops != 4 || len(resp.Reports) != 4 {
@@ -120,9 +127,9 @@ func TestAnalyzeEndpoint(t *testing.T) {
 	}
 
 	var withDot analyzeResponse
-	postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: program, DOT: true}, &withDot)
+	postJSON(t, ts.URL+"/v1/analyze", requestEnvelope{Source: program, Options: requestOptions{DOT: true}}, &withDot)
 	if len(withDot.Reports) == 0 || withDot.Reports[0].DOT == "" {
-		t.Error("dot:true should include the Graphviz rendering")
+		t.Error("options.dot:true should include the Graphviz rendering")
 	}
 }
 
@@ -130,7 +137,7 @@ func TestAnalyzeRejectsBadInput(t *testing.T) {
 	ts := server(t)
 
 	// malformed JSON
-	resp, err := http.Post(ts.URL+"/analyze", "application/json", strings.NewReader("{not json"))
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader("{not json"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,13 +147,16 @@ func TestAnalyzeRejectsBadInput(t *testing.T) {
 	}
 
 	// missing source
-	var e errorResponse
-	if code := postJSON(t, ts.URL+"/analyze", analyzeRequest{}, &e); code != http.StatusBadRequest {
+	var e errorEnvelope
+	if code := postJSON(t, ts.URL+"/v1/analyze", requestEnvelope{}, &e); code != http.StatusBadRequest {
 		t.Errorf("empty source: status = %d, want 400", code)
+	}
+	if e.Error.Code != codeBadRequest || e.Error.Retryable {
+		t.Errorf("empty source envelope = %+v, want code %q, not retryable", e.Error, codeBadRequest)
 	}
 
 	// unknown fields are rejected, catching client typos
-	resp2, err := http.Post(ts.URL+"/analyze", "application/json", strings.NewReader(`{"sorce": "x"}`))
+	resp2, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader(`{"sorce": "x"}`))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,16 +166,131 @@ func TestAnalyzeRejectsBadInput(t *testing.T) {
 	}
 
 	// C that does not parse
-	if code := postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: "int main() { for (i=0 i<10; i++) ; }"}, &e); code != http.StatusUnprocessableEntity {
+	if code := postJSON(t, ts.URL+"/v1/analyze", requestEnvelope{Source: "int main() { for (i=0 i<10; i++) ; }"}, &e); code != http.StatusUnprocessableEntity {
 		t.Errorf("unparsable C: status = %d, want 422", code)
 	}
-	if e.Error == "" {
-		t.Error("error body should describe the parse failure")
+	if e.Error.Code != codeUnparsable || e.Error.Message == "" {
+		t.Errorf("unparsable envelope = %+v, want code %q with a message", e.Error, codeUnparsable)
 	}
 
-	// wrong method
-	if code := getJSON(t, ts.URL+"/analyze", nil); code != http.StatusMethodNotAllowed {
-		t.Errorf("GET /analyze: status = %d, want 405", code)
+	// negative deadline
+	if code := postJSON(t, ts.URL+"/v1/analyze", requestEnvelope{Source: program, DeadlineMS: -1}, &e); code != http.StatusBadRequest {
+		t.Errorf("negative deadline: status = %d, want 400", code)
+	}
+
+	// wrong method carries the Allow header
+	wrong, err := http.Get(ts.URL + "/v1/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong.Body.Close()
+	if wrong.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/analyze: status = %d, want 405", wrong.StatusCode)
+	}
+	if allow := wrong.Header.Get("Allow"); !strings.Contains(allow, http.MethodPost) {
+		t.Errorf("405 Allow = %q, want POST", allow)
+	}
+}
+
+// TestIngressHygiene pins the uniform request guards: non-JSON bodies
+// get 415, oversized bodies 413, both wrapped in the error envelope.
+func TestIngressHygiene(t *testing.T) {
+	s := NewWithConfig(engine(t), ServeConfig{MaxBody: 256})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// wrong media type
+	resp, err := http.Post(ts.URL+"/v1/analyze", "text/plain", strings.NewReader(program))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e errorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType || e.Error.Code != codeUnsupportedType {
+		t.Errorf("text/plain: status %d code %q, want 415 %q", resp.StatusCode, e.Error.Code, codeUnsupportedType)
+	}
+
+	// missing media type
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/analyze", strings.NewReader("{}"))
+	noCT, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noCT.Body.Close()
+	if noCT.StatusCode != http.StatusUnsupportedMediaType {
+		t.Errorf("absent Content-Type: status %d, want 415", noCT.StatusCode)
+	}
+
+	// body over the configured cap
+	big, _ := json.Marshal(requestEnvelope{Source: strings.Repeat("x", 512)})
+	resp2, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusRequestEntityTooLarge || e.Error.Code != codeBodyTooLarge {
+		t.Errorf("oversized body: status %d code %q, want 413 %q", resp2.StatusCode, e.Error.Code, codeBodyTooLarge)
+	}
+}
+
+// TestLegacyAliases pins the deprecation contract: every unversioned
+// route answers exactly like its /v1 successor, adds the Deprecation
+// and successor Link headers, and bumps the deprecated counter.
+func TestLegacyAliases(t *testing.T) {
+	ts := server(t)
+
+	var v1 analyzeResponse
+	if code := postJSON(t, ts.URL+"/v1/analyze", requestEnvelope{Source: program}, &v1); code != http.StatusOK {
+		t.Fatalf("/v1/analyze status = %d", code)
+	}
+	resp := postJSONResp(t, ts.URL+"/analyze", requestEnvelope{Source: program})
+	var legacy analyzeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/analyze status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Error("legacy route missing Deprecation header")
+	}
+	if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1/analyze") || !strings.Contains(link, "successor-version") {
+		t.Errorf("legacy Link = %q, want successor-version pointing at /v1/analyze", link)
+	}
+	if !reflect.DeepEqual(legacy, v1) {
+		t.Error("legacy /analyze response differs from /v1/analyze")
+	}
+
+	// The legacy top-level dot spelling still works on both route forms.
+	var withDot analyzeResponse
+	postJSON(t, ts.URL+"/analyze", requestEnvelope{Source: program, DOT: true}, &withDot)
+	if len(withDot.Reports) == 0 || withDot.Reports[0].DOT == "" {
+		t.Error("legacy top-level dot:true should include the rendering")
+	}
+
+	for _, route := range []string{"/analyze/batch", "/rewrite", "/healthz", "/stats"} {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+route, nil)
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.Header.Get("Deprecation") != "true" {
+			t.Errorf("%s: missing Deprecation header", route)
+		}
+	}
+
+	var st statsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Requests.Deprecated == 0 {
+		t.Error("deprecated counter never moved despite legacy traffic")
 	}
 }
 
@@ -173,7 +298,7 @@ func TestBatchEndpoint(t *testing.T) {
 	ts := server(t)
 	files := map[string]string{"a.c": program, "b.c": program}
 	var resp batchResponse
-	if code := postJSON(t, ts.URL+"/analyze/batch", batchRequest{Files: files}, &resp); code != http.StatusOK {
+	if code := postJSON(t, ts.URL+"/v1/analyze/batch", requestEnvelope{Files: files}, &resp); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
 	if len(resp.Results) != 2 || resp.ParseErrors != "" {
@@ -186,7 +311,7 @@ func TestBatchEndpoint(t *testing.T) {
 	// Partial failure: the broken file is reported, the good one analyzed.
 	files["broken.c"] = "int main() { for (i=0 i<10; i++) ; }"
 	var partial batchResponse
-	if code := postJSON(t, ts.URL+"/analyze/batch", batchRequest{Files: files}, &partial); code != http.StatusOK {
+	if code := postJSON(t, ts.URL+"/v1/analyze/batch", requestEnvelope{Files: files}, &partial); code != http.StatusOK {
 		t.Fatalf("partial batch: status = %d", code)
 	}
 	if !strings.Contains(partial.ParseErrors, "broken.c") {
@@ -199,30 +324,30 @@ func TestBatchEndpoint(t *testing.T) {
 		t.Errorf("parsable files analyzed = %d, want 2", len(partial.Results))
 	}
 
-	// Every file unparsable: same 422 contract as /analyze.
-	var allBad errorResponse
-	if code := postJSON(t, ts.URL+"/analyze/batch",
-		batchRequest{Files: map[string]string{"x.c": "not C at all {"}}, &allBad); code != http.StatusUnprocessableEntity {
+	// Every file unparsable: same 422 contract as /v1/analyze.
+	var allBad errorEnvelope
+	if code := postJSON(t, ts.URL+"/v1/analyze/batch",
+		requestEnvelope{Files: map[string]string{"x.c": "not C at all {"}}, &allBad); code != http.StatusUnprocessableEntity {
 		t.Errorf("all files failing: status = %d, want 422", code)
 	}
-	if allBad.Error == "" {
-		t.Error("all-failed batch should describe the parse errors")
+	if allBad.Error.Code != codeUnparsable || allBad.Error.Message == "" {
+		t.Errorf("all-failed envelope = %+v, want code %q with a message", allBad.Error, codeUnparsable)
 	}
 
-	// empty / malformed
-	var e errorResponse
-	if code := postJSON(t, ts.URL+"/analyze/batch", batchRequest{}, &e); code != http.StatusBadRequest {
+	// empty / wrong method
+	var e errorEnvelope
+	if code := postJSON(t, ts.URL+"/v1/analyze/batch", requestEnvelope{}, &e); code != http.StatusBadRequest {
 		t.Errorf("empty files: status = %d, want 400", code)
 	}
-	if code := getJSON(t, ts.URL+"/analyze/batch", nil); code != http.StatusMethodNotAllowed {
-		t.Errorf("GET /analyze/batch: status = %d, want 405", code)
+	if code := getJSON(t, ts.URL+"/v1/analyze/batch", nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/analyze/batch: status = %d, want 405", code)
 	}
 }
 
 func TestHealthz(t *testing.T) {
 	ts := server(t)
 	var body map[string]string
-	if code := getJSON(t, ts.URL+"/healthz", &body); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/v1/healthz", &body); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
 	if body["status"] != "ok" {
@@ -233,11 +358,11 @@ func TestHealthz(t *testing.T) {
 func TestStatsEndpoint(t *testing.T) {
 	ts := server(t)
 	// Two identical requests: the second is served from the cache.
-	postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: program}, nil)
-	postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: program}, nil)
+	postJSON(t, ts.URL+"/v1/analyze", requestEnvelope{Source: program}, nil)
+	postJSON(t, ts.URL+"/v1/analyze", requestEnvelope{Source: program}, nil)
 
 	var st statsResponse
-	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
 	if st.Workers < 1 {
@@ -252,8 +377,11 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.Cache.Hits == 0 {
 		t.Error("repeat query should produce cache hits")
 	}
-	if code := postJSON(t, ts.URL+"/stats", struct{}{}, nil); code != http.StatusMethodNotAllowed {
-		t.Errorf("POST /stats: status = %d, want 405", code)
+	if st.Admission.Enabled || st.RateLimit.Enabled {
+		t.Error("admission/rate-limit sections should be disabled by default")
+	}
+	if code := postJSON(t, ts.URL+"/v1/stats", struct{}{}, nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/stats: status = %d, want 405", code)
 	}
 }
 
@@ -263,7 +391,7 @@ func TestStatsEndpoint(t *testing.T) {
 func TestConcurrentAnalyze(t *testing.T) {
 	ts := server(t)
 	var want analyzeResponse
-	if code := postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: program}, &want); code != http.StatusOK {
+	if code := postJSON(t, ts.URL+"/v1/analyze", requestEnvelope{Source: program}, &want); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
 
@@ -276,8 +404,8 @@ func TestConcurrentAnalyze(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 3; i++ {
 				var got analyzeResponse
-				raw, _ := json.Marshal(analyzeRequest{Source: program})
-				resp, err := http.Post(ts.URL+"/analyze", "application/json", bytes.NewReader(raw))
+				raw, _ := json.Marshal(requestEnvelope{Source: program})
+				resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(raw))
 				if err != nil {
 					errs <- err.Error()
 					return
@@ -367,7 +495,7 @@ func TestMicroBatchCoalescesConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			codes[i] = postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: sources[i]}, &got[i])
+			codes[i] = postJSON(t, ts.URL+"/v1/analyze", requestEnvelope{Source: sources[i]}, &got[i])
 		}(i)
 	}
 	wg.Wait()
@@ -382,7 +510,7 @@ func TestMicroBatchCoalescesConcurrentClients(t *testing.T) {
 	}
 
 	var st statsResponse
-	getJSON(t, ts.URL+"/stats", &st)
+	getJSON(t, ts.URL+"/v1/stats", &st)
 	if !st.Batching.Enabled {
 		t.Fatal("batching should be enabled")
 	}
@@ -408,24 +536,23 @@ func TestMicroBatchPerRequestErrors(t *testing.T) {
 	if directErr == nil {
 		t.Fatal("reference source should fail to parse")
 	}
-	wantErr := errorResponse{Error: directErr.Error()}
 
 	var wg sync.WaitGroup
 	var goodA, goodB analyzeResponse
-	var gotErr errorResponse
+	var gotErr errorEnvelope
 	var codeA, codeB, codeBad int
 	wg.Add(3)
 	go func() {
 		defer wg.Done()
-		codeA = postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: program}, &goodA)
+		codeA = postJSON(t, ts.URL+"/v1/analyze", requestEnvelope{Source: program}, &goodA)
 	}()
 	go func() {
 		defer wg.Done()
-		codeBad = postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: bad}, &gotErr)
+		codeBad = postJSON(t, ts.URL+"/v1/analyze", requestEnvelope{Source: bad}, &gotErr)
 	}()
 	go func() {
 		defer wg.Done()
-		codeB = postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: program}, &goodB)
+		codeB = postJSON(t, ts.URL+"/v1/analyze", requestEnvelope{Source: program}, &goodB)
 	}()
 	wg.Wait()
 
@@ -435,8 +562,8 @@ func TestMicroBatchPerRequestErrors(t *testing.T) {
 	if codeBad != http.StatusUnprocessableEntity {
 		t.Errorf("bad member: code %d, want 422", codeBad)
 	}
-	if gotErr.Error != wantErr.Error {
-		t.Errorf("batched parse error %q differs from direct %q", gotErr.Error, wantErr.Error)
+	if gotErr.Error.Message != directErr.Error() {
+		t.Errorf("batched parse error %q differs from direct %q", gotErr.Error.Message, directErr.Error())
 	}
 	if goodA.Loops != 4 || !reflect.DeepEqual(goodA, goodB) {
 		t.Error("good members of a mixed batch got wrong reports")
@@ -456,7 +583,7 @@ func TestMicroBatchFlushOnShutdown(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: program}, &got[i])
+			postJSON(t, ts.URL+"/v1/analyze", requestEnvelope{Source: program}, &got[i])
 		}(i)
 	}
 	waitPending(t, s, 2)
@@ -472,14 +599,14 @@ func TestMicroBatchFlushOnShutdown(t *testing.T) {
 	// Close flushes too and downgrades later requests to the direct path.
 	s.Close()
 	var after analyzeResponse
-	if code := postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: program}, &after); code != http.StatusOK {
+	if code := postJSON(t, ts.URL+"/v1/analyze", requestEnvelope{Source: program}, &after); code != http.StatusOK {
 		t.Fatalf("post-Close request: status %d", code)
 	}
 	if after.Loops != 4 {
 		t.Errorf("post-Close request got %d loops, want 4", after.Loops)
 	}
 	var st statsResponse
-	getJSON(t, ts.URL+"/stats", &st)
+	getJSON(t, ts.URL+"/v1/stats", &st)
 	if st.Batching.Batches != 1 || st.Batching.CoalescedRequests != 2 {
 		t.Errorf("post-Close stats: batches=%d coalesced=%d, want 1 and 2 (direct requests must not count)",
 			st.Batching.Batches, st.Batching.CoalescedRequests)
@@ -491,14 +618,14 @@ func TestMicroBatchFlushOnShutdown(t *testing.T) {
 func TestMicroBatchWindowExpiry(t *testing.T) {
 	_, ts := batchingServer(t, 20*time.Millisecond, 100)
 	var resp analyzeResponse
-	if code := postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: program}, &resp); code != http.StatusOK {
+	if code := postJSON(t, ts.URL+"/v1/analyze", requestEnvelope{Source: program}, &resp); code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
 	if resp.Loops != 4 {
 		t.Errorf("loops=%d, want 4", resp.Loops)
 	}
 	var st statsResponse
-	getJSON(t, ts.URL+"/stats", &st)
+	getJSON(t, ts.URL+"/v1/stats", &st)
 	if st.Batching.Batches != 1 || st.Batching.MeanBatchSize != 1 {
 		t.Errorf("lone request: batches=%d mean=%v, want 1 and 1", st.Batching.Batches, st.Batching.MeanBatchSize)
 	}

@@ -21,7 +21,7 @@ func TestVerifyOverHTTP(t *testing.T) {
 	t.Cleanup(ts.Close)
 
 	var resp analyzeResponse
-	if code := postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: program}, &resp); code != http.StatusOK {
+	if code := postJSON(t, ts.URL+"/v1/analyze", requestEnvelope{Source: program}, &resp); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
 	verdicts := 0
@@ -38,7 +38,7 @@ func TestVerifyOverHTTP(t *testing.T) {
 	}
 
 	var stats statsResponse
-	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
 		t.Fatalf("stats status = %d", code)
 	}
 	if !stats.Verify.Enabled {
@@ -52,7 +52,7 @@ func TestVerifyOverHTTP(t *testing.T) {
 func TestVerifyOffKeepsResponsesBare(t *testing.T) {
 	ts := server(t)
 	var resp analyzeResponse
-	if code := postJSON(t, ts.URL+"/analyze", analyzeRequest{Source: program}, &resp); code != http.StatusOK {
+	if code := postJSON(t, ts.URL+"/v1/analyze", requestEnvelope{Source: program}, &resp); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
 	for _, r := range resp.Reports {
@@ -61,7 +61,7 @@ func TestVerifyOffKeepsResponsesBare(t *testing.T) {
 		}
 	}
 	var stats statsResponse
-	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
 		t.Fatalf("stats status = %d", code)
 	}
 	if stats.Verify.Enabled {
