@@ -35,6 +35,11 @@
 //	-require-shed     at least one 429 must occur, and every 429 must
 //	                  carry a Retry-After header (overload runs)
 //	-max-5xx 0        at most this many server 5xx responses
+//
+// Chaos mode (-chaos) boots an in-process replica fleet sharing one
+// checkpoint, kills and restarts one replica mid-load, and gates on the
+// fault-tolerance contract (zero 5xx, shed-only 429s, byte-identical
+// responses, peer-cache recovery after the restart) — see chaos.go.
 package main
 
 import (
@@ -144,7 +149,36 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "in-process admission slots (0 disables admission control)")
 	maxQueue := flag.Int("max-queue", 0, "in-process admission queue watermark")
 	batchWindow := flag.Duration("batch-window", 0, "in-process micro-batch window (0 disables)")
+	// Chaos mode: an in-process fleet with a kill/restart fault schedule.
+	chaos := flag.Bool("chaos", false, "boot an in-process replica fleet, kill and restart one replica mid-load, and gate on the fault-tolerance contract (see chaos.go)")
+	chaosReplicas := flag.Int("chaos-replicas", 3, "fleet size for -chaos (>= 3)")
+	chaosKillAt := flag.Duration("chaos-kill-at", 2*time.Second, "when to kill the victim replica, from load start")
+	chaosRestartAt := flag.Duration("chaos-restart-at", 4*time.Second, "when to restart the victim (cold cache, same address)")
+	chaosCorpus := flag.Int("chaos-corpus", 24, "distinct files cycled by the chaos workload (repeats engage the peer cache tier)")
+	chaosFaultSeed := flag.Uint64("chaos-fault-seed", 1, "deterministic seed for injected peer-exchange faults")
+	chaosFaultRate := flag.Float64("chaos-fault-rate", 0, "probability of injected latency per peer exchange (0 disables fault injection; kill/restart still happens)")
 	flag.Parse()
+
+	if *chaos {
+		os.Exit(chaosRun(chaosConfig{
+			replicas:    *chaosReplicas,
+			killAt:      *chaosKillAt,
+			restartAt:   *chaosRestartAt,
+			corpusSize:  *chaosCorpus,
+			work:        *work,
+			qps:         *qps,
+			duration:    *duration,
+			concurrency: *concurrency,
+			scale:       *scale,
+			epochs:      *epochs,
+			seed:        *seed,
+			cacheSize:   *cacheSize,
+			faultSeed:   *chaosFaultSeed,
+			faultRate:   *chaosFaultRate,
+			jsonOut:     *jsonOut,
+			benchOut:    *benchOut,
+		}))
+	}
 
 	if (*url == "") == !*inprocess {
 		fmt.Fprintln(os.Stderr, "graph2bench: exactly one of -url or -inprocess is required")

@@ -9,6 +9,8 @@
 //	            [-workers N] [-cache 4096] [-batch 16] [-batch-window 2ms]
 //	            [-max-inflight N] [-max-queue N] [-rate R] [-burst B]
 //	            [-max-body BYTES] [-peers url,url] [-self url]
+//	            [-probe-interval 1s] [-replication 2] [-peer-retries 1]
+//	            [-breaker-threshold 5] [-breaker-cooldown 2s] [-negative-ttl 1s]
 //
 // Endpoints (v1 API; the unversioned spellings are deprecated aliases):
 //
@@ -17,12 +19,17 @@
 //	POST /v1/rewrite        {"source": "..."} (requires -rewrite)
 //	GET  /v1/healthz
 //	GET  /v1/stats
-//	GET  /v1/cache/<key>    replica cache-peer protocol (see -peers)
+//	GET  /v1/cache/<key>    replica cache-peer protocol, pull side (see -peers)
+//	POST /v1/cache/<key>    replica cache-peer protocol, push side (replication warming)
 //
 // Scale-out: starting each replica of a fleet with the same checkpoint
 // (-model), its own -self URL and the other replicas under -peers turns
-// the per-process analysis caches into a shared tier — a local miss asks
-// the key's owning replica (rendezvous hashing) before recomputing.
+// the per-process analysis caches into a shared, fault-tolerant tier —
+// a local miss asks the key's owning replicas (rendezvous hashing over
+// the live fleet) before recomputing, locally computed reports
+// replicate to the key's other owners, health probes evict dead
+// replicas from the ownership ring, and per-peer circuit breakers with
+// bounded retries keep a sick peer from taxing the request path.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for up to 10 seconds.
@@ -66,6 +73,12 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated base URLs of the other replicas; local cache misses ask the key's owning replica before recomputing (requires -self)")
 	self := flag.String("self", "", "this replica's own advertised base URL, as the peers list it (required with -peers)")
 	peerTimeout := flag.Duration("peer-timeout", 0, "per-exchange timeout for peer cache fills (0 = 500ms default)")
+	probeInterval := flag.Duration("probe-interval", 0, "peer health-probe period; down peers leave the ownership ring until they re-pass two probes (0 = 1s default, negative disables probing)")
+	replication := flag.Int("replication", 0, "rendezvous owner-set size per cache key: locally computed reports replicate to this many owners (0 = 2 default, 1 disables replication)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive exchange failures that trip a peer's circuit breaker (0 = 5 default)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long a tripped breaker rejects exchanges before its half-open probe (0 = 2s default)")
+	peerRetries := flag.Int("peer-retries", 0, "additional ranked owners a failed peer fill tries, with exponential backoff (0 = 1 default, negative disables)")
+	negativeTTL := flag.Duration("negative-ttl", 0, "per-key suppression window after a failed or empty peer fill (0 = 1s default, negative disables)")
 	doVerify := flag.Bool("verify", false, "statically verify every suggested pragma; verdicts ride the response reports")
 	doRewrite := flag.Bool("rewrite", false, "enable the source-to-source rewrite stage and the POST /v1/rewrite endpoint")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/ (off by default; enable only on trusted networks)")
@@ -116,22 +129,49 @@ func main() {
 			}
 		}
 		peerClient, err := peercache.New(peercache.Config{
-			Self: *self, Peers: list, Timeout: *peerTimeout,
+			Self:             *self,
+			Peers:            list,
+			Timeout:          *peerTimeout,
+			Fingerprint:      engine.Fingerprint(),
+			Replication:      *replication,
+			ProbeInterval:    *probeInterval,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+			Retries:          *peerRetries,
+			NegativeTTL:      *negativeTTL,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "graph2serve:", err)
 			os.Exit(1)
 		}
+		defer peerClient.Close()
 		engine.SetCacheFiller(peerClient.Fill)
+		engine.SetCacheWarmer(peerClient.Warm)
 		cfg.PeerStats = func() serve.PeerStats {
-			n, hits, misses, errs := peerClient.Stats()
-			return serve.PeerStats{Peers: n, Hits: hits, Misses: misses, Errors: errs}
+			st := peerClient.Stats()
+			ps := serve.PeerStats{
+				Peers: st.Peers, Live: st.Live,
+				Hits: st.Hits, Misses: st.Misses, Errors: st.Errors,
+				NegativeHits: st.NegativeHits, BreakerSkips: st.BreakerSkips, Retries: st.Retries,
+				WarmsSent: st.WarmsSent, WarmErrors: st.WarmErrors, WarmDropped: st.WarmDropped,
+			}
+			for _, p := range st.PerPeer {
+				ps.Replicas = append(ps.Replicas, serve.PeerReplica{
+					Base: p.Base, State: p.State, Breaker: p.Breaker, Failures: p.Failures,
+					Hits: p.Hits, Misses: p.Misses, Errors: p.Errors, Warms: p.Warms,
+				})
+			}
+			return ps
 		}
 		if *modelPath == "" {
 			fmt.Println("graph2serve: note: -peers without -model — peers only share cache entries when their fingerprints match (same -scale/-epochs/-seed, or a shared checkpoint)")
 		}
-		fmt.Printf("graph2serve: peer-fill tier enabled (%d peers, fingerprint %.12s…)\n",
-			len(peerClient.Peers()), engine.Fingerprint())
+		rep := *replication
+		if rep == 0 {
+			rep = peercache.DefaultReplication
+		}
+		fmt.Printf("graph2serve: peer cache tier enabled (%d peers, replication %d, fingerprint %.12s…)\n",
+			len(peerClient.Peers()), rep, engine.Fingerprint())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

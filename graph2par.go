@@ -137,6 +137,15 @@ type Engine struct {
 	// is configured; only consulted when the cache is enabled.
 	fill CacheFiller
 
+	// warmHook, when set, is told about every locally computed report the
+	// moment it is cached: the peer tier's push-warming
+	// (internal/peercache Client.Warm) plugs in here to replicate the
+	// entry to the key's other rendezvous owners, so an owner restart no
+	// longer loses its shard and the fleet converges without waiting for
+	// pull-side misses. Nil when warming is not configured; only invoked
+	// while the cache is enabled.
+	warmHook CacheWarmer
+
 	// verify gates the static pragma-safety stage; vstats counts issued
 	// verdicts per level. The counters are held by pointer for the same
 	// reason fe is: benchmarks copy an Engine to retune knobs, and a copied
@@ -311,6 +320,37 @@ type CacheFiller func(key string) (LoopReport, bool)
 // enabled: a fill is immediately stored locally, so it is pointless —
 // and therefore skipped — without somewhere to put it.
 func (e *Engine) SetCacheFiller(f CacheFiller) { e.fill = f }
+
+// CacheWarmer is the push-warming hook: it receives every locally
+// computed report together with its content-addressed cache key, right
+// after the report is stored in this replica's cache. Implementations
+// must be safe for concurrent use and must not block — the analysis
+// pipeline calls them inline from its workers (internal/peercache
+// enqueues onto a bounded queue and pushes from its own goroutine).
+// The report is a detached copy the hook owns.
+type CacheWarmer func(key string, r LoopReport)
+
+// SetCacheWarmer installs (or, with nil, removes) the push-warming hook
+// invoked after each locally computed report is cached. It must not be
+// called concurrently with Analyze* methods. Like the fill hook it is
+// only consulted while the cache is enabled: without a cache there are
+// no keys to replicate.
+func (e *Engine) SetCacheWarmer(f CacheWarmer) { e.warmHook = f }
+
+// InstallCached stores a peer-pushed report under its content-addressed
+// key — the write side of the POST /v1/cache/<key> warming protocol.
+// The caller (internal/serve) is responsible for authenticating that
+// the pusher serves the same model fingerprint; the key itself embeds
+// the fingerprint too, so a mis-pushed entry could never be served to a
+// different model's lookup, only waste a cache slot. Returns false when
+// caching is disabled.
+func (e *Engine) InstallCached(key string, r LoopReport) bool {
+	if e.cache == nil {
+		return false
+	}
+	e.cache.Put(key, cloneReport(r))
+	return true
+}
 
 // PeekCached returns the cached report for a raw content-addressed key
 // without touching the hit/miss counters or the LRU order — the lookup
@@ -1009,6 +1049,11 @@ func (e *Engine) finishLoop(job loopJob, g *auggraph.Graph, key string, pred int
 		// Store a detached copy: the caller owns the returned report and
 		// may mutate its slices.
 		e.cache.Put(key, cloneReport(report))
+		if e.warmHook != nil {
+			// Push-warm the key's other owners with their own detached
+			// copy (the hook enqueues; it must never retain the caller's).
+			e.warmHook(key, cloneReport(report))
+		}
 	}
 	return report
 }

@@ -1,0 +1,237 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDeterministicSchedule: two injectors with the same seed make the
+// same pass/inject decision for the same request sequence, and a
+// different seed produces a different (but internally stable) sequence.
+func TestDeterministicSchedule(t *testing.T) {
+	rules := []Rule{{Kind: Err5xx, Rate: 0.5}}
+	a, b := New(42, rules...), New(42, rules...)
+	c := New(43, rules...)
+	var seqA, seqB, seqC []bool
+	for i := 0; i < 64; i++ {
+		seqA = append(seqA, a.decide("h", "/p") != nil)
+		seqB = append(seqB, b.decide("h", "/p") != nil)
+		seqC = append(seqC, c.decide("h", "/p") != nil)
+	}
+	sameAB, sameAC := true, true
+	for i := range seqA {
+		sameAB = sameAB && seqA[i] == seqB[i]
+		sameAC = sameAC && seqA[i] == seqC[i]
+	}
+	if !sameAB {
+		t.Error("same seed produced different fault schedules")
+	}
+	if sameAC {
+		t.Error("different seeds produced identical 64-request schedules")
+	}
+	fired := 0
+	for _, f := range seqA {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == 64 {
+		t.Errorf("rate 0.5 fired %d/64 times; draw looks degenerate", fired)
+	}
+}
+
+// TestRuleMatching: host and path restrictions select traffic slices.
+func TestRuleMatching(t *testing.T) {
+	in := New(1, Rule{Host: "a:1", Path: "/v1/cache/", Kind: Drop, Rate: 1})
+	if in.decide("b:1", "/v1/cache/x") != nil {
+		t.Error("rule fired for the wrong host")
+	}
+	if in.decide("a:1", "/v1/analyze") != nil {
+		t.Error("rule fired for the wrong path")
+	}
+	if in.decide("a:1", "/v1/cache/x") == nil {
+		t.Error("rule did not fire for matching host+path")
+	}
+}
+
+func TestTransportFaults(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer backend.Close()
+	get := func(in *Injector, timeout time.Duration) (*http.Response, error) {
+		client := &http.Client{Transport: in.Transport(nil), Timeout: timeout}
+		return client.Get(backend.URL + "/x")
+	}
+
+	t.Run("passthrough", func(t *testing.T) {
+		in := New(7)
+		resp, err := get(in, time.Second)
+		if err != nil || resp.StatusCode != 200 {
+			t.Fatalf("clean injector broke the exchange: %v %v", err, resp)
+		}
+		resp.Body.Close()
+		if c := in.Counts(); c.Passed != 1 {
+			t.Errorf("passed = %d, want 1", c.Passed)
+		}
+	})
+
+	t.Run("err5xx", func(t *testing.T) {
+		in := New(7, Rule{Kind: Err5xx, Rate: 1, Status: 503})
+		resp, err := get(in, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 503 {
+			t.Errorf("status = %d, want injected 503", resp.StatusCode)
+		}
+		if c := in.Counts(); c.Err5xx != 1 {
+			t.Errorf("err5xx count = %d, want 1", c.Err5xx)
+		}
+	})
+
+	t.Run("drop", func(t *testing.T) {
+		in := New(7, Rule{Kind: Drop, Rate: 1})
+		if _, err := get(in, time.Second); !errors.Is(err, ErrDrop) {
+			t.Errorf("err = %v, want ErrDrop", err)
+		}
+	})
+
+	t.Run("timeout", func(t *testing.T) {
+		in := New(7, Rule{Kind: Timeout, Rate: 1})
+		start := time.Now()
+		_, err := get(in, 50*time.Millisecond)
+		if err == nil {
+			t.Fatal("injected timeout produced no error")
+		}
+		if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+			t.Errorf("timed out after %v; the hang should last until the client deadline", elapsed)
+		}
+	})
+
+	t.Run("bounded timeout", func(t *testing.T) {
+		in := New(7, Rule{Kind: Timeout, Rate: 1, Delay: 20 * time.Millisecond})
+		_, err := get(in, time.Second)
+		var ne interface{ Timeout() bool }
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Errorf("err = %v, want a net.Error with Timeout()=true", err)
+		}
+	})
+
+	t.Run("latency", func(t *testing.T) {
+		in := New(7, Rule{Kind: Latency, Rate: 1, Delay: 30 * time.Millisecond})
+		start := time.Now()
+		resp, err := get(in, time.Second)
+		if err != nil || resp.StatusCode != 200 {
+			t.Fatalf("latency fault must still answer: %v", err)
+		}
+		resp.Body.Close()
+		if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+			t.Errorf("exchange took %v, want >= injected 30ms", elapsed)
+		}
+	})
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer backend.Close()
+	host := strings.TrimPrefix(backend.URL, "http://")
+	in := New(1)
+	client := &http.Client{Transport: in.Transport(nil)}
+
+	in.Partition(host)
+	if _, err := client.Get(backend.URL); !errors.Is(err, ErrPartitioned) {
+		t.Errorf("partitioned host answered: err = %v", err)
+	}
+	in.Heal(host)
+	resp, err := client.Get(backend.URL)
+	if err != nil {
+		t.Fatalf("healed host still failing: %v", err)
+	}
+	resp.Body.Close()
+	if c := in.Counts(); c.Partitioned != 1 || c.Passed != 1 {
+		t.Errorf("counts = %+v, want 1 partitioned and 1 passed", c)
+	}
+}
+
+func TestHandlerFaults(t *testing.T) {
+	in := New(9)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+	srv := httptest.NewServer(in.Handler(inner))
+	defer srv.Close()
+
+	// Passthrough first (no rules installed).
+	resp, err := http.Get(srv.URL)
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("clean handler broke: %v", err)
+	}
+	resp.Body.Close()
+
+	in.SetRules(Rule{Kind: Err5xx, Rate: 1, Status: 502})
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 502 {
+		t.Errorf("status = %d, want injected 502", resp.StatusCode)
+	}
+
+	// Drop aborts the connection: the client sees a transport error, not
+	// a status.
+	in.SetRules(Rule{Kind: Drop, Rate: 1})
+	if _, err := http.Get(srv.URL); err == nil {
+		t.Error("dropped connection produced a clean response")
+	}
+}
+
+// TestConcurrentUse exercises the injector from many goroutines (run
+// under -race) while rules and partitions churn.
+func TestConcurrentUse(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer backend.Close()
+	host := strings.TrimPrefix(backend.URL, "http://")
+	in := New(3, Rule{Kind: Err5xx, Rate: 0.3})
+	client := &http.Client{Transport: in.Transport(nil)}
+
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithCancel(context.Background())
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ctx.Err() == nil; i++ {
+			if i%2 == 0 {
+				in.Partition(host)
+			} else {
+				in.Heal(host)
+			}
+			in.SetRules(Rule{Kind: Err5xx, Rate: 0.3})
+		}
+	}()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				resp, err := client.Get(backend.URL)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	wg.Wait()
+}

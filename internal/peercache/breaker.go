@@ -1,0 +1,104 @@
+package peercache
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit breaker lattice.
+type breakerState int
+
+const (
+	brClosed   breakerState = iota // exchanges flow
+	brOpen                         // tripped: exchanges rejected until cooldown
+	brHalfOpen                     // cooldown elapsed: exactly one probe in flight
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case brOpen:
+		return "open"
+	case brHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-peer circuit breaker: `threshold` consecutive
+// exchange failures trip it open, rejecting further exchanges (which
+// cost the caller nothing — the ranked-owner loop just skips to the
+// next candidate) until `cooldown` has elapsed; the first exchange
+// after that is admitted alone as the half-open probe, and its outcome
+// either closes the breaker or re-trips it for another cooldown.
+//
+// The breaker protects the *caller* (a miss must not pay a timeout to
+// a peer that has failed five times in a row) and the *peer* (a sick
+// replica is not hammered while it recovers). It is deliberately
+// separate from the health state machine: health is driven by cheap
+// /v1/healthz probes on a timer, the breaker by the real exchange
+// traffic — a peer can be probe-healthy yet breaker-open (e.g. its
+// cache handler is wedged while its health endpoint still answers),
+// and either signal alone keeps the fleet off it.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     breakerState
+	fails     int
+	openedAt  time.Time
+}
+
+// allow reports whether an exchange may proceed. In the open state the
+// first caller past the cooldown transitions to half-open and is
+// admitted as the probe; everyone else is rejected until the probe's
+// outcome resolves the state.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brClosed:
+		return true
+	case brOpen:
+		if now.Sub(b.openedAt) >= b.cooldown {
+			b.state = brHalfOpen
+			return true
+		}
+		return false
+	default: // brHalfOpen: the probe slot is taken
+		return false
+	}
+}
+
+// success records a completed exchange (2xx/404 both count: the peer
+// answered): the breaker closes and the failure run resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state, b.fails = brClosed, 0
+	b.mu.Unlock()
+}
+
+// failure records a failed exchange: a half-open probe failure re-trips
+// immediately, a closed-state failure extends the consecutive run and
+// trips at the threshold.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brHalfOpen:
+		b.state, b.openedAt = brOpen, now
+	case brClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state, b.openedAt = brOpen, now
+		}
+	}
+	// brOpen: a straggler failing after the trip changes nothing.
+}
+
+// snapshot returns the state name for stats.
+func (b *breaker) snapshot() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}

@@ -106,7 +106,17 @@ const (
 	codeVerifyDisabled  = "verify_disabled"
 	codeRewriteDisabled = "rewrite_disabled"
 	codeNotFound        = "not_found"
+	codeFingerprint     = "fingerprint_mismatch"
+	codeCacheDisabled   = "cache_disabled"
 )
+
+// fingerprintHeader authenticates warm pushes: the pushing replica sends
+// its model fingerprint and only a match with this replica's own is
+// accepted, so a misconfigured fleet (mixed checkpoints) can never
+// cross-pollinate caches. Kept in sync with
+// internal/peercache.FingerprintHeader (peercache cannot be imported
+// here: its in-package tests import serve).
+const fingerprintHeader = "X-Graph2Par-Fingerprint"
 
 // errorEnvelope is the one error shape every v1 endpoint emits.
 type errorEnvelope struct {
@@ -418,22 +428,42 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleCacheKey is GET /v1/cache/<key> — the peer-fill protocol's read
-// side. The key is a loop's content-addressed cache key (64 hex chars);
-// a hit returns the raw cached LoopReport exactly as a local cache hit
-// would have produced it, a miss is 404 and the asking replica
-// recomputes locally. The lookup is stat-neutral on the local cache
-// (Engine.PeekCached) so peer traffic cannot distort this replica's own
-// hit/miss telemetry, and it bypasses rate limiting and admission
-// control: it is a memory read between replicas, not analysis work.
+// handleCacheKey is /v1/cache/<key> — both sides of the peer cache
+// protocol. The key is a loop's content-addressed cache key (64 hex
+// chars).
+//
+// GET is the pull side: a hit returns the raw cached LoopReport exactly
+// as a local cache hit would have produced it, a miss is 404 and the
+// asking replica recomputes locally. The lookup is stat-neutral on the
+// local cache (Engine.PeekCached) so peer traffic cannot distort this
+// replica's own hit/miss telemetry.
+//
+// POST is the push side (replication warming): a co-owning replica that
+// computed the key's report sends it here so this replica holds the
+// shard too. The push must carry the sender's model fingerprint and it
+// must match this replica's own — keys embed the fingerprint, so a
+// mismatched push could never be served anyway, and the match doubles
+// as authentication (only a process running the same weights knows the
+// value). Accepted reports are installed stat-neutrally
+// (Engine.InstallCached).
+//
+// Both verbs bypass rate limiting and admission control: they are
+// memory operations between replicas, not analysis work.
 func (s *Server) handleCacheKey(w http.ResponseWriter, r *http.Request) {
-	if ae := checkMethod(r, http.MethodGet); ae != nil {
+	if ae := checkMethod(r, http.MethodGet, http.MethodPost); ae != nil {
 		s.writeError(w, ae)
 		return
 	}
 	key := strings.TrimPrefix(r.URL.Path, "/v1/cache/")
 	if !validCacheKey(key) {
+		if r.Method == http.MethodPost {
+			s.cacheWarmRej.Add(1)
+		}
 		s.writeError(w, badRequest("malformed cache key %q (want 64 hex characters)", key))
+		return
+	}
+	if r.Method == http.MethodPost {
+		s.handleCacheWarm(w, r, key)
 		return
 	}
 	report, ok := s.engine.PeekCached(key)
@@ -445,6 +475,37 @@ func (s *Server) handleCacheKey(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cacheServed.Add(1)
 	s.writeJSON(w, http.StatusOK, report)
+}
+
+// handleCacheWarm is the POST branch of /v1/cache/<key>.
+func (s *Server) handleCacheWarm(w http.ResponseWriter, r *http.Request, key string) {
+	if ae := checkContentType(r); ae != nil {
+		s.cacheWarmRej.Add(1)
+		s.writeError(w, ae)
+		return
+	}
+	got := r.Header.Get(fingerprintHeader)
+	if want := s.engine.Fingerprint(); got == "" || got != want {
+		s.cacheWarmRej.Add(1)
+		s.writeError(w, &apiError{status: http.StatusForbidden, code: codeFingerprint,
+			message: "warm push fingerprint does not match this replica's model"})
+		return
+	}
+	var report graph2par.LoopReport
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err := dec.Decode(&report); err != nil {
+		s.cacheWarmRej.Add(1)
+		s.writeError(w, badRequest("malformed warm push body: %v", err))
+		return
+	}
+	if !s.engine.InstallCached(key, report) {
+		s.cacheWarmRej.Add(1)
+		s.writeError(w, &apiError{status: http.StatusServiceUnavailable, code: codeCacheDisabled,
+			message: "this replica runs without a result cache"})
+		return
+	}
+	s.cacheWarmed.Add(1)
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // validCacheKey accepts exactly the engine's key shape: 64 lower-case

@@ -13,7 +13,8 @@
 //	POST /v1/rewrite        {"source": "...", ...}
 //	GET  /v1/healthz        liveness probe
 //	GET  /v1/stats          cache, admission, rate-limit, peer, batching and request counters
-//	GET  /v1/cache/<key>    raw cached loop report by content-addressed key (the peer-fill protocol)
+//	GET  /v1/cache/<key>    raw cached loop report by content-addressed key (peer cache pull)
+//	POST /v1/cache/<key>    install a replicated loop report, fingerprint-authenticated (peer cache push)
 //
 // The unversioned routes (/analyze, /analyze/batch, /rewrite, /healthz,
 // /stats) are deprecated aliases of their /v1 successors: same handlers,
@@ -57,13 +58,34 @@ const DefaultRetryAfter = time.Second
 // ServeConfig.PeerStats so /stats can report the cluster tier without
 // this package importing the peer client.
 type PeerStats struct {
-	// Peers is the replica-list size (self excluded).
-	Peers int
+	// Peers is the replica-list size (self excluded); Live is how many
+	// of them currently participate in ownership (healthy or suspect).
+	Peers, Live int
 	// Hits counts misses served from the owning replica's cache;
 	// Misses counts peer lookups that came back empty (local recompute
 	// followed); Errors counts failed peer exchanges (network, decode —
 	// also followed by local recompute).
 	Hits, Misses, Errors uint64
+	// NegativeHits counts pulls suppressed by the negative-result TTL,
+	// BreakerSkips candidate owners skipped on an open circuit breaker,
+	// Retries pulls that fell through to a lower-ranked owner.
+	NegativeHits, BreakerSkips, Retries uint64
+	// WarmsSent/WarmErrors/WarmDropped count the push-replication side.
+	WarmsSent, WarmErrors, WarmDropped uint64
+	// Replicas is the per-peer health/breaker state.
+	Replicas []PeerReplica
+}
+
+// PeerReplica is one remote replica's observable fault-tolerance state.
+type PeerReplica struct {
+	Base     string `json:"base"`
+	State    string `json:"state"`   // healthy | suspect | down | probing
+	Breaker  string `json:"breaker"` // closed | open | half-open
+	Failures int    `json:"failures"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Errors   uint64 `json:"errors"`
+	Warms    uint64 `json:"warms"`
 }
 
 // ServeConfig tunes the server's request handling.
@@ -133,6 +155,8 @@ type Server struct {
 	deprecated    atomic.Uint64 // requests arriving via unversioned aliases
 	cacheServed   atomic.Uint64 // /v1/cache/<key> hits served to peers
 	cacheNotFound atomic.Uint64
+	cacheWarmed   atomic.Uint64 // warm pushes accepted into the local cache
+	cacheWarmRej  atomic.Uint64 // warm pushes rejected (bad fingerprint, no cache)
 }
 
 // New wraps an engine for serving with micro-batching, admission control
@@ -273,16 +297,28 @@ type rateLimitInfo struct {
 }
 
 // peerInfo reports the peer-fill cache tier from both sides: as a client
-// (hits/misses/errors against owning replicas) and as an owner (cache
-// lookups served to — or 404ed for — other replicas).
+// (pulls against owning replicas, with the fault-tolerance machinery's
+// counters and each peer's health/breaker state) and as an owner (cache
+// lookups served to — or 404ed for — other replicas, warm pushes
+// accepted or rejected).
 type peerInfo struct {
-	Enabled  bool   `json:"enabled"`
-	Peers    int    `json:"peers,omitempty"`
-	Hits     uint64 `json:"hits"`
-	Misses   uint64 `json:"misses"`
-	Errors   uint64 `json:"errors"`
-	Served   uint64 `json:"served"`
-	NotFound uint64 `json:"notFound"`
+	Enabled      bool          `json:"enabled"`
+	Peers        int           `json:"peers,omitempty"`
+	Live         int           `json:"live,omitempty"`
+	Hits         uint64        `json:"hits"`
+	Misses       uint64        `json:"misses"`
+	Errors       uint64        `json:"errors"`
+	NegativeHits uint64        `json:"negativeHits,omitempty"`
+	BreakerSkips uint64        `json:"breakerSkips,omitempty"`
+	Retries      uint64        `json:"retries,omitempty"`
+	WarmsSent    uint64        `json:"warmsSent,omitempty"`
+	WarmErrors   uint64        `json:"warmErrors,omitempty"`
+	WarmDropped  uint64        `json:"warmDropped,omitempty"`
+	Served       uint64        `json:"served"`
+	NotFound     uint64        `json:"notFound"`
+	Warmed       uint64        `json:"warmed,omitempty"`
+	WarmRejected uint64        `json:"warmRejected,omitempty"`
+	Replicas     []PeerReplica `json:"replicas,omitempty"`
 }
 
 // rewriteInfo reports the source-to-source stage: whether predicted-
@@ -383,16 +419,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.Peer = peerInfo{
-		Served:   s.cacheServed.Load(),
-		NotFound: s.cacheNotFound.Load(),
+		Served:       s.cacheServed.Load(),
+		NotFound:     s.cacheNotFound.Load(),
+		Warmed:       s.cacheWarmed.Load(),
+		WarmRejected: s.cacheWarmRej.Load(),
 	}
 	if s.peerStats != nil {
 		ps := s.peerStats()
 		resp.Peer.Enabled = true
 		resp.Peer.Peers = ps.Peers
+		resp.Peer.Live = ps.Live
 		resp.Peer.Hits = ps.Hits
 		resp.Peer.Misses = ps.Misses
 		resp.Peer.Errors = ps.Errors
+		resp.Peer.NegativeHits = ps.NegativeHits
+		resp.Peer.BreakerSkips = ps.BreakerSkips
+		resp.Peer.Retries = ps.Retries
+		resp.Peer.WarmsSent = ps.WarmsSent
+		resp.Peer.WarmErrors = ps.WarmErrors
+		resp.Peer.WarmDropped = ps.WarmDropped
+		resp.Peer.Replicas = ps.Replicas
 	}
 	if st, ok := s.engine.VerifyStats(); ok {
 		resp.Verify = verifyInfo{
